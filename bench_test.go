@@ -1,0 +1,187 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// bench drives the same experiment harness as cmd/ldexp, at a reduced
+// scale so the full suite completes in minutes; the full-scale
+// regeneration (10 runs, paper parameters) is `ldexp -exp all`.
+// Custom metrics expose the paper's own cost measures (evaluations,
+// speedup) alongside wall-clock time.
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/genotype"
+	"repro/internal/rng"
+)
+
+func benchDataset(b *testing.B) *Dataset {
+	b.Helper()
+	d, err := Paper51Dataset(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// benchGAConfig is the reduced Table-2 configuration used by benches.
+func benchGAConfig() core.Config {
+	return core.Config{
+		MinSize: 2, MaxSize: 6,
+		PopulationSize:      100,
+		PairsPerGeneration:  30,
+		StagnationLimit:     25,
+		ImmigrantStagnation: 10,
+		MaxGenerations:      400,
+	}
+}
+
+// BenchmarkTable1SearchSpace regenerates Table 1 (search-space sizes
+// for 51, 150 and 249 SNPs, haplotype sizes 2..6).
+func BenchmarkTable1SearchSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Table1([]int{51, 150, 249}, 2, 6)
+		if len(rows) != 5 {
+			b.Fatal("table 1 wrong shape")
+		}
+	}
+	rows := exp.Table1([]int{51, 150, 249}, 2, 6)
+	if err := exp.RenderTable1(io.Discard, []int{51, 150, 249}, rows); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFigure4Eval regenerates Figure 4's x-axis: the cost of one
+// EH-DIALL -> CLUMP evaluation per haplotype size on the 51-SNP study.
+func BenchmarkFigure4Eval(b *testing.B) {
+	d := benchDataset(b)
+	ev, err := NewEvaluator(d, T1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{2, 3, 4, 5, 6, 7} {
+		b.Run(func() string { return "size=" + string(rune('0'+size)) }(), func(b *testing.B) {
+			r := rng.New(uint64(size))
+			sets := make([][]int, 32)
+			for i := range sets {
+				sets[i] = r.Sample(d.NumSNPs(), size)
+				genotype.SortSites(sets[i])
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Evaluate(sets[i%len(sets)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2GA regenerates a reduced Table 2: repeated
+// full-method GA runs on the 51-SNP study, reporting the paper's
+// evaluation-count metric.
+func BenchmarkTable2GA(b *testing.B) {
+	d := benchDataset(b)
+	var lastEvals float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Table2(d, exp.Table2Params{
+			Runs: 2, Seed: uint64(i), GA: benchGAConfig(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastEvals = res.MeanTotalEvals
+	}
+	b.ReportMetric(lastEvals, "evals/run")
+}
+
+// BenchmarkAblation regenerates the §5.2 mechanism comparison at its
+// two extremes (plain GA vs full method).
+func BenchmarkAblation(b *testing.B) {
+	d := benchDataset(b)
+	schemes := exp.DefaultAblationSchemes()
+	for _, idx := range []int{0, len(schemes) - 1} {
+		scheme := schemes[idx]
+		name := "scheme=plain"
+		if idx > 0 {
+			name = "scheme=full"
+		}
+		b.Run(name, func(b *testing.B) {
+			var lastEvals float64
+			for i := 0; i < b.N; i++ {
+				rows, err := exp.Ablation(d, exp.Table2Params{
+					Runs: 1, Seed: uint64(i), GA: benchGAConfig(),
+				}, []exp.AblationScheme{scheme})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastEvals = rows[0].MeanEvals
+			}
+			b.ReportMetric(lastEvals, "evals/run")
+		})
+	}
+}
+
+// BenchmarkSpeedup regenerates the §4.5 master/slave scaling
+// experiment with a simulated 2004-era per-evaluation cost.
+func BenchmarkSpeedup(b *testing.B) {
+	d := benchDataset(b)
+	for _, slaves := range []int{1, 2, 4, 8} {
+		b.Run(func() string { return "slaves=" + string(rune('0'+slaves)) }(), func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				points, err := exp.Speedup(d, exp.SpeedupParams{
+					Slaves:        []int{1, slaves},
+					BatchSize:     32,
+					Batches:       1,
+					HaplotypeSize: 5,
+					EvalLatency:   2 * time.Millisecond,
+					Seed:          uint64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				speedup = points[1].Speedup
+			}
+			b.ReportMetric(speedup, "speedup")
+		})
+	}
+}
+
+// BenchmarkLandscapeEnum regenerates the §3 exhaustive landscape study
+// for sizes 2 and 3 at 51 SNPs (sizes the paper also enumerated).
+func BenchmarkLandscapeEnum(b *testing.B) {
+	d := benchDataset(b)
+	for i := 0; i < b.N; i++ {
+		rep, err := exp.Landscape(d, exp.LandscapeParams{MinSize: 2, MaxSize: 3, Workers: 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Summaries[0].Count == 0 {
+			b.Fatal("enumeration empty")
+		}
+	}
+}
+
+// BenchmarkRobust249 regenerates the §5.2 robustness check on the
+// 249-SNP study shape (reduced to 2 runs).
+func BenchmarkRobust249(b *testing.B) {
+	d, err := Paper249Dataset(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchGAConfig()
+	cfg.StagnationLimit = 15
+	var jac float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Robustness(d, exp.RobustParams{Runs: 2, Seed: uint64(i), GA: cfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		jac = res.MeanJaccardBySize[6]
+	}
+	b.ReportMetric(jac, "jaccard")
+}

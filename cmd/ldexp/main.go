@@ -1,0 +1,272 @@
+// Command ldexp regenerates every table and figure of the paper's
+// evaluation section on the synthetic reproduction dataset.
+//
+// Experiments:
+//
+//	table1      search-space sizes (paper Table 1)
+//	figure4     evaluation time vs haplotype size (paper Figure 4)
+//	table2      GA results over repeated runs (paper Table 2)
+//	ablation    with/without each advanced mechanism (paper §5.2)
+//	speedup     master/slave scaling (paper §4.5 / Figure 6)
+//	landscape   exhaustive structure study (paper §3)
+//	baselines   dedicated GA vs the methods §3 rules out
+//	statcompare objective-function comparison (paper conclusion / future work)
+//	robust249   cross-run solution stability at 249 SNPs (paper §5.2)
+//	all         everything above
+//
+// Usage:
+//
+//	ldexp -exp table2 -runs 10 -seed 1
+//	ldexp -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/genotype"
+	"repro/internal/popgen"
+)
+
+func main() {
+	var (
+		which   = flag.String("exp", "all", "experiment id (table1|figure4|table2|ablation|speedup|landscape|baselines|statcompare|robust249|all)")
+		seed    = flag.Uint64("seed", 1, "master seed")
+		runs    = flag.Int("runs", 10, "GA runs per experiment (paper: 10)")
+		slaves  = flag.Int("slaves", 0, "evaluation slaves (0 = one per CPU)")
+		quick   = flag.Bool("quick", false, "reduced scale for a fast smoke run")
+		samples = flag.Int("samples", 200, "random haplotypes per size for figure4")
+	)
+	flag.Parse()
+
+	gaCfg := core.Config{} // paper defaults
+	if *quick {
+		*runs = 3
+		gaCfg = core.Config{
+			PopulationSize:      100,
+			PairsPerGeneration:  30,
+			StagnationLimit:     30,
+			ImmigrantStagnation: 10,
+		}
+		*samples = 50
+	}
+
+	run := func(name string, fn func() error) {
+		switch {
+		case *which == name, *which == "all":
+			fmt.Printf("\n=== %s ===\n", name)
+			start := time.Now()
+			if err := fn(); err != nil {
+				fmt.Fprintf(os.Stderr, "ldexp: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("--- %s done in %s ---\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	var data *genotype.Dataset
+	loadData := func() (*genotype.Dataset, error) {
+		if data != nil {
+			return data, nil
+		}
+		var err error
+		data, err = popgen.Generate(popgen.Paper51(*seed))
+		return data, err
+	}
+
+	run("table1", func() error {
+		rows := exp.Table1([]int{51, 150, 249}, 2, 6)
+		return exp.RenderTable1(os.Stdout, []int{51, 150, 249}, rows)
+	})
+
+	run("figure4", func() error {
+		d, err := loadData()
+		if err != nil {
+			return err
+		}
+		points, err := exp.Figure4(d, 2, 7, *samples, *seed)
+		if err != nil {
+			return err
+		}
+		return exp.RenderFigure4(os.Stdout, points)
+	})
+
+	run("landscape", func() error {
+		d, err := loadData()
+		if err != nil {
+			return err
+		}
+		maxSize := 3
+		if !*quick {
+			maxSize = 4 // the paper enumerated sizes 2-4 at 51 SNPs
+		}
+		rep, err := exp.Landscape(d, exp.LandscapeParams{MinSize: 2, MaxSize: maxSize, Workers: 0})
+		if err != nil {
+			return err
+		}
+		return exp.RenderLandscape(os.Stdout, rep)
+	})
+
+	run("table2", func() error {
+		d, err := loadData()
+		if err != nil {
+			return err
+		}
+		// Use the enumerated optima (sizes 2-3) as deviation
+		// reference, like the paper compared against its landscape
+		// study.
+		ref, err := referenceBests(d)
+		if err != nil {
+			return err
+		}
+		res, err := exp.Table2(d, exp.Table2Params{
+			Runs: *runs, Seed: *seed, GA: gaCfg, Slaves: *slaves, RefBest: ref,
+		})
+		if err != nil {
+			return err
+		}
+		return exp.RenderTable2(os.Stdout, res)
+	})
+
+	run("ablation", func() error {
+		d, err := loadData()
+		if err != nil {
+			return err
+		}
+		abRuns := *runs
+		if abRuns > 5 && !*quick {
+			abRuns = 5 // 5 schemes x runs; keep the grid affordable
+		}
+		rows, err := exp.Ablation(d, exp.Table2Params{
+			Runs: abRuns, Seed: *seed, GA: gaCfg, Slaves: *slaves,
+		}, nil)
+		if err != nil {
+			return err
+		}
+		cfg := gaCfg
+		if cfg.MinSize == 0 {
+			cfg.MinSize = 2
+		}
+		if cfg.MaxSize == 0 {
+			cfg.MaxSize = 6
+		}
+		return exp.RenderAblation(os.Stdout, rows, cfg.MinSize, cfg.MaxSize)
+	})
+
+	run("speedup", func() error {
+		d, err := loadData()
+		if err != nil {
+			return err
+		}
+		p := exp.SpeedupParams{
+			Slaves:      []int{1, 2, 4, 8, 16},
+			EvalLatency: 6 * time.Millisecond, // paper: ~6ms per size-3 evaluation
+			Seed:        *seed,
+		}
+		if *quick {
+			p.Slaves = []int{1, 2, 4}
+			p.BatchSize = 50
+			p.Batches = 1
+		}
+		points, err := exp.Speedup(d, p)
+		if err != nil {
+			return err
+		}
+		return exp.RenderSpeedup(os.Stdout, points, p)
+	})
+
+	run("baselines", func() error {
+		d, err := loadData()
+		if err != nil {
+			return err
+		}
+		p := exp.BaselinesParams{
+			Size: 4, Budget: 5000, Runs: 3, Seed: *seed, Slaves: *slaves,
+			IncludeExhaustive: !*quick,
+		}
+		rows, err := exp.Baselines(d, p)
+		if err != nil {
+			return err
+		}
+		return exp.RenderBaselines(os.Stdout, rows, p)
+	})
+
+	run("statcompare", func() error {
+		d, err := loadData()
+		if err != nil {
+			return err
+		}
+		scRuns := *runs
+		if scRuns > 3 {
+			scRuns = 3 // 4 statistics x runs; keep the grid affordable
+		}
+		rows, err := exp.StatCompare(d, exp.StatCompareParams{
+			Runs: scRuns, Seed: *seed, GA: gaCfg, Slaves: *slaves,
+		})
+		if err != nil {
+			return err
+		}
+		minS, maxS := 2, 6
+		if gaCfg.MinSize != 0 {
+			minS = gaCfg.MinSize
+		}
+		if gaCfg.MaxSize != 0 {
+			maxS = gaCfg.MaxSize
+		}
+		var sizes []int
+		for s := minS; s <= maxS; s++ {
+			sizes = append(sizes, s)
+		}
+		if err := exp.RenderStatCompare(os.Stdout, rows, sizes); err != nil {
+			return err
+		}
+		for i := 1; i < len(rows); i++ {
+			fmt.Printf("agreement %s vs %s: %.3f\n",
+				rows[0].Stat, rows[i].Stat, exp.StatAgreement(rows[0], rows[i]))
+		}
+		return nil
+	})
+
+	run("robust249", func() error {
+		d249, err := popgen.Generate(popgen.Paper249(*seed))
+		if err != nil {
+			return err
+		}
+		rRuns := *runs
+		if rRuns > 5 {
+			rRuns = 5
+		}
+		res, err := exp.Robustness(d249, exp.RobustParams{
+			Runs: rRuns, Seed: *seed, GA: gaCfg, Slaves: *slaves,
+		})
+		if err != nil {
+			return err
+		}
+		minS, maxS := 2, 6
+		if gaCfg.MinSize != 0 {
+			minS = gaCfg.MinSize
+		}
+		if gaCfg.MaxSize != 0 {
+			maxS = gaCfg.MaxSize
+		}
+		return exp.RenderRobustness(os.Stdout, res, minS, maxS)
+	})
+}
+
+// referenceBests enumerates sizes 2 and 3 exhaustively to obtain exact
+// optima for the Table 2 deviation column.
+func referenceBests(d *genotype.Dataset) (map[int]float64, error) {
+	rep, err := exp.Landscape(d, exp.LandscapeParams{MinSize: 2, MaxSize: 3, TopN: 1, Workers: 0})
+	if err != nil {
+		return nil, err
+	}
+	ref := make(map[int]float64)
+	for _, s := range rep.Summaries {
+		ref[s.K] = s.Best().Fitness
+	}
+	return ref, nil
+}

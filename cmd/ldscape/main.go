@@ -1,0 +1,76 @@
+// Command ldscape reproduces the paper's §3 landscape study:
+// exhaustive enumeration of all haplotypes of small sizes, the
+// per-size fitness distributions, and the structural analysis that
+// rules out constructive and enumeration methods.
+//
+// Usage:
+//
+//	ldscape -preset 51 -min 2 -max 3
+//	ldscape -data data.txt -max 4 -top 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/genotype"
+	"repro/internal/popgen"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "dataset file (from ldgen); empty uses -preset")
+		preset   = flag.Int("preset", 51, "synthetic preset when -data is empty: 51 or 249")
+		seed     = flag.Uint64("seed", 1, "dataset seed for presets")
+		minSize  = flag.Int("min", 2, "smallest enumerated size")
+		maxSize  = flag.Int("max", 3, "largest enumerated size (4 = paper's full study, slower)")
+		topN     = flag.Int("top", 10, "best haplotypes kept per size")
+		workers  = flag.Int("workers", 0, "enumeration workers (0 = one per CPU)")
+	)
+	flag.Parse()
+
+	var (
+		data *genotype.Dataset
+		err  error
+	)
+	if *dataPath != "" {
+		data, err = genotype.ReadFile(*dataPath)
+	} else {
+		switch *preset {
+		case 51:
+			data, err = popgen.Generate(popgen.Paper51(*seed))
+		case 249:
+			data, err = popgen.Generate(popgen.Paper249(*seed))
+		default:
+			err = fmt.Errorf("unknown preset %d", *preset)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ldscape: %v\n", err)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	rep, err := exp.Landscape(data, exp.LandscapeParams{
+		MinSize: *minSize, MaxSize: *maxSize, TopN: *topN, Workers: *workers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ldscape: %v\n", err)
+		os.Exit(1)
+	}
+	if err := exp.RenderLandscape(os.Stdout, rep); err != nil {
+		fmt.Fprintf(os.Stderr, "ldscape: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ntop haplotypes per size:\n")
+	for _, s := range rep.Summaries {
+		fmt.Printf("  size %d:\n", s.K)
+		for i, e := range s.Top {
+			fmt.Printf("    %2d. %-24v fitness %.3f\n", i+1, data.SNPNames(e.Sites), e.Fitness)
+		}
+	}
+	fmt.Printf("elapsed: %s\n", time.Since(start).Round(time.Millisecond))
+}

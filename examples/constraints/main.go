@@ -1,0 +1,105 @@
+// Constraints demonstrates the paper's §2.3 feasibility conditions
+// inside the GA: every pair of SNPs in a haplotype must have pairwise
+// disequilibrium below a threshold t_d (non-redundant markers) and
+// common enough variants (frequency threshold t_f). It also shows the
+// LD preprocessing toolkit: the pairwise matrix and haplotype-block
+// detection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ehdiall"
+	"repro/internal/fitness"
+	"repro/internal/ld"
+	"repro/internal/master"
+	"repro/internal/popgen"
+
+	"repro/internal/clump"
+)
+
+func main() {
+	td := flag.Float64("td", 0.9, "max pairwise |D'| inside a haplotype (t_d)")
+	tf := flag.Float64("tf", 0.05, "min minor allele frequency (t_f)")
+	seed := flag.Uint64("seed", 1, "seed")
+	flag.Parse()
+
+	data, err := popgen.Generate(popgen.Paper51(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("computing the pairwise disequilibrium table (the paper's third data table)...")
+	matrix := ld.ComputeMatrix(data)
+	mafs := ld.MAFs(data)
+
+	blocks, err := ld.FindBlocks(matrix, ld.BlockConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detected %d haplotype blocks (|D'| >= 0.8):\n", len(blocks))
+	for _, b := range blocks {
+		fmt.Printf("  %s..%s (%d SNPs, mean |D'| %.2f)\n",
+			data.SNPs[b.Start].Name, data.SNPs[b.End].Name, b.Size(), b.MeanAbsDPrime)
+	}
+
+	constraint := ld.Constraint{MaxAbsDPrime: *td, MinMAF: *tf}
+	pipe, err := fitness.NewPipeline(data, clump.T1, ehdiall.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := master.NewPool(pipe, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+
+	cfg := core.Config{
+		PopulationSize:      100,
+		PairsPerGeneration:  30,
+		StagnationLimit:     30,
+		ImmigrantStagnation: 10,
+		Seed:                *seed,
+		Constraint: func(sites []int) bool {
+			return constraint.FeasibleSet(matrix, mafs, sites)
+		},
+	}
+	fmt.Printf("\nrunning the GA with t_d=%.2f, t_f=%.2f...\n", *td, *tf)
+	ga, err := core.New(pool, data.NumSNPs(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ga.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sizes := make([]int, 0, len(res.BestBySize))
+	for s := range res.BestBySize {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	fmt.Printf("\nbest feasible haplotypes (%d evaluations):\n", res.TotalEvaluations)
+	for _, s := range sizes {
+		best := res.BestBySize[s]
+		maxD := 0.0
+		for i := 0; i < len(best.Sites); i++ {
+			for j := i + 1; j < len(best.Sites); j++ {
+				d := matrix.At(best.Sites[i], best.Sites[j]).DPrime
+				if d < 0 {
+					d = -d
+				}
+				if d > maxD {
+					maxD = d
+				}
+			}
+		}
+		fmt.Printf("  size %d: %v  fitness %.3f  (max pairwise |D'| %.2f)\n",
+			s, data.SNPNames(best.Sites), best.Fitness, maxD)
+	}
+	fmt.Println("\nevery reported haplotype satisfies both §2.3 conditions by construction.")
+}

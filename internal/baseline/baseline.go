@@ -1,0 +1,358 @@
+// Package baseline implements the optimization methods the paper's §3
+// weighs against the dedicated GA: exhaustive enumeration, the greedy
+// constructive scheme (shown unreliable by the landscape analysis),
+// random search, a hill climber, simulated annealing, and a plain
+// single-population GA without the paper's advanced mechanisms.
+//
+// All baselines search haplotypes of one fixed size and report the
+// best found plus the number of evaluations spent, the paper's cost
+// metric.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/combin"
+	"repro/internal/core"
+	"repro/internal/fitness"
+	"repro/internal/rng"
+)
+
+// Result is the outcome of one baseline search.
+type Result struct {
+	BestSites   []int
+	BestFitness float64
+	Evaluations int64
+}
+
+// evalCounter wraps an evaluator with a local counter.
+type evalCounter struct {
+	ev fitness.Evaluator
+	n  int64
+}
+
+func (e *evalCounter) eval(sites []int) (float64, bool) {
+	e.n++
+	v, err := e.ev.Evaluate(sites)
+	if err != nil {
+		return math.Inf(-1), false
+	}
+	return v, true
+}
+
+// Exhaustive enumerates every size-k haplotype. Feasible only for
+// small k (Table 1's search-space growth is the whole point).
+func Exhaustive(ev fitness.Evaluator, numSNPs, k int) (Result, error) {
+	if k < 1 || k > numSNPs {
+		return Result{}, fmt.Errorf("baseline: k = %d out of range", k)
+	}
+	ec := &evalCounter{ev: ev}
+	res := Result{BestFitness: math.Inf(-1)}
+	combin.ForEachSubset(numSNPs, k, func(sites []int) bool {
+		if v, ok := ec.eval(sites); ok && v > res.BestFitness {
+			res.BestFitness = v
+			res.BestSites = append(res.BestSites[:0], sites...)
+		}
+		return true
+	})
+	res.Evaluations = ec.n
+	if res.BestSites == nil {
+		return res, fmt.Errorf("baseline: every evaluation failed")
+	}
+	return res, nil
+}
+
+// RandomSearch evaluates budget random size-k haplotypes.
+func RandomSearch(ev fitness.Evaluator, numSNPs, k int, budget int64, seed uint64) (Result, error) {
+	if k < 1 || k > numSNPs {
+		return Result{}, fmt.Errorf("baseline: k = %d out of range", k)
+	}
+	if budget < 1 {
+		return Result{}, fmt.Errorf("baseline: budget = %d", budget)
+	}
+	r := rng.New(seed)
+	ec := &evalCounter{ev: ev}
+	res := Result{BestFitness: math.Inf(-1)}
+	for i := int64(0); i < budget; i++ {
+		sites := r.Sample(numSNPs, k)
+		sort.Ints(sites)
+		if v, ok := ec.eval(sites); ok && v > res.BestFitness {
+			res.BestFitness = v
+			res.BestSites = append(res.BestSites[:0], sites...)
+		}
+	}
+	res.Evaluations = ec.n
+	if res.BestSites == nil {
+		return res, fmt.Errorf("baseline: every evaluation failed")
+	}
+	return res, nil
+}
+
+// neighborhood generates all swap-one-SNP neighbours of sites.
+func neighborhood(sites []int, numSNPs int) [][]int {
+	in := make(map[int]bool, len(sites))
+	for _, s := range sites {
+		in[s] = true
+	}
+	var out [][]int
+	for i := range sites {
+		for cand := 0; cand < numSNPs; cand++ {
+			if in[cand] {
+				continue
+			}
+			n := append([]int(nil), sites...)
+			n[i] = cand
+			sort.Ints(n)
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// HillClimber runs steepest-ascent hill climbing with random restarts
+// on the swap-one-SNP neighbourhood.
+func HillClimber(ev fitness.Evaluator, numSNPs, k, restarts int, seed uint64) (Result, error) {
+	if k < 1 || k > numSNPs {
+		return Result{}, fmt.Errorf("baseline: k = %d out of range", k)
+	}
+	if restarts < 1 {
+		return Result{}, fmt.Errorf("baseline: restarts = %d", restarts)
+	}
+	r := rng.New(seed)
+	ec := &evalCounter{ev: ev}
+	res := Result{BestFitness: math.Inf(-1)}
+	for rs := 0; rs < restarts; rs++ {
+		cur := r.Sample(numSNPs, k)
+		sort.Ints(cur)
+		curF, ok := ec.eval(cur)
+		if !ok {
+			continue
+		}
+		for {
+			bestN, bestF := []int(nil), curF
+			for _, n := range neighborhood(cur, numSNPs) {
+				if v, ok := ec.eval(n); ok && v > bestF {
+					bestF, bestN = v, n
+				}
+			}
+			if bestN == nil {
+				break // local optimum
+			}
+			cur, curF = bestN, bestF
+		}
+		if curF > res.BestFitness {
+			res.BestFitness = curF
+			res.BestSites = append(res.BestSites[:0], cur...)
+		}
+	}
+	res.Evaluations = ec.n
+	if res.BestSites == nil {
+		return res, fmt.Errorf("baseline: every evaluation failed")
+	}
+	return res, nil
+}
+
+// SAConfig tunes SimulatedAnnealing. Zero values select defaults.
+type SAConfig struct {
+	Budget  int64   // total evaluations (default 5000)
+	T0      float64 // initial temperature (default 1.0)
+	Cooling float64 // geometric cooling factor per step (default 0.999)
+	Seed    uint64
+}
+
+// SimulatedAnnealing performs SA over the swap-one-SNP neighbourhood
+// with a geometric cooling schedule. Temperatures act on fitness
+// differences normalized by the running fitness scale, so one schedule
+// works across haplotype sizes whose fitness ranges differ (§3).
+func SimulatedAnnealing(ev fitness.Evaluator, numSNPs, k int, cfg SAConfig) (Result, error) {
+	if k < 1 || k > numSNPs {
+		return Result{}, fmt.Errorf("baseline: k = %d out of range", k)
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = 5000
+	}
+	if cfg.T0 == 0 {
+		cfg.T0 = 1.0
+	}
+	if cfg.Cooling == 0 {
+		cfg.Cooling = 0.999
+	}
+	if cfg.Cooling <= 0 || cfg.Cooling >= 1 || cfg.T0 <= 0 {
+		return Result{}, fmt.Errorf("baseline: invalid SA schedule (T0=%v, cooling=%v)", cfg.T0, cfg.Cooling)
+	}
+	r := rng.New(cfg.Seed)
+	ec := &evalCounter{ev: ev}
+	cur := r.Sample(numSNPs, k)
+	sort.Ints(cur)
+	curF, ok := ec.eval(cur)
+	for !ok && ec.n < cfg.Budget {
+		cur = r.Sample(numSNPs, k)
+		sort.Ints(cur)
+		curF, ok = ec.eval(cur)
+	}
+	if !ok {
+		return Result{}, fmt.Errorf("baseline: every evaluation failed")
+	}
+	res := Result{
+		BestSites:   append([]int(nil), cur...),
+		BestFitness: curF,
+	}
+	scale := math.Max(math.Abs(curF), 1)
+	temp := cfg.T0
+	for ec.n < cfg.Budget {
+		cand := mutateSwap(r, cur, numSNPs)
+		candF, ok := ec.eval(cand)
+		if !ok {
+			continue
+		}
+		delta := (candF - curF) / scale
+		if delta >= 0 || r.Float64() < math.Exp(delta/temp) {
+			cur, curF = cand, candF
+			if curF > res.BestFitness {
+				res.BestFitness = curF
+				res.BestSites = append(res.BestSites[:0], cur...)
+			}
+			scale = math.Max(math.Abs(curF), 1)
+		}
+		temp *= cfg.Cooling
+	}
+	res.Evaluations = ec.n
+	return res, nil
+}
+
+func mutateSwap(r *rng.RNG, sites []int, numSNPs int) []int {
+	out := append([]int(nil), sites...)
+	pos := r.Intn(len(out))
+	for {
+		cand := r.Intn(numSNPs)
+		dup := false
+		for _, s := range out {
+			if s == cand {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out[pos] = cand
+			break
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GreedyConstructive builds size-k haplotypes by extending the
+// beamWidth best size-(k-1) haplotypes with every possible SNP — the
+// constructive method §3 shows can miss the true optima. It returns
+// one Result per size from 2 to maxK.
+func GreedyConstructive(ev fitness.Evaluator, numSNPs, maxK, beamWidth int) ([]Result, error) {
+	if maxK < 2 || maxK > numSNPs {
+		return nil, fmt.Errorf("baseline: maxK = %d out of range", maxK)
+	}
+	if beamWidth < 1 {
+		return nil, fmt.Errorf("baseline: beamWidth = %d", beamWidth)
+	}
+	ec := &evalCounter{ev: ev}
+	type scored struct {
+		sites []int
+		f     float64
+	}
+	// Exhaustive base layer: all pairs.
+	var layer []scored
+	combin.ForEachSubset(numSNPs, 2, func(sites []int) bool {
+		if v, ok := ec.eval(sites); ok {
+			layer = append(layer, scored{append([]int(nil), sites...), v})
+		}
+		return true
+	})
+	if len(layer) == 0 {
+		return nil, fmt.Errorf("baseline: every evaluation failed")
+	}
+	sortLayer := func() {
+		sort.Slice(layer, func(i, j int) bool { return layer[i].f > layer[j].f })
+	}
+	sortLayer()
+	var out []Result
+	record := func() {
+		out = append(out, Result{
+			BestSites:   append([]int(nil), layer[0].sites...),
+			BestFitness: layer[0].f,
+			Evaluations: ec.n,
+		})
+	}
+	record()
+	for k := 3; k <= maxK; k++ {
+		beam := layer
+		if len(beam) > beamWidth {
+			beam = beam[:beamWidth]
+		}
+		seen := map[string]bool{}
+		var next []scored
+		for _, base := range beam {
+			for cand := 0; cand < numSNPs; cand++ {
+				dup := false
+				for _, s := range base.sites {
+					if s == cand {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				sites := append(append([]int(nil), base.sites...), cand)
+				sort.Ints(sites)
+				key := fmt.Sprint(sites)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if v, ok := ec.eval(sites); ok {
+					next = append(next, scored{sites, v})
+				}
+			}
+		}
+		if len(next) == 0 {
+			return out, fmt.Errorf("baseline: greedy layer %d empty", k)
+		}
+		layer = next
+		sortLayer()
+		record()
+	}
+	return out, nil
+}
+
+// SimpleGA runs a single-population, fixed-size, fixed-rate GA — the
+// paper's dedicated design with every advanced mechanism switched off
+// — as the "plain GA" comparator for the ablation experiment.
+func SimpleGA(ev fitness.Evaluator, numSNPs, k int, popSize int, seed uint64) (Result, error) {
+	cfg := core.Config{
+		MinSize:                  k,
+		MaxSize:                  k,
+		PopulationSize:           popSize,
+		Seed:                     seed,
+		DisableAdaptiveRates:     true,
+		DisableRandomImmigrants:  true,
+		DisableSizeMutations:     true,
+		DisableInterPopCrossover: true,
+	}
+	ga, err := core.New(ev, numSNPs, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := ga.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	best := res.BestBySize[k]
+	if best == nil {
+		return Result{}, fmt.Errorf("baseline: simple GA found nothing")
+	}
+	return Result{
+		BestSites:   best.Sites,
+		BestFitness: best.Fitness,
+		Evaluations: res.TotalEvaluations,
+	}, nil
+}

@@ -1,0 +1,228 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/combin"
+	"repro/internal/fitness"
+)
+
+// sumEval's unique size-k optimum is the k largest sites.
+var sumEval = fitness.Func(func(sites []int) (float64, error) {
+	s := 0
+	for _, v := range sites {
+		s += v
+	}
+	return float64(s), nil
+})
+
+func wantTop(n, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = n - k + i
+	}
+	return out
+}
+
+func sitesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestExhaustiveFindsOptimum(t *testing.T) {
+	res, err := Exhaustive(sumEval, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sitesEqual(res.BestSites, wantTop(10, 3)) {
+		t.Fatalf("best = %v", res.BestSites)
+	}
+	if res.Evaluations != combin.Binomial(10, 3).Int64() {
+		t.Fatalf("evaluations = %d", res.Evaluations)
+	}
+}
+
+func TestExhaustiveErrors(t *testing.T) {
+	if _, err := Exhaustive(sumEval, 5, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	failing := fitness.Func(func([]int) (float64, error) { return 0, fmt.Errorf("no") })
+	if _, err := Exhaustive(failing, 5, 2); err == nil {
+		t.Fatal("all-failing evaluator not reported")
+	}
+}
+
+func TestRandomSearchBudgetAndValidity(t *testing.T) {
+	res, err := RandomSearch(sumEval, 15, 4, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 200 {
+		t.Fatalf("evaluations = %d, want 200", res.Evaluations)
+	}
+	if len(res.BestSites) != 4 {
+		t.Fatalf("best sites = %v", res.BestSites)
+	}
+	for i := 1; i < len(res.BestSites); i++ {
+		if res.BestSites[i] <= res.BestSites[i-1] {
+			t.Fatalf("best not sorted unique: %v", res.BestSites)
+		}
+	}
+	if _, err := RandomSearch(sumEval, 15, 4, 0, 1); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestRandomSearchDeterministic(t *testing.T) {
+	a, err := RandomSearch(sumEval, 15, 3, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomSearch(sumEval, 15, 3, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestFitness != b.BestFitness || !sitesEqual(a.BestSites, b.BestSites) {
+		t.Fatal("same seed, different result")
+	}
+}
+
+func TestHillClimberReachesOptimumOnSmooth(t *testing.T) {
+	// The sum landscape is unimodal under single-swap moves, so every
+	// restart must reach the global optimum.
+	res, err := HillClimber(sumEval, 12, 3, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sitesEqual(res.BestSites, wantTop(12, 3)) {
+		t.Fatalf("hill climber stuck at %v", res.BestSites)
+	}
+	if res.Evaluations <= 0 {
+		t.Fatal("no evaluations recorded")
+	}
+}
+
+func TestHillClimberArgErrors(t *testing.T) {
+	if _, err := HillClimber(sumEval, 10, 3, 0, 1); err == nil {
+		t.Fatal("zero restarts accepted")
+	}
+	if _, err := HillClimber(sumEval, 10, 11, 1, 1); err == nil {
+		t.Fatal("k > n accepted")
+	}
+}
+
+func TestSimulatedAnnealingImprovesOverStart(t *testing.T) {
+	res, err := SimulatedAnnealing(sumEval, 20, 4, SAConfig{Budget: 3000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations < 3000 {
+		t.Fatalf("SA stopped early: %d evals", res.Evaluations)
+	}
+	// The optimum (16+17+18+19 = 70) should be found on this smooth
+	// landscape with a healthy budget.
+	if res.BestFitness < 66 {
+		t.Fatalf("SA best = %v, want near 70", res.BestFitness)
+	}
+}
+
+func TestSimulatedAnnealingConfigErrors(t *testing.T) {
+	if _, err := SimulatedAnnealing(sumEval, 10, 3, SAConfig{Cooling: 1.5}); err == nil {
+		t.Fatal("cooling >= 1 accepted")
+	}
+	if _, err := SimulatedAnnealing(sumEval, 10, 0, SAConfig{}); err == nil {
+		t.Fatal("k = 0 accepted")
+	}
+}
+
+func TestGreedyConstructiveOnNestedLandscape(t *testing.T) {
+	results, err := GreedyConstructive(sumEval, 10, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 { // sizes 2, 3, 4
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, k := range []int{2, 3, 4} {
+		if !sitesEqual(results[i].BestSites, wantTop(10, k)) {
+			t.Fatalf("size %d best = %v", k, results[i].BestSites)
+		}
+	}
+	// Evaluations must be cumulative and increasing.
+	for i := 1; i < len(results); i++ {
+		if results[i].Evaluations <= results[i-1].Evaluations {
+			t.Fatal("evaluation counts not increasing")
+		}
+	}
+}
+
+func TestGreedyConstructiveMissesDeceptiveOptimum(t *testing.T) {
+	// §3's argument: good size-3 sets need not contain good pairs.
+	// Pairs score by sum; triples score high only for the all-low set
+	// {0,1,2}, which no good pair extends into the beam.
+	ev := fitness.Func(func(sites []int) (float64, error) {
+		if len(sites) == 3 && sites[0] == 0 && sites[1] == 1 && sites[2] == 2 {
+			return 1000, nil
+		}
+		s := 0
+		for _, v := range sites {
+			s += v
+		}
+		return float64(s), nil
+	})
+	results, err := GreedyConstructive(ev, 10, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedyBest := results[1].BestFitness
+	exact, err := Exhaustive(ev, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedyBest >= exact.BestFitness {
+		t.Fatalf("greedy (%v) should miss the deceptive optimum (%v)",
+			greedyBest, exact.BestFitness)
+	}
+}
+
+func TestGreedyConstructiveArgErrors(t *testing.T) {
+	if _, err := GreedyConstructive(sumEval, 10, 1, 3); err == nil {
+		t.Fatal("maxK < 2 accepted")
+	}
+	if _, err := GreedyConstructive(sumEval, 10, 3, 0); err == nil {
+		t.Fatal("zero beam accepted")
+	}
+}
+
+func TestSimpleGAFindsGoodSolution(t *testing.T) {
+	res, err := SimpleGA(sumEval, 15, 3, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BestSites) != 3 {
+		t.Fatalf("best = %v", res.BestSites)
+	}
+	// Optimum is 12+13+14 = 39; a plain GA should land close.
+	if res.BestFitness < 33 {
+		t.Fatalf("simple GA best = %v, want >= 33", res.BestFitness)
+	}
+	if res.Evaluations <= 0 {
+		t.Fatal("no evaluations recorded")
+	}
+}
+
+func BenchmarkHillClimber(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := HillClimber(sumEval, 30, 4, 1, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/fitness"
+	"repro/internal/rng"
+)
+
+// TabuConfig tunes TabuSearch. Zero values select defaults.
+type TabuConfig struct {
+	// Budget is the total evaluation budget (default 5000).
+	Budget int64
+	// Tenure is how many iterations a visited haplotype stays tabu
+	// (default 50).
+	Tenure int
+	// CandidateMoves is how many random swap moves are scored per
+	// iteration (default 20); the best non-tabu move is taken even if
+	// it worsens the solution, the classic tabu escape mechanism.
+	CandidateMoves int
+	Seed           uint64
+}
+
+func (c TabuConfig) withDefaults() TabuConfig {
+	if c.Budget == 0 {
+		c.Budget = 5000
+	}
+	if c.Tenure == 0 {
+		c.Tenure = 50
+	}
+	if c.CandidateMoves == 0 {
+		c.CandidateMoves = 20
+	}
+	return c
+}
+
+// TabuSearch runs tabu search over the swap-one-SNP neighbourhood —
+// one of the metaheuristics §3 lists as applicable to the problem's
+// search-space scale. Recently visited haplotypes are tabu for Tenure
+// iterations unless they would improve the best found (aspiration).
+func TabuSearch(ev fitness.Evaluator, numSNPs, k int, cfg TabuConfig) (Result, error) {
+	if k < 1 || k > numSNPs {
+		return Result{}, fmt.Errorf("baseline: k = %d out of range", k)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Tenure < 1 || cfg.CandidateMoves < 1 || cfg.Budget < 1 {
+		return Result{}, fmt.Errorf("baseline: invalid tabu config %+v", cfg)
+	}
+	r := rng.New(cfg.Seed)
+	ec := &evalCounter{ev: ev}
+
+	cur := r.Sample(numSNPs, k)
+	sort.Ints(cur)
+	curF, ok := ec.eval(cur)
+	for !ok && ec.n < cfg.Budget {
+		cur = r.Sample(numSNPs, k)
+		sort.Ints(cur)
+		curF, ok = ec.eval(cur)
+	}
+	if !ok {
+		return Result{}, fmt.Errorf("baseline: every evaluation failed")
+	}
+	res := Result{
+		BestSites:   append([]int(nil), cur...),
+		BestFitness: curF,
+	}
+	tabu := map[string]int64{} // haplotype key -> iteration it expires
+	key := func(s []int) string { return fmt.Sprint(s) }
+	tabu[key(cur)] = int64(cfg.Tenure)
+
+	for iter := int64(0); ec.n < cfg.Budget; iter++ {
+		bestMove := []int(nil)
+		bestMoveF := math.Inf(-1)
+		for m := 0; m < cfg.CandidateMoves && ec.n < cfg.Budget; m++ {
+			cand := mutateSwap(r, cur, numSNPs)
+			ck := key(cand)
+			candF, ok := ec.eval(cand)
+			if !ok {
+				continue
+			}
+			// Aspiration: a new global best overrides tabu status.
+			if expires, isTabu := tabu[ck]; isTabu && expires > iter && candF <= res.BestFitness {
+				continue
+			}
+			if candF > bestMoveF {
+				bestMoveF = candF
+				bestMove = cand
+			}
+		}
+		if bestMove == nil {
+			continue // all candidates tabu or failed; draw again
+		}
+		cur, curF = bestMove, bestMoveF
+		tabu[key(cur)] = iter + int64(cfg.Tenure)
+		if curF > res.BestFitness {
+			res.BestFitness = curF
+			res.BestSites = append(res.BestSites[:0], cur...)
+		}
+		// Bound the tabu map so long runs stay lean.
+		if len(tabu) > 4*cfg.Tenure*cfg.CandidateMoves {
+			for k2, exp := range tabu {
+				if exp <= iter {
+					delete(tabu, k2)
+				}
+			}
+		}
+	}
+	res.Evaluations = ec.n
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package baseline
+
+import (
+	"testing"
+)
+
+func TestTabuSearchReachesGoodSolution(t *testing.T) {
+	res, err := TabuSearch(sumEval, 20, 4, TabuConfig{Budget: 3000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimum is 16+17+18+19 = 70 on a smooth landscape.
+	if res.BestFitness < 66 {
+		t.Fatalf("tabu best = %v, want near 70", res.BestFitness)
+	}
+	if res.Evaluations < 3000 {
+		t.Fatalf("tabu stopped early: %d evals", res.Evaluations)
+	}
+	if len(res.BestSites) != 4 {
+		t.Fatalf("best sites = %v", res.BestSites)
+	}
+	for i := 1; i < 4; i++ {
+		if res.BestSites[i] <= res.BestSites[i-1] {
+			t.Fatalf("best not sorted unique: %v", res.BestSites)
+		}
+	}
+}
+
+func TestTabuSearchDeterministic(t *testing.T) {
+	a, err := TabuSearch(sumEval, 15, 3, TabuConfig{Budget: 500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TabuSearch(sumEval, 15, 3, TabuConfig{Budget: 500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestFitness != b.BestFitness || !sitesEqual(a.BestSites, b.BestSites) {
+		t.Fatal("same seed, different result")
+	}
+}
+
+func TestTabuSearchConfigErrors(t *testing.T) {
+	if _, err := TabuSearch(sumEval, 10, 0, TabuConfig{}); err == nil {
+		t.Fatal("k = 0 accepted")
+	}
+	if _, err := TabuSearch(sumEval, 10, 3, TabuConfig{Tenure: -1}); err == nil {
+		t.Fatal("negative tenure accepted")
+	}
+}
+
+func TestTabuSearchEscapesLocalOptimum(t *testing.T) {
+	// A deceptive landscape: {0,1} is a strong local optimum under
+	// single swaps, the global optimum is {8,9}. Moves through the
+	// valley worsen fitness, so pure hill climbing from {0,1} stalls,
+	// while tabu's forced non-improving moves can escape.
+	deceptive := func(sites []int) float64 {
+		if sites[0] == 0 && sites[1] == 1 {
+			return 50
+		}
+		if sites[0] == 8 && sites[1] == 9 {
+			return 100
+		}
+		return float64(sites[0] + sites[1]) // gentle slope toward 8,9
+	}
+	ev := evalFunc(deceptive)
+	res, err := TabuSearch(ev, 10, 2, TabuConfig{Budget: 2000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness < 100 {
+		t.Fatalf("tabu stuck at %v (fitness %v)", res.BestSites, res.BestFitness)
+	}
+}
+
+// evalFunc adapts a plain scoring function.
+type evalFunc func(sites []int) float64
+
+func (f evalFunc) Evaluate(sites []int) (float64, error) { return f(sites), nil }

@@ -1,0 +1,354 @@
+// Package clump reimplements the CLUMP program of Sham & Curtis
+// (1995): chi-square statistics for 2 x M case/control contingency
+// tables with highly polymorphic columns, and Monte-Carlo assessment
+// of their significance conditional on the table margins.
+//
+// The four classic statistics are provided:
+//
+//	T1 — Pearson chi-square of the raw 2 x M table.
+//	T2 — chi-square after pooling columns with small expected counts.
+//	T3 — largest chi-square of any single column against the rest.
+//	T4 — largest chi-square over 2-way clumpings of the columns.
+//
+// The paper's fitness is the statistic value itself (a "good"
+// haplotype is one highly correlated with the disease, i.e. a high
+// CLUMP value); the Monte-Carlo machinery is used for final reporting.
+package clump
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Statistic selects which CLUMP statistic to use as a scalar score.
+type Statistic int
+
+// The four CLUMP statistics.
+const (
+	T1 Statistic = iota + 1
+	T2
+	T3
+	T4
+)
+
+// String returns the conventional name of the statistic.
+func (s Statistic) String() string {
+	switch s {
+	case T1:
+		return "T1"
+	case T2:
+		return "T2"
+	case T3:
+		return "T3"
+	case T4:
+		return "T4"
+	default:
+		return fmt.Sprintf("Statistic(%d)", int(s))
+	}
+}
+
+// minExpected is the classic "expected count at least 5" rule used by
+// T2 to decide which columns are too sparse to stand alone.
+const minExpected = 5.0
+
+// Result carries all four statistics of a table.
+type Result struct {
+	T1 float64
+	T2 float64
+	T3 float64
+	T4 float64
+	// DF1 and DF2 are the degrees of freedom of T1 and T2. T3 and T4
+	// are maxima of 2x2 statistics; their null distribution is
+	// assessed by Monte Carlo, not by a chi-square df.
+	DF1 int
+	DF2 int
+}
+
+// Get returns the selected statistic value from the result.
+func (r Result) Get(s Statistic) float64 {
+	switch s {
+	case T1:
+		return r.T1
+	case T2:
+		return r.T2
+	case T3:
+		return r.T3
+	case T4:
+		return r.T4
+	default:
+		panic("clump: unknown statistic " + s.String())
+	}
+}
+
+// Statistics computes T1..T4 for a 2 x M table of non-negative counts.
+func Statistics(t *stats.Table) (Result, error) {
+	if t.Rows() != 2 {
+		return Result{}, fmt.Errorf("clump: table has %d rows, want 2", t.Rows())
+	}
+	var res Result
+	res.T1, res.DF1 = t.ChiSquare()
+	res.T2, res.DF2 = clumpRare(t).ChiSquare()
+	res.T3 = maxSingleColumn(t)
+	res.T4 = maxTwoWay(t)
+	return res, nil
+}
+
+// clumpRare pools all columns whose expected count in either row falls
+// below minExpected into a single column, as CLUMP's T2 does. If
+// pooling leaves a single column, the original table is returned (T2
+// degrades to T1).
+func clumpRare(t *stats.Table) *stats.Table {
+	rt := t.RowTotals()
+	ct := t.ColTotals()
+	total := rt[0] + rt[1]
+	if total == 0 {
+		return t
+	}
+	keep := make([]int, 0, t.Cols())
+	pool := false
+	for j := 0; j < t.Cols(); j++ {
+		e0 := rt[0] * ct[j] / total
+		e1 := rt[1] * ct[j] / total
+		if e0 < minExpected || e1 < minExpected {
+			pool = true
+		} else {
+			keep = append(keep, j)
+		}
+	}
+	if !pool || len(keep) == 0 {
+		return t
+	}
+	out := stats.NewTable(2, len(keep)+1)
+	for i := 0; i < 2; i++ {
+		poolSum := 0.0
+		used := make(map[int]bool, len(keep))
+		for nj, j := range keep {
+			out.Set(i, nj, t.At(i, j))
+			used[j] = true
+		}
+		for j := 0; j < t.Cols(); j++ {
+			if !used[j] {
+				poolSum += t.At(i, j)
+			}
+		}
+		out.Set(i, len(keep), poolSum)
+	}
+	return out
+}
+
+// chi2x2 computes the chi-square of the 2x2 table [[a, b], [c, d]].
+func chi2x2(a, b, c, d float64) float64 {
+	n := a + b + c + d
+	r0, r1 := a+b, c+d
+	c0, c1 := a+c, b+d
+	if n == 0 || r0 == 0 || r1 == 0 || c0 == 0 || c1 == 0 {
+		return 0
+	}
+	diff := a*d - b*c
+	return n * diff * diff / (r0 * r1 * c0 * c1)
+}
+
+// maxSingleColumn returns T3: the largest 2x2 chi-square obtained by
+// testing one column against the aggregate of all others.
+func maxSingleColumn(t *stats.Table) float64 {
+	rt := t.RowTotals()
+	best := 0.0
+	for j := 0; j < t.Cols(); j++ {
+		a := t.At(0, j)
+		c := t.At(1, j)
+		v := chi2x2(a, rt[0]-a, c, rt[1]-c)
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// maxTwoWay returns T4: the largest 2x2 chi-square over 2-way
+// clumpings of the columns. Columns are ordered by their case
+// proportion; the optimal bipartition for a 2x2 chi-square is a prefix
+// of this ordering, so a linear scan over prefixes is exact.
+func maxTwoWay(t *stats.Table) float64 {
+	type colStat struct{ a, c float64 }
+	cols := make([]colStat, 0, t.Cols())
+	for j := 0; j < t.Cols(); j++ {
+		a, c := t.At(0, j), t.At(1, j)
+		if a+c > 0 {
+			cols = append(cols, colStat{a, c})
+		}
+	}
+	if len(cols) < 2 {
+		return 0
+	}
+	sort.Slice(cols, func(i, j int) bool {
+		return cols[i].a*(cols[j].a+cols[j].c) > cols[j].a*(cols[i].a+cols[i].c)
+	})
+	rt := t.RowTotals()
+	best := 0.0
+	accA, accC := 0.0, 0.0
+	for j := 0; j < len(cols)-1; j++ {
+		accA += cols[j].a
+		accC += cols[j].c
+		v := chi2x2(accA, rt[0]-accA, accC, rt[1]-accC)
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MonteCarlo estimates empirical p-values for all four statistics by
+// generating random tables with the same margins as the observed one.
+type MonteCarlo struct {
+	// Replicates is the number of random tables (default 1000).
+	Replicates int
+	// Source seeds the simulation; required.
+	Source *rng.RNG
+}
+
+// PValues holds the empirical upper-tail p-values of the statistics.
+type PValues struct {
+	T1, T2, T3, T4 float64
+	Replicates     int
+}
+
+// Get returns the selected p-value.
+func (p PValues) Get(s Statistic) float64 {
+	switch s {
+	case T1:
+		return p.T1
+	case T2:
+		return p.T2
+	case T3:
+		return p.T3
+	case T4:
+		return p.T4
+	default:
+		panic("clump: unknown statistic " + s.String())
+	}
+}
+
+// Run performs the Monte-Carlo test on a 2 x M table. Fractional
+// (EM-estimated) counts are rounded to integers with the largest-
+// remainder method before simulation, preserving the grand total.
+func (mc MonteCarlo) Run(t *stats.Table) (PValues, error) {
+	if t.Rows() != 2 {
+		return PValues{}, fmt.Errorf("clump: table has %d rows, want 2", t.Rows())
+	}
+	if mc.Source == nil {
+		return PValues{}, fmt.Errorf("clump: MonteCarlo requires a Source")
+	}
+	reps := mc.Replicates
+	if reps <= 0 {
+		reps = 1000
+	}
+	obs, err := Statistics(t)
+	if err != nil {
+		return PValues{}, err
+	}
+	rounded := RoundTable(t)
+	rowTot := rounded.RowTotals()
+	colTot := rounded.ColTotals()
+	n := int(rowTot[0] + rowTot[1])
+	if n == 0 {
+		return PValues{T1: 1, T2: 1, T3: 1, T4: 1, Replicates: reps}, nil
+	}
+
+	exceed := [4]int{}
+	sim := stats.NewTable(2, t.Cols())
+	for rep := 0; rep < reps; rep++ {
+		simulateMargins(sim, rowTot, colTot, mc.Source)
+		st, err := Statistics(sim)
+		if err != nil {
+			return PValues{}, err
+		}
+		if st.T1 >= obs.T1 {
+			exceed[0]++
+		}
+		if st.T2 >= obs.T2 {
+			exceed[1]++
+		}
+		if st.T3 >= obs.T3 {
+			exceed[2]++
+		}
+		if st.T4 >= obs.T4 {
+			exceed[3]++
+		}
+	}
+	p := func(e int) float64 { return float64(e+1) / float64(reps+1) }
+	return PValues{
+		T1: p(exceed[0]), T2: p(exceed[1]), T3: p(exceed[2]), T4: p(exceed[3]),
+		Replicates: reps,
+	}, nil
+}
+
+// simulateMargins fills sim with a random 2 x M table having the given
+// integer margins, drawn uniformly conditional on those margins via
+// sequential hypergeometric sampling.
+func simulateMargins(sim *stats.Table, rowTot, colTot []float64, r *rng.RNG) {
+	remaining := rowTot[0] + rowTot[1]
+	successes := rowTot[0]
+	for j := 0; j < sim.Cols(); j++ {
+		draw := colTot[j]
+		a := hypergeometric(int(remaining), int(successes), int(draw), r)
+		sim.Set(0, j, float64(a))
+		sim.Set(1, j, draw-float64(a))
+		remaining -= draw
+		successes -= float64(a)
+	}
+}
+
+// hypergeometric draws the number of successes when sampling n items
+// without replacement from a population of size pop containing succ
+// successes. Direct simulation is O(n), ample for study-sized tables.
+func hypergeometric(pop, succ, n int, r *rng.RNG) int {
+	hits := 0
+	for i := 0; i < n; i++ {
+		if pop <= 0 {
+			break
+		}
+		if r.Intn(pop) < succ {
+			hits++
+			succ--
+		}
+		pop--
+	}
+	return hits
+}
+
+// RoundTable rounds each row of the table to integer counts with the
+// largest-remainder method, preserving every row total (rounded to the
+// nearest integer).
+func RoundTable(t *stats.Table) *stats.Table {
+	out := stats.NewTable(t.Rows(), t.Cols())
+	for i := 0; i < t.Rows(); i++ {
+		rowSum := 0.0
+		for j := 0; j < t.Cols(); j++ {
+			rowSum += t.At(i, j)
+		}
+		target := int(math.Round(rowSum))
+		type rem struct {
+			j    int
+			frac float64
+		}
+		rems := make([]rem, t.Cols())
+		floorSum := 0
+		for j := 0; j < t.Cols(); j++ {
+			v := t.At(i, j)
+			fl := math.Floor(v)
+			out.Set(i, j, fl)
+			floorSum += int(fl)
+			rems[j] = rem{j, v - fl}
+		}
+		sort.Slice(rems, func(x, y int) bool { return rems[x].frac > rems[y].frac })
+		for k := 0; k < target-floorSum && k < len(rems); k++ {
+			j := rems[k].j
+			out.Set(i, j, out.At(i, j)+1)
+		}
+	}
+	return out
+}

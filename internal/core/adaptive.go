@@ -1,0 +1,139 @@
+package core
+
+// adaptiveController implements the Hong/Wang/Chen rate adaptation the
+// paper uses for both operator families (§4.3.1, §4.3.2).
+//
+// During a generation every operator application records its progress
+// (normalized fitness gain, floored at zero). At the end of the
+// generation each operator's profit is its mean progress per
+// application; the new rate is
+//
+//	rate_i = profit_i / Σ profits * (globalRate - m*δ) + δ
+//
+// so rates always sum to the global rate and never drop below the
+// floor δ. Generations with zero total profit keep the previous rates.
+type adaptiveController struct {
+	global   float64   // total rate shared by the operators
+	delta    float64   // per-operator floor δ
+	rates    []float64 // current per-operator rates
+	progress []float64 // Σ progress this generation
+	applied  []int     // applications this generation
+	enabled  []bool    // operators forced off get rate 0
+	adapt    bool      // false freezes rates (ablation)
+}
+
+// newAdaptiveController starts all enabled operators at global/m, the
+// paper's initial setting.
+func newAdaptiveController(n int, global, delta float64, adapt bool) *adaptiveController {
+	c := &adaptiveController{
+		global:   global,
+		delta:    delta,
+		rates:    make([]float64, n),
+		progress: make([]float64, n),
+		applied:  make([]int, n),
+		enabled:  make([]bool, n),
+		adapt:    adapt,
+	}
+	for i := range c.enabled {
+		c.enabled[i] = true
+	}
+	c.resetRates()
+	return c
+}
+
+// disable turns an operator off permanently (ablation switches); its
+// share is redistributed over the remaining operators.
+func (c *adaptiveController) disable(i int) {
+	c.enabled[i] = false
+	c.resetRates()
+}
+
+func (c *adaptiveController) numEnabled() int {
+	n := 0
+	for _, e := range c.enabled {
+		if e {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *adaptiveController) resetRates() {
+	m := c.numEnabled()
+	for i := range c.rates {
+		if m > 0 && c.enabled[i] {
+			c.rates[i] = c.global / float64(m)
+		} else {
+			c.rates[i] = 0
+		}
+	}
+}
+
+// record accumulates one application's progress (clamped at 0).
+func (c *adaptiveController) record(op int, progress float64) {
+	if progress < 0 {
+		progress = 0
+	}
+	c.progress[op] += progress
+	c.applied[op]++
+}
+
+// endGeneration recomputes rates from the generation's profits and
+// clears the accumulators.
+func (c *adaptiveController) endGeneration() {
+	defer func() {
+		for i := range c.progress {
+			c.progress[i] = 0
+			c.applied[i] = 0
+		}
+	}()
+	if !c.adapt {
+		return
+	}
+	m := c.numEnabled()
+	if m == 0 {
+		return
+	}
+	totalProfit := 0.0
+	profits := make([]float64, len(c.rates))
+	for i := range c.rates {
+		if !c.enabled[i] || c.applied[i] == 0 {
+			continue
+		}
+		profits[i] = c.progress[i] / float64(c.applied[i])
+		totalProfit += profits[i]
+	}
+	if totalProfit <= 0 {
+		return // keep previous rates
+	}
+	budget := c.global - float64(m)*c.delta
+	if budget < 0 {
+		budget = 0
+	}
+	for i := range c.rates {
+		if !c.enabled[i] {
+			c.rates[i] = 0
+			continue
+		}
+		c.rates[i] = profits[i]/totalProfit*budget + c.delta
+	}
+}
+
+// pick selects an operator index with probability proportional to its
+// rate, or -1 with the leftover probability 1 - globalRate ("no
+// operator applies"). The uniform draw u must be in [0, 1).
+func (c *adaptiveController) pick(u float64) int {
+	acc := 0.0
+	for i, r := range c.rates {
+		acc += r
+		if u < acc {
+			return i
+		}
+	}
+	return -1
+}
+
+// Rates returns a copy of the current per-operator rates.
+func (c *adaptiveController) Rates() []float64 {
+	return append([]float64(nil), c.rates...)
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func ratesSum(c *adaptiveController) float64 {
+	s := 0.0
+	for _, r := range c.rates {
+		s += r
+	}
+	return s
+}
+
+func TestAdaptiveInitialEqualSplit(t *testing.T) {
+	c := newAdaptiveController(3, 0.9, 0.05, true)
+	for _, r := range c.Rates() {
+		if math.Abs(r-0.3) > 1e-12 {
+			t.Fatalf("initial rates = %v, want 0.3 each", c.Rates())
+		}
+	}
+}
+
+func TestAdaptiveRatesSumToGlobal(t *testing.T) {
+	c := newAdaptiveController(3, 0.9, 0.05, true)
+	c.record(0, 0.5)
+	c.record(0, 0.7)
+	c.record(1, 0.1)
+	c.record(2, 0)
+	c.endGeneration()
+	if math.Abs(ratesSum(c)-0.9) > 1e-9 {
+		t.Fatalf("rates sum to %v, want 0.9", ratesSum(c))
+	}
+	// The most profitable operator must now have the largest rate.
+	r := c.Rates()
+	if r[0] <= r[1] || r[0] <= r[2] {
+		t.Fatalf("profitable operator not favored: %v", r)
+	}
+}
+
+func TestAdaptiveFloorDelta(t *testing.T) {
+	c := newAdaptiveController(3, 0.9, 0.05, true)
+	// Operator 2 has zero profit; its rate must still be >= delta.
+	c.record(0, 1)
+	c.record(1, 1)
+	c.record(2, 0)
+	c.endGeneration()
+	for i, r := range c.Rates() {
+		if r < 0.05-1e-12 {
+			t.Fatalf("rate[%d] = %v below floor", i, r)
+		}
+	}
+}
+
+func TestAdaptiveZeroProfitKeepsRates(t *testing.T) {
+	c := newAdaptiveController(2, 0.8, 0.05, true)
+	c.record(0, 0.6)
+	c.record(1, 0.2)
+	c.endGeneration()
+	before := c.Rates()
+	// A generation of all-zero progress must not move the rates.
+	c.record(0, 0)
+	c.record(1, 0)
+	c.endGeneration()
+	after := c.Rates()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("zero-profit generation changed rates: %v -> %v", before, after)
+		}
+	}
+}
+
+func TestAdaptiveNegativeProgressClamped(t *testing.T) {
+	c := newAdaptiveController(2, 0.8, 0.05, true)
+	c.record(0, -5)
+	c.record(1, 0.3)
+	c.endGeneration()
+	r := c.Rates()
+	if r[1] <= r[0] {
+		t.Fatalf("negative progress should not help operator 0: %v", r)
+	}
+	if math.Abs(ratesSum(c)-0.8) > 1e-9 {
+		t.Fatalf("rates sum = %v", ratesSum(c))
+	}
+}
+
+func TestAdaptiveDisabled(t *testing.T) {
+	c := newAdaptiveController(3, 0.9, 0.05, false)
+	c.record(0, 100)
+	c.endGeneration()
+	for _, r := range c.Rates() {
+		if math.Abs(r-0.3) > 1e-12 {
+			t.Fatalf("frozen controller moved rates: %v", c.Rates())
+		}
+	}
+}
+
+func TestAdaptiveDisableOperator(t *testing.T) {
+	c := newAdaptiveController(3, 0.9, 0.05, true)
+	c.disable(2)
+	r := c.Rates()
+	if r[2] != 0 {
+		t.Fatalf("disabled operator rate = %v", r[2])
+	}
+	if math.Abs(r[0]-0.45) > 1e-12 || math.Abs(r[1]-0.45) > 1e-12 {
+		t.Fatalf("redistribution wrong: %v", r)
+	}
+	// Profit accounting must keep the disabled operator at 0.
+	c.record(0, 1)
+	c.record(1, 0.5)
+	c.record(2, 10) // recorded but operator is disabled
+	c.endGeneration()
+	if c.Rates()[2] != 0 {
+		t.Fatal("disabled operator resurrected")
+	}
+	if math.Abs(ratesSum(c)-0.9) > 1e-9 {
+		t.Fatalf("sum after disable = %v", ratesSum(c))
+	}
+}
+
+func TestAdaptivePickDistribution(t *testing.T) {
+	c := newAdaptiveController(2, 0.5, 0.05, true)
+	r := rng.New(7)
+	counts := map[int]int{}
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[c.pick(r.Float64())]++
+	}
+	// Rates are 0.25 each; "none" has probability 0.5.
+	if math.Abs(float64(counts[0])/draws-0.25) > 0.01 {
+		t.Fatalf("op 0 picked %v, want ~0.25", float64(counts[0])/draws)
+	}
+	if math.Abs(float64(counts[-1])/draws-0.5) > 0.01 {
+		t.Fatalf("none picked %v, want ~0.5", float64(counts[-1])/draws)
+	}
+}
+
+func TestAdaptiveAccumulatorsResetEachGeneration(t *testing.T) {
+	c := newAdaptiveController(2, 0.8, 0.05, true)
+	c.record(0, 1)
+	c.endGeneration()
+	first := c.Rates()
+	// Recording nothing: the next endGeneration must not reuse stale
+	// progress.
+	c.endGeneration()
+	second := c.Rates()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("stale progress leaked: %v -> %v", first, second)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/combin"
+)
+
+// Config holds the GA parameters. Defaults (applied by withDefaults)
+// reproduce the paper's §5.2.1 experimental settings.
+type Config struct {
+	// MinSize and MaxSize bound haplotype sizes; one subpopulation
+	// exists per size in [MinSize, MaxSize]. Paper defaults: 2 and 6
+	// ("Biologists choose 6 for this size as a first experiment").
+	MinSize, MaxSize int
+
+	// PopulationSize is the total number of individuals across all
+	// subpopulations (paper: 150). Subpopulation capacities grow with
+	// haplotype size following the growth of the per-size search
+	// space (§4.2): capacity_s ∝ log C(numSNPs, s).
+	PopulationSize int
+
+	// PairsPerGeneration is how many parent pairs are processed each
+	// generation (two children per pair). Default: PopulationSize/2.
+	PairsPerGeneration int
+
+	// StagnationLimit stops the run after this many generations
+	// without any subpopulation best improving (paper: 100).
+	StagnationLimit int
+
+	// ImmigrantStagnation triggers the random immigrant mechanism
+	// after this many stagnant generations (paper: 20). Must be
+	// smaller than StagnationLimit to ever fire.
+	ImmigrantStagnation int
+
+	// MaxGenerations is a hard safety cap (default 100000).
+	MaxGenerations int
+
+	// GlobalMutationRate is the total probability that a child
+	// undergoes some mutation (paper: 0.9); the adaptive controller
+	// splits it across the three operators.
+	GlobalMutationRate float64
+
+	// GlobalCrossoverRate is the total probability that a selected
+	// pair undergoes some crossover (default 0.8); the adaptive
+	// controller splits it across the two operators.
+	GlobalCrossoverRate float64
+
+	// MinOperatorRate is the floor δ every operator keeps regardless
+	// of profit (default 0.05), so no operator starves permanently.
+	MinOperatorRate float64
+
+	// SNPMutationProbes is ν, the number of parallel SNP-replacement
+	// probes evaluated per SNP mutation, of which the best is kept
+	// (§4.3.1 "we use this mutation several times in parallel and
+	// keep the best"; default 4).
+	SNPMutationProbes int
+
+	// TournamentSize controls parent selection pressure (default 2).
+	TournamentSize int
+
+	// Seed drives all GA randomness; runs are fully deterministic
+	// given (Seed, Config, evaluator).
+	Seed uint64
+
+	// Constraint, when non-nil, rejects candidate haplotypes before
+	// evaluation (the paper's §2.3 pairwise feasibility conditions).
+	Constraint func(sites []int) bool
+
+	// Ablation switches (§5.2 tested the GA "without and with" each
+	// advanced mechanism).
+	DisableAdaptiveRates     bool
+	DisableRandomImmigrants  bool
+	DisableSizeMutations     bool // no reduction/augmentation mutation
+	DisableInterPopCrossover bool
+
+	// OnGeneration, when non-nil, receives a trace entry after every
+	// generation (used by the experiment harness to plot adaptive
+	// rate trajectories and convergence).
+	OnGeneration func(TraceEntry)
+}
+
+// withDefaults fills unset fields with the paper's values.
+func (c Config) withDefaults() Config {
+	if c.MinSize == 0 {
+		c.MinSize = 2
+	}
+	if c.MaxSize == 0 {
+		c.MaxSize = 6
+	}
+	if c.PopulationSize == 0 {
+		c.PopulationSize = 150
+	}
+	if c.PairsPerGeneration == 0 {
+		c.PairsPerGeneration = c.PopulationSize / 2
+	}
+	if c.StagnationLimit == 0 {
+		c.StagnationLimit = 100
+	}
+	if c.ImmigrantStagnation == 0 {
+		c.ImmigrantStagnation = 20
+	}
+	if c.MaxGenerations == 0 {
+		c.MaxGenerations = 100000
+	}
+	if c.GlobalMutationRate == 0 {
+		c.GlobalMutationRate = 0.9
+	}
+	if c.GlobalCrossoverRate == 0 {
+		c.GlobalCrossoverRate = 0.8
+	}
+	if c.MinOperatorRate == 0 {
+		c.MinOperatorRate = 0.05
+	}
+	if c.SNPMutationProbes == 0 {
+		c.SNPMutationProbes = 4
+	}
+	if c.TournamentSize == 0 {
+		c.TournamentSize = 2
+	}
+	return c
+}
+
+// validate checks the configuration against the problem size.
+func (c Config) validate(numSNPs int) error {
+	if numSNPs < 2 {
+		return fmt.Errorf("core: need at least 2 SNPs, have %d", numSNPs)
+	}
+	if c.MinSize < 1 {
+		return fmt.Errorf("core: MinSize = %d", c.MinSize)
+	}
+	if c.MaxSize < c.MinSize {
+		return fmt.Errorf("core: MaxSize %d < MinSize %d", c.MaxSize, c.MinSize)
+	}
+	if c.MaxSize > numSNPs {
+		return fmt.Errorf("core: MaxSize %d exceeds SNP count %d", c.MaxSize, numSNPs)
+	}
+	numSizes := c.MaxSize - c.MinSize + 1
+	if c.PopulationSize < 2*numSizes {
+		return fmt.Errorf("core: PopulationSize %d too small for %d subpopulations", c.PopulationSize, numSizes)
+	}
+	if c.GlobalMutationRate < 0 || c.GlobalMutationRate > 1 {
+		return fmt.Errorf("core: GlobalMutationRate %v out of [0,1]", c.GlobalMutationRate)
+	}
+	if c.GlobalCrossoverRate < 0 || c.GlobalCrossoverRate > 1 {
+		return fmt.Errorf("core: GlobalCrossoverRate %v out of [0,1]", c.GlobalCrossoverRate)
+	}
+	if c.MinOperatorRate < 0 || 3*c.MinOperatorRate > c.GlobalMutationRate && c.GlobalMutationRate > 0 {
+		return fmt.Errorf("core: MinOperatorRate %v incompatible with GlobalMutationRate %v", c.MinOperatorRate, c.GlobalMutationRate)
+	}
+	if c.PairsPerGeneration < 1 {
+		return fmt.Errorf("core: PairsPerGeneration = %d", c.PairsPerGeneration)
+	}
+	if c.SNPMutationProbes < 1 {
+		return fmt.Errorf("core: SNPMutationProbes = %d", c.SNPMutationProbes)
+	}
+	if c.TournamentSize < 1 {
+		return fmt.Errorf("core: TournamentSize = %d", c.TournamentSize)
+	}
+	return nil
+}
+
+// capacities splits PopulationSize across subpopulations
+// proportionally to the logarithm of the per-size search space, with a
+// floor of 2 individuals per subpopulation. Larger sizes get larger
+// subpopulations, as §4.2 prescribes.
+func (c Config) capacities(numSNPs int) map[int]int {
+	sizes := make([]int, 0, c.MaxSize-c.MinSize+1)
+	weights := make([]float64, 0, cap(sizes))
+	totalW := 0.0
+	for s := c.MinSize; s <= c.MaxSize; s++ {
+		sizes = append(sizes, s)
+		w := combin.LogBinomial(numSNPs, s)
+		if w < 1 {
+			w = 1
+		}
+		weights = append(weights, w)
+		totalW += w
+	}
+	caps := make(map[int]int, len(sizes))
+	assigned := 0
+	for i, s := range sizes {
+		n := int(math.Floor(float64(c.PopulationSize) * weights[i] / totalW))
+		if n < 2 {
+			n = 2
+		}
+		caps[s] = n
+		assigned += n
+	}
+	// Distribute the remainder (or remove excess) starting from the
+	// largest size, which has the largest search space.
+	for assigned != c.PopulationSize {
+		for i := len(sizes) - 1; i >= 0 && assigned != c.PopulationSize; i-- {
+			s := sizes[i]
+			if assigned < c.PopulationSize {
+				caps[s]++
+				assigned++
+			} else if caps[s] > 2 {
+				caps[s]--
+				assigned--
+			}
+		}
+		// All at floor but still over budget: accept the floor total.
+		if assigned > c.PopulationSize {
+			atFloor := true
+			for _, s := range sizes {
+				if caps[s] > 2 {
+					atFloor = false
+					break
+				}
+			}
+			if atFloor {
+				break
+			}
+		}
+	}
+	return caps
+}

@@ -1,0 +1,580 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fitness"
+	"repro/internal/rng"
+)
+
+// TraceEntry is the per-generation snapshot delivered to
+// Config.OnGeneration.
+type TraceEntry struct {
+	Generation  int
+	Evaluations int64
+	// BestBySize maps haplotype size to the current best fitness.
+	BestBySize map[int]float64
+	// MutationRates are the current adaptive rates of
+	// (snp, reduction, augmentation).
+	MutationRates []float64
+	// CrossoverRates are the current adaptive rates of (intra, inter).
+	CrossoverRates []float64
+	// Stagnation is the number of generations since any
+	// subpopulation best improved.
+	Stagnation int
+	// Immigrants is the number of random immigrants injected at the
+	// end of this generation (0 when the mechanism did not fire).
+	Immigrants int
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	// BestBySize maps each haplotype size to the best haplotype its
+	// subpopulation found. Fitness values of different sizes are not
+	// comparable (§4.2), so no single global best is declared.
+	BestBySize map[int]*Haplotype
+	// EvalsAtBest maps each size to the total evaluation count at
+	// the moment its best haplotype was first found — the paper's
+	// Table 2 cost metric.
+	EvalsAtBest map[int]int64
+	// TotalEvaluations counts every fitness evaluation of the run.
+	TotalEvaluations int64
+	// Generations is the number of generations executed.
+	Generations int
+	// Converged is true when the run stopped by the stagnation rule
+	// rather than by the MaxGenerations safety cap.
+	Converged bool
+	// MutationRates and CrossoverRates are the final adaptive rates.
+	MutationRates  []float64
+	CrossoverRates []float64
+	// Immigrants is the total number of random immigrants injected.
+	Immigrants int64
+}
+
+// GA is the multipopulation adaptive genetic algorithm. Construct
+// with New, run once with Run.
+type GA struct {
+	cfg     Config
+	numSNPs int
+	eval    fitness.Evaluator
+	r       *rng.RNG
+
+	sizes []int
+	subs  map[int]*subpop
+
+	mut *adaptiveController
+	xov *adaptiveController
+
+	evals       int64
+	evalsAtBest map[int]int64
+	generation  int
+	stagnation  int
+	riCounter   int
+	immigrants  int64
+}
+
+// New validates the configuration and builds a GA over numSNPs
+// markers, scoring haplotypes with eval.
+func New(eval fitness.Evaluator, numSNPs int, cfg Config) (*GA, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(numSNPs); err != nil {
+		return nil, err
+	}
+	if eval == nil {
+		return nil, fmt.Errorf("core: nil evaluator")
+	}
+	g := &GA{
+		cfg:         cfg,
+		numSNPs:     numSNPs,
+		eval:        eval,
+		r:           rng.New(cfg.Seed),
+		subs:        make(map[int]*subpop),
+		evalsAtBest: make(map[int]int64),
+	}
+	caps := cfg.capacities(numSNPs)
+	for s := cfg.MinSize; s <= cfg.MaxSize; s++ {
+		g.sizes = append(g.sizes, s)
+		g.subs[s] = newSubpop(s, caps[s])
+	}
+	g.mut = newAdaptiveController(int(numMutOps), cfg.GlobalMutationRate, cfg.MinOperatorRate, !cfg.DisableAdaptiveRates)
+	if cfg.DisableSizeMutations {
+		g.mut.disable(int(MutReduction))
+		g.mut.disable(int(MutAugmentation))
+	}
+	g.xov = newAdaptiveController(int(numXOps), cfg.GlobalCrossoverRate, cfg.MinOperatorRate, !cfg.DisableAdaptiveRates)
+	if cfg.DisableInterPopCrossover || len(g.sizes) == 1 {
+		g.xov.disable(int(XInter))
+	}
+	return g, nil
+}
+
+// feasible applies the optional constraint filter.
+func (g *GA) feasible(sites []int) bool {
+	return g.cfg.Constraint == nil || g.cfg.Constraint(sites)
+}
+
+// evaluateBatch scores every unevaluated haplotype in cands through
+// the evaluator, updating the run's evaluation counters. Haplotypes
+// whose evaluation fails stay unevaluated and are dropped by callers.
+func (g *GA) evaluateBatch(cands []*Haplotype) {
+	var batch [][]int
+	var idx []int
+	for i, h := range cands {
+		if h != nil && !h.Evaluated {
+			batch = append(batch, h.Sites)
+			idx = append(idx, i)
+		}
+	}
+	if len(batch) == 0 {
+		return
+	}
+	values, errs := fitness.EvaluateAll(g.eval, batch)
+	for j, i := range idx {
+		g.evals++
+		if errs[j] != nil {
+			continue
+		}
+		cands[i].Fitness = values[j]
+		cands[i].Evaluated = true
+	}
+}
+
+// randomFeasible draws a random feasible size-k haplotype, or nil
+// after maxTries failures.
+func (g *GA) randomFeasible(k, maxTries int) *Haplotype {
+	for t := 0; t < maxTries; t++ {
+		sites := randomSites(g.r, g.numSNPs, k)
+		if g.feasible(sites) {
+			return &Haplotype{Sites: sites}
+		}
+	}
+	return nil
+}
+
+// initialize fills every subpopulation with random unique feasible
+// individuals and evaluates them.
+func (g *GA) initialize() error {
+	var pending []*Haplotype
+	var targets []*subpop
+	for _, s := range g.sizes {
+		sp := g.subs[s]
+		seen := make(map[string]struct{}, sp.capacity)
+		tries := 0
+		for len(seen) < sp.capacity && tries < 200*sp.capacity {
+			tries++
+			h := g.randomFeasible(s, 50)
+			if h == nil {
+				continue
+			}
+			key := h.Key()
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			pending = append(pending, h)
+			targets = append(targets, sp)
+		}
+	}
+	g.evaluateBatch(pending)
+	inserted := 0
+	for i, h := range pending {
+		if h.Evaluated && targets[i].insert(h) {
+			inserted++
+		}
+	}
+	if inserted == 0 {
+		return fmt.Errorf("core: initialization produced no viable individual (constraint too strict or evaluator failing)")
+	}
+	for _, s := range g.sizes {
+		if g.subs[s].best() != nil {
+			g.evalsAtBest[s] = g.evals
+		}
+	}
+	return nil
+}
+
+// lineage tracks one selection->crossover->mutation pipeline for
+// progress accounting.
+type lineage struct {
+	xop      XOp  // crossover operator, valid when crossed
+	crossed  bool // whether a crossover was applied
+	p1, p2   *Haplotype
+	child    *Haplotype
+	mutOp    MutOp // mutation operator, valid when mutated
+	mutated  bool
+	probes   []*Haplotype // SNP-mutation probes or single size-mutant
+	original *Haplotype   // the child before mutation
+}
+
+// pickSubpop chooses a non-empty subpopulation weighted by capacity.
+func (g *GA) pickSubpop(exclude int) *subpop {
+	weights := make([]float64, len(g.sizes))
+	total := 0.0
+	for i, s := range g.sizes {
+		if s == exclude || len(g.subs[s].members) == 0 {
+			continue
+		}
+		weights[i] = float64(g.subs[s].capacity)
+		total += weights[i]
+	}
+	if total == 0 {
+		return nil
+	}
+	return g.subs[g.sizes[g.r.Choice(weights)]]
+}
+
+// Run executes the GA to termination and returns its result.
+func (g *GA) Run() (*Result, error) {
+	if g.generation != 0 {
+		return nil, fmt.Errorf("core: GA already run; create a new one")
+	}
+	if err := g.initialize(); err != nil {
+		return nil, err
+	}
+	converged := false
+	for g.generation = 1; g.generation <= g.cfg.MaxGenerations; g.generation++ {
+		improved := g.step()
+		if improved {
+			g.stagnation = 0
+			g.riCounter = 0
+		} else {
+			g.stagnation++
+			g.riCounter++
+		}
+		injected := 0
+		if !g.cfg.DisableRandomImmigrants && g.riCounter >= g.cfg.ImmigrantStagnation {
+			injected = g.randomImmigrants()
+			g.riCounter = 0
+		}
+		if g.cfg.OnGeneration != nil {
+			g.cfg.OnGeneration(g.traceEntry(injected))
+		}
+		if g.stagnation >= g.cfg.StagnationLimit {
+			converged = true
+			break
+		}
+	}
+
+	res := &Result{
+		BestBySize:       make(map[int]*Haplotype, len(g.sizes)),
+		EvalsAtBest:      make(map[int]int64, len(g.sizes)),
+		TotalEvaluations: g.evals,
+		Generations:      g.generation,
+		Converged:        converged,
+		MutationRates:    g.mut.Rates(),
+		CrossoverRates:   g.xov.Rates(),
+		Immigrants:       g.immigrants,
+	}
+	if res.Generations > g.cfg.MaxGenerations {
+		res.Generations = g.cfg.MaxGenerations
+	}
+	for _, s := range g.sizes {
+		if b := g.subs[s].best(); b != nil {
+			res.BestBySize[s] = b.Clone()
+			res.EvalsAtBest[s] = g.evalsAtBest[s]
+		}
+	}
+	return res, nil
+}
+
+// step runs one synchronous generation and reports whether any
+// subpopulation best improved.
+func (g *GA) step() bool {
+	lineages := g.breed()
+
+	// Phase A: evaluate crossover children (clones are pre-evaluated).
+	var childBatch []*Haplotype
+	for _, ln := range lineages {
+		childBatch = append(childBatch, ln.child)
+	}
+	g.evaluateBatch(childBatch)
+
+	// Crossover progress accounting (needs child fitnesses).
+	g.recordCrossoverProgress(lineages)
+
+	// Phase B: mutation candidates.
+	g.planMutations(lineages)
+	var probeBatch []*Haplotype
+	for _, ln := range lineages {
+		probeBatch = append(probeBatch, ln.probes...)
+	}
+	g.evaluateBatch(probeBatch)
+
+	// Resolve mutations, record progress, gather final individuals.
+	finals := g.resolveMutations(lineages)
+
+	// Replacement with best-improvement tracking.
+	improved := false
+	for _, h := range finals {
+		if h == nil || !h.Evaluated {
+			continue
+		}
+		sp, ok := g.subs[h.Size()]
+		if !ok {
+			continue
+		}
+		prevBest := sp.best()
+		if sp.insert(h) {
+			if prevBest == nil || h.Fitness > prevBest.Fitness {
+				g.evalsAtBest[sp.size] = g.evals
+				improved = true
+			}
+		}
+	}
+
+	g.mut.endGeneration()
+	g.xov.endGeneration()
+	return improved
+}
+
+// breed selects parents and applies (or skips) crossover for every
+// pair of the generation.
+func (g *GA) breed() []*lineage {
+	var out []*lineage
+	for p := 0; p < g.cfg.PairsPerGeneration; p++ {
+		op := g.xov.pick(g.r.Float64())
+		switch {
+		case op == int(XIntra):
+			sp := g.pickSubpop(-1)
+			if sp == nil {
+				continue
+			}
+			p1 := sp.tournament(g.r, g.cfg.TournamentSize)
+			p2 := sp.tournament(g.r, g.cfg.TournamentSize)
+			c1, c2 := crossoverUniform(g.r, p1.Sites, p2.Sites, g.numSNPs)
+			for _, cs := range [][]int{c1, c2} {
+				if !g.feasible(cs) {
+					continue
+				}
+				out = append(out, &lineage{
+					xop: XIntra, crossed: true, p1: p1, p2: p2,
+					child: &Haplotype{Sites: cs},
+				})
+			}
+		case op == int(XInter) && len(g.sizes) > 1:
+			spA := g.pickSubpop(-1)
+			if spA == nil {
+				continue
+			}
+			spB := g.pickSubpop(spA.size)
+			if spB == nil {
+				continue
+			}
+			p1 := spA.tournament(g.r, g.cfg.TournamentSize)
+			p2 := spB.tournament(g.r, g.cfg.TournamentSize)
+			c1, c2 := crossoverUniform(g.r, p1.Sites, p2.Sites, g.numSNPs)
+			for _, cs := range [][]int{c1, c2} {
+				if !g.feasible(cs) {
+					continue
+				}
+				out = append(out, &lineage{
+					xop: XInter, crossed: true, p1: p1, p2: p2,
+					child: &Haplotype{Sites: cs},
+				})
+			}
+		default:
+			// No crossover: two clones proceed to mutation.
+			for i := 0; i < 2; i++ {
+				sp := g.pickSubpop(-1)
+				if sp == nil {
+					continue
+				}
+				parent := sp.tournament(g.r, g.cfg.TournamentSize)
+				out = append(out, &lineage{p1: parent, child: parent.Clone()})
+			}
+		}
+	}
+	return out
+}
+
+// recordCrossoverProgress implements §4.3.2: intra-population progress
+// compares the mean normalized fitness of children and parents;
+// inter-population progress compares each child to its same-size
+// parent.
+func (g *GA) recordCrossoverProgress(lineages []*lineage) {
+	// Group the two children of one crossover application? Each
+	// lineage carries one child; progress is recorded per child with
+	// the parent mean as baseline, which averages to the same profit.
+	for _, ln := range lineages {
+		if !ln.crossed || !ln.child.Evaluated {
+			continue
+		}
+		switch ln.xop {
+		case XIntra:
+			sp := g.subs[ln.child.Size()]
+			if sp == nil {
+				continue
+			}
+			parentMean := (sp.normalized(ln.p1.Fitness) + sp.normalized(ln.p2.Fitness)) / 2
+			g.xov.record(int(XIntra), sp.normalized(ln.child.Fitness)-parentMean)
+		case XInter:
+			// Find the parent whose size matches the child.
+			var ref *Haplotype
+			if ln.p1.Size() == ln.child.Size() {
+				ref = ln.p1
+			} else if ln.p2.Size() == ln.child.Size() {
+				ref = ln.p2
+			}
+			sp := g.subs[ln.child.Size()]
+			if ref == nil || sp == nil {
+				g.xov.record(int(XInter), 0)
+				continue
+			}
+			g.xov.record(int(XInter), sp.normalized(ln.child.Fitness)-sp.normalized(ref.Fitness))
+		}
+	}
+}
+
+// planMutations decides, for every evaluated child, whether and how it
+// mutates, and builds the probe candidates to evaluate.
+func (g *GA) planMutations(lineages []*lineage) {
+	for _, ln := range lineages {
+		if !ln.child.Evaluated {
+			continue
+		}
+		op := g.mut.pick(g.r.Float64())
+		if op < 0 {
+			continue
+		}
+		mop := MutOp(op)
+		size := ln.child.Size()
+		// Boundary fallbacks: reduction at MinSize and augmentation
+		// at MaxSize degrade to the SNP mutation (size must stay
+		// within the subpopulation range).
+		if mop == MutReduction && size <= g.cfg.MinSize {
+			mop = MutSNP
+		}
+		if mop == MutAugmentation && size >= g.cfg.MaxSize {
+			mop = MutSNP
+		}
+		ln.mutOp = mop
+		ln.mutated = true
+		ln.original = ln.child
+		switch mop {
+		case MutSNP:
+			for i := 0; i < g.cfg.SNPMutationProbes; i++ {
+				sites := mutateSNPOnce(g.r, ln.child.Sites, g.numSNPs)
+				if g.feasible(sites) {
+					ln.probes = append(ln.probes, &Haplotype{Sites: sites})
+				}
+			}
+		case MutReduction:
+			sites := mutateReduction(g.r, ln.child.Sites)
+			if g.feasible(sites) {
+				ln.probes = append(ln.probes, &Haplotype{Sites: sites})
+			}
+		case MutAugmentation:
+			sites := mutateAugmentation(g.r, ln.child.Sites, g.numSNPs)
+			if g.feasible(sites) {
+				ln.probes = append(ln.probes, &Haplotype{Sites: sites})
+			}
+		}
+		if len(ln.probes) == 0 {
+			ln.mutated = false // all candidates infeasible
+		}
+	}
+}
+
+// resolveMutations picks each lineage's final individual, records
+// mutation progress (§4.3.1), and returns the individuals to insert.
+func (g *GA) resolveMutations(lineages []*lineage) []*Haplotype {
+	finals := make([]*Haplotype, 0, len(lineages))
+	for _, ln := range lineages {
+		if !ln.child.Evaluated {
+			continue
+		}
+		if !ln.mutated {
+			finals = append(finals, ln.child)
+			continue
+		}
+		var bestProbe *Haplotype
+		for _, pr := range ln.probes {
+			if !pr.Evaluated {
+				continue
+			}
+			if bestProbe == nil || pr.Fitness > bestProbe.Fitness {
+				bestProbe = pr
+			}
+		}
+		if bestProbe == nil {
+			finals = append(finals, ln.child)
+			continue
+		}
+		// Normalized progress across (possibly different) sizes.
+		spOrig := g.subs[ln.original.Size()]
+		spMut := g.subs[bestProbe.Size()]
+		if spOrig != nil && spMut != nil {
+			g.mut.record(int(ln.mutOp),
+				spMut.normalized(bestProbe.Fitness)-spOrig.normalized(ln.original.Fitness))
+		}
+		// The mutated individual replaces the child; the child also
+		// remains a candidate (it was evaluated and may beat the
+		// subpopulation worst) when the mutation changed its size.
+		finals = append(finals, bestProbe)
+		if bestProbe.Size() != ln.child.Size() {
+			finals = append(finals, ln.child)
+		}
+	}
+	return finals
+}
+
+// randomImmigrants replaces every member scoring below its
+// subpopulation mean with fresh random individuals (§4.4). It returns
+// the number of immigrants actually inserted.
+func (g *GA) randomImmigrants() int {
+	injected := 0
+	var pending []*Haplotype
+	var targets []*subpop
+	for _, s := range g.sizes {
+		sp := g.subs[s]
+		doomed := sp.belowMean()
+		for _, h := range doomed {
+			sp.remove(h)
+		}
+		for i := 0; i < len(doomed); i++ {
+			h := g.randomFeasible(s, 50)
+			if h == nil {
+				continue
+			}
+			if sp.contains(h) {
+				continue
+			}
+			pending = append(pending, h)
+			targets = append(targets, sp)
+		}
+	}
+	g.evaluateBatch(pending)
+	for i, h := range pending {
+		if !h.Evaluated {
+			continue
+		}
+		sp := targets[i]
+		prevBest := sp.best()
+		if sp.insert(h) {
+			injected++
+			if prevBest == nil || h.Fitness > prevBest.Fitness {
+				g.evalsAtBest[sp.size] = g.evals
+			}
+		}
+	}
+	g.immigrants += int64(injected)
+	return injected
+}
+
+func (g *GA) traceEntry(immigrants int) TraceEntry {
+	best := make(map[int]float64, len(g.sizes))
+	for _, s := range g.sizes {
+		if b := g.subs[s].best(); b != nil {
+			best[s] = b.Fitness
+		}
+	}
+	return TraceEntry{
+		Generation:     g.generation,
+		Evaluations:    g.evals,
+		BestBySize:     best,
+		MutationRates:  g.mut.Rates(),
+		CrossoverRates: g.xov.Rates(),
+		Stagnation:     g.stagnation,
+		Immigrants:     immigrants,
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import "repro/internal/rng"
+
+// MutOp identifies one of the three mutation operators (§4.3.1).
+type MutOp int
+
+// The paper's three mutations.
+const (
+	MutSNP          MutOp = iota // replace one SNP by a random other
+	MutReduction                 // remove one SNP (size decreases)
+	MutAugmentation              // add one SNP (size increases)
+	numMutOps
+)
+
+// String names the operator.
+func (m MutOp) String() string {
+	switch m {
+	case MutSNP:
+		return "snp"
+	case MutReduction:
+		return "reduction"
+	case MutAugmentation:
+		return "augmentation"
+	default:
+		return "unknown-mutation"
+	}
+}
+
+// XOp identifies one of the two crossover operators (§4.3.2).
+type XOp int
+
+// The paper's two crossovers.
+const (
+	XIntra XOp = iota // parents from the same subpopulation
+	XInter            // parents from different subpopulations
+	numXOps
+)
+
+// String names the operator.
+func (x XOp) String() string {
+	switch x {
+	case XIntra:
+		return "intra"
+	case XInter:
+		return "inter"
+	default:
+		return "unknown-crossover"
+	}
+}
+
+// randomSites draws k distinct SNP columns, sorted ascending.
+func randomSites(r *rng.RNG, numSNPs, k int) []int {
+	s := r.Sample(numSNPs, k)
+	sortInts(s)
+	return s
+}
+
+func sortInts(s []int) {
+	// Insertion sort: haplotypes have at most a handful of sites.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// mutateSNPOnce replaces one random site with a random SNP not in the
+// haplotype, returning new sorted sites.
+func mutateSNPOnce(r *rng.RNG, sites []int, numSNPs int) []int {
+	out := append([]int(nil), sites...)
+	pos := r.Intn(len(out))
+	for {
+		candidate := r.Intn(numSNPs)
+		if !containsInt(out, candidate) {
+			out[pos] = candidate
+			break
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+// mutateReduction removes one random site. Caller guarantees
+// len(sites) > 1.
+func mutateReduction(r *rng.RNG, sites []int) []int {
+	pos := r.Intn(len(sites))
+	out := make([]int, 0, len(sites)-1)
+	out = append(out, sites[:pos]...)
+	out = append(out, sites[pos+1:]...)
+	return out
+}
+
+// mutateAugmentation adds one random SNP not already present. Caller
+// guarantees len(sites) < numSNPs.
+func mutateAugmentation(r *rng.RNG, sites []int, numSNPs int) []int {
+	out := append([]int(nil), sites...)
+	for {
+		candidate := r.Intn(numSNPs)
+		if !containsInt(out, candidate) {
+			out = insertSorted(out, candidate)
+			return out
+		}
+	}
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// crossoverUniform implements the paper's uniform crossover on the two
+// parents' SNP strings: aligned positions are shuffled between the
+// children, the longer parent's tail stays with the same-size child,
+// and children are repaired to hold distinct sorted sites of the
+// parents' sizes (duplicates are replaced first from the parents'
+// combined pool, then randomly).
+//
+// For intra-population crossover the parents have equal size and both
+// children inherit it; for inter-population crossover one child of
+// each parent's size is produced (§4.3.2).
+func crossoverUniform(r *rng.RNG, p1, p2 []int, numSNPs int) (c1, c2 []int) {
+	if len(p1) > len(p2) {
+		p1, p2 = p2, p1
+	}
+	k1, k2 := len(p1), len(p2)
+	c1 = make([]int, 0, k1)
+	c2 = make([]int, 0, k2)
+	for i := 0; i < k1; i++ {
+		if r.Bool(0.5) {
+			c1 = append(c1, p1[i])
+			c2 = append(c2, p2[i])
+		} else {
+			c1 = append(c1, p2[i])
+			c2 = append(c2, p1[i])
+		}
+	}
+	c2 = append(c2, p2[k1:]...)
+	pool := append(append([]int(nil), p1...), p2...)
+	c1 = repairChild(r, c1, pool, numSNPs)
+	c2 = repairChild(r, c2, pool, numSNPs)
+	return c1, c2
+}
+
+// repairChild removes duplicate sites, refilling from the parent pool
+// and then randomly until the child regains its intended size; the
+// result is sorted.
+func repairChild(r *rng.RNG, child, pool []int, numSNPs int) []int {
+	want := len(child)
+	seen := make(map[int]struct{}, want)
+	out := child[:0]
+	for _, s := range child {
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		out = append(out, s)
+	}
+	// Refill from the parents' pool in random order.
+	if len(out) < want {
+		perm := r.Perm(len(pool))
+		for _, pi := range perm {
+			if len(out) == want {
+				break
+			}
+			s := pool[pi]
+			if _, dup := seen[s]; dup {
+				continue
+			}
+			seen[s] = struct{}{}
+			out = append(out, s)
+		}
+	}
+	// Last resort: random new SNPs.
+	for len(out) < want {
+		s := r.Intn(numSNPs)
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		out = append(out, s)
+	}
+	sortInts(out)
+	return out
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func sortedUnique(s []int, n int) bool {
+	prev := -1
+	for _, v := range s {
+		if v <= prev || v < 0 || v >= n {
+			return false
+		}
+		prev = v
+	}
+	return true
+}
+
+func TestMutateSNPOnceProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(40) + 5
+		k := r.Intn(min(4, n-1)) + 1
+		sites := randomSites(r, n, k)
+		out := mutateSNPOnce(r, sites, n)
+		if len(out) != k || !sortedUnique(out, n) {
+			return false
+		}
+		// The input must be unchanged and the output must differ.
+		same := true
+		for i := range sites {
+			if out[i] != sites[i] {
+				same = false
+			}
+		}
+		return !same || k == n // differs unless no alternative exists
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutateReduction(t *testing.T) {
+	r := rng.New(1)
+	sites := []int{2, 5, 9, 14}
+	out := mutateReduction(r, sites)
+	if len(out) != 3 || !sortedUnique(out, 100) {
+		t.Fatalf("reduction output %v", out)
+	}
+	// Every output element must come from the input.
+	for _, v := range out {
+		if !containsInt(sites, v) {
+			t.Fatalf("reduction invented site %d", v)
+		}
+	}
+	if len(sites) != 4 {
+		t.Fatal("reduction mutated its input")
+	}
+}
+
+func TestMutateAugmentation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(30) + 4
+		k := r.Intn(min(5, n-1)) + 1
+		sites := randomSites(r, n, k)
+		out := mutateAugmentation(r, sites, n)
+		if len(out) != k+1 || !sortedUnique(out, n) {
+			return false
+		}
+		// All original sites preserved.
+		for _, v := range sites {
+			if !containsInt(out, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossoverUniformIntraSizes(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(40) + 8
+		k := r.Intn(5) + 2
+		p1 := randomSites(r, n, k)
+		p2 := randomSites(r, n, k)
+		c1, c2 := crossoverUniform(r, p1, p2, n)
+		return len(c1) == k && len(c2) == k &&
+			sortedUnique(c1, n) && sortedUnique(c2, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossoverUniformInterSizes(t *testing.T) {
+	// One child of each parent's size (§4.3.2).
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(40) + 10
+		k1 := r.Intn(3) + 2
+		k2 := k1 + r.Intn(3) + 1
+		p1 := randomSites(r, n, k1)
+		p2 := randomSites(r, n, k2)
+		c1, c2 := crossoverUniform(r, p1, p2, n)
+		return len(c1) == k1 && len(c2) == k2 &&
+			sortedUnique(c1, n) && sortedUnique(c2, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossoverMixesParents(t *testing.T) {
+	// Over many trials, children must inherit sites from both parents.
+	r := rng.New(3)
+	p1 := []int{0, 1, 2}
+	p2 := []int{10, 11, 12}
+	fromP2 := 0
+	for i := 0; i < 100; i++ {
+		c1, _ := crossoverUniform(r, p1, p2, 20)
+		for _, v := range c1 {
+			if v >= 10 {
+				fromP2++
+			}
+		}
+	}
+	if fromP2 == 0 || fromP2 == 300 {
+		t.Fatalf("crossover never mixes: %d of 300 sites from p2", fromP2)
+	}
+}
+
+func TestCrossoverIdenticalParents(t *testing.T) {
+	r := rng.New(4)
+	p := []int{3, 7, 9}
+	c1, c2 := crossoverUniform(r, p, p, 20)
+	for i := range p {
+		if c1[i] != p[i] || c2[i] != p[i] {
+			t.Fatalf("identical parents should clone: %v %v", c1, c2)
+		}
+	}
+}
+
+func TestCrossoverOverlappingParentsRepairs(t *testing.T) {
+	// Heavy overlap forces the duplicate-repair path.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		p1 := []int{1, 5, 9}
+		p2 := []int{5, 9, 13}
+		c1, c2 := crossoverUniform(r, p1, p2, 20)
+		return len(c1) == 3 && len(c2) == 3 &&
+			sortedUnique(c1, 20) && sortedUnique(c2, 20)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairChildFillsRandomWhenPoolExhausted(t *testing.T) {
+	r := rng.New(6)
+	// Child of size 3 with duplicates; pool only has the same element.
+	child := []int{4, 4, 4}
+	out := repairChild(r, child, []int{4}, 10)
+	if len(out) != 3 || !sortedUnique(out, 10) {
+		t.Fatalf("repair failed: %v", out)
+	}
+}
+
+func TestOperatorNames(t *testing.T) {
+	if MutSNP.String() != "snp" || MutReduction.String() != "reduction" ||
+		MutAugmentation.String() != "augmentation" {
+		t.Fatal("mutation names wrong")
+	}
+	if XIntra.String() != "intra" || XInter.String() != "inter" {
+		t.Fatal("crossover names wrong")
+	}
+	if MutOp(99).String() == "" || XOp(99).String() == "" {
+		t.Fatal("unknown ops should still name themselves")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

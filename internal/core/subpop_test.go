@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSubpopInsertOrdering(t *testing.T) {
+	sp := newSubpop(2, 5)
+	for _, f := range []float64{3, 1, 4, 1.5, 9} {
+		h := NewHaplotype([]int{int(f * 10), int(f*10) + 1}, f)
+		if !sp.insert(h) {
+			t.Fatalf("insert of %v failed", f)
+		}
+	}
+	if sp.best().Fitness != 9 || sp.worst().Fitness != 1 {
+		t.Fatalf("best/worst = %v/%v", sp.best().Fitness, sp.worst().Fitness)
+	}
+	for i := 1; i < len(sp.members); i++ {
+		if sp.members[i-1].Fitness < sp.members[i].Fitness {
+			t.Fatal("members not sorted descending")
+		}
+	}
+}
+
+func TestSubpopRejectsDuplicates(t *testing.T) {
+	sp := newSubpop(2, 5)
+	a := NewHaplotype([]int{1, 2}, 5)
+	if !sp.insert(a) {
+		t.Fatal("first insert failed")
+	}
+	dup := NewHaplotype([]int{1, 2}, 100)
+	if sp.insert(dup) {
+		t.Fatal("duplicate SNP set inserted")
+	}
+	if sp.best().Fitness != 5 {
+		t.Fatal("duplicate changed the population")
+	}
+}
+
+func TestSubpopCapacityEviction(t *testing.T) {
+	sp := newSubpop(1, 2)
+	sp.insert(NewHaplotype([]int{1}, 1))
+	sp.insert(NewHaplotype([]int{2}, 2))
+	// Worse than the worst: rejected.
+	if sp.insert(NewHaplotype([]int{3}, 0.5)) {
+		t.Fatal("worse-than-worst inserted at capacity")
+	}
+	// Equal to the worst: rejected (strictly better required).
+	if sp.insert(NewHaplotype([]int{4}, 1)) {
+		t.Fatal("equal-to-worst inserted at capacity")
+	}
+	// Better: evicts the worst.
+	if !sp.insert(NewHaplotype([]int{5}, 3)) {
+		t.Fatal("better individual rejected")
+	}
+	if len(sp.members) != 2 || sp.worst().Fitness != 2 {
+		t.Fatalf("eviction wrong: len=%d worst=%v", len(sp.members), sp.worst().Fitness)
+	}
+	// The evicted key is reusable again.
+	if !sp.insert(NewHaplotype([]int{1}, 10)) {
+		t.Fatal("evicted key not reusable")
+	}
+}
+
+func TestSubpopInsertRejectsWrongSizeAndUnevaluated(t *testing.T) {
+	sp := newSubpop(2, 5)
+	if sp.insert(NewHaplotype([]int{1, 2, 3}, 1)) {
+		t.Fatal("wrong-size haplotype inserted")
+	}
+	if sp.insert(&Haplotype{Sites: []int{1, 2}}) {
+		t.Fatal("unevaluated haplotype inserted")
+	}
+}
+
+func TestSubpopNormalized(t *testing.T) {
+	sp := newSubpop(1, 5)
+	sp.insert(NewHaplotype([]int{1}, 10))
+	sp.insert(NewHaplotype([]int{2}, 20))
+	sp.insert(NewHaplotype([]int{3}, 30))
+	if got := sp.normalized(30); got != 1 {
+		t.Fatalf("normalized(best) = %v", got)
+	}
+	if got := sp.normalized(10); got != 0 {
+		t.Fatalf("normalized(worst) = %v", got)
+	}
+	if got := sp.normalized(20); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("normalized(mid) = %v", got)
+	}
+	// Degenerate range.
+	one := newSubpop(1, 2)
+	one.insert(NewHaplotype([]int{1}, 5))
+	if one.normalized(5) != 0 {
+		t.Fatal("degenerate normalization should be 0")
+	}
+}
+
+func TestSubpopMeanAndBelowMean(t *testing.T) {
+	sp := newSubpop(1, 5)
+	for i, f := range []float64{1, 2, 3, 4, 10} {
+		sp.insert(NewHaplotype([]int{i}, f))
+	}
+	if sp.mean() != 4 {
+		t.Fatalf("mean = %v", sp.mean())
+	}
+	below := sp.belowMean()
+	if len(below) != 3 { // 1, 2, 3 are under mean 4
+		t.Fatalf("belowMean returned %d members", len(below))
+	}
+}
+
+func TestSubpopTournamentPrefersFit(t *testing.T) {
+	sp := newSubpop(1, 10)
+	for i := 0; i < 10; i++ {
+		sp.insert(NewHaplotype([]int{i}, float64(i)))
+	}
+	r := rng.New(5)
+	sum := 0.0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		sum += sp.tournament(r, 3).Fitness
+	}
+	// With k=3 over U{0..9}, E[max] ~ 6.98 > uniform mean 4.5.
+	if avg := sum / draws; avg < 6 {
+		t.Fatalf("tournament mean fitness %v, want > 6", avg)
+	}
+	var empty subpop
+	if empty.tournament(r, 2) != nil {
+		t.Fatal("tournament on empty subpop should be nil")
+	}
+}
+
+func TestSubpopRemove(t *testing.T) {
+	sp := newSubpop(1, 5)
+	a := NewHaplotype([]int{1}, 1)
+	b := NewHaplotype([]int{2}, 2)
+	sp.insert(a)
+	sp.insert(b)
+	sp.remove(a)
+	if len(sp.members) != 1 || sp.contains(a) {
+		t.Fatal("remove failed")
+	}
+	// Removing a non-member is a no-op.
+	sp.remove(NewHaplotype([]int{9}, 9))
+	if len(sp.members) != 1 {
+		t.Fatal("removing non-member changed population")
+	}
+	// The key is freed.
+	if !sp.insert(NewHaplotype([]int{1}, 3)) {
+		t.Fatal("key not freed after remove")
+	}
+}

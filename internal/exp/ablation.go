@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/genotype"
+)
+
+// AblationScheme is one mechanism combination of the §5.2 study
+// ("without and with the random immigrant / the reduction and the
+// augmentation mutation / the inter-population crossover").
+type AblationScheme struct {
+	Name  string
+	Apply func(*core.Config)
+}
+
+// DefaultAblationSchemes reproduces the paper's cumulative scheme
+// comparison: start from a plain GA and switch the advanced mechanisms
+// on one by one, ending at the full published method.
+func DefaultAblationSchemes() []AblationScheme {
+	return []AblationScheme{
+		{
+			Name: "plain GA (fixed rates, no size mutations, no inter-pop, no RI)",
+			Apply: func(c *core.Config) {
+				c.DisableAdaptiveRates = true
+				c.DisableSizeMutations = true
+				c.DisableInterPopCrossover = true
+				c.DisableRandomImmigrants = true
+			},
+		},
+		{
+			// Size mutations come before rate adaptation in the
+			// ladder: the Hong/Wang/Chen controller is inert while a
+			// family has a single operator, so adaptivity only means
+			// something once reduction/augmentation exist.
+			Name: "+ reduction/augmentation mutation (fixed rates)",
+			Apply: func(c *core.Config) {
+				c.DisableAdaptiveRates = true
+				c.DisableInterPopCrossover = true
+				c.DisableRandomImmigrants = true
+			},
+		},
+		{
+			Name: "+ adaptive mutation & crossover rates",
+			Apply: func(c *core.Config) {
+				c.DisableInterPopCrossover = true
+				c.DisableRandomImmigrants = true
+			},
+		},
+		{
+			Name: "+ inter-population crossover",
+			Apply: func(c *core.Config) {
+				c.DisableRandomImmigrants = true
+			},
+		},
+		{
+			Name:  "+ random immigrant (full method)",
+			Apply: func(c *core.Config) {},
+		},
+	}
+}
+
+// AblationRow aggregates one scheme over all runs.
+type AblationRow struct {
+	Scheme string
+	// MeanBestBySize is the mean (over runs) of the per-run best
+	// fitness for each size.
+	MeanBestBySize map[int]float64
+	// MeanEvals is the mean total evaluations per run.
+	MeanEvals float64
+	// MeanGenerations is the mean run length.
+	MeanGenerations float64
+}
+
+// Ablation runs Table 2 once per scheme and collects the comparison.
+func Ablation(d *genotype.Dataset, base Table2Params, schemes []AblationScheme) ([]AblationRow, error) {
+	if len(schemes) == 0 {
+		schemes = DefaultAblationSchemes()
+	}
+	var out []AblationRow
+	for _, scheme := range schemes {
+		p := base
+		scheme.Apply(&p.GA)
+		res, err := Table2(d, p)
+		if err != nil {
+			return nil, fmt.Errorf("exp: scheme %q: %w", scheme.Name, err)
+		}
+		row := AblationRow{
+			Scheme:          scheme.Name,
+			MeanBestBySize:  make(map[int]float64, len(res.Rows)),
+			MeanEvals:       res.MeanTotalEvals,
+			MeanGenerations: res.MeanGenerations,
+		}
+		for _, r := range res.Rows {
+			row.MeanBestBySize[r.Size] = r.MeanFitness
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderAblation prints the scheme comparison.
+func RenderAblation(w io.Writer, rows []AblationRow, minSize, maxSize int) error {
+	if _, err := fmt.Fprintln(w, "Mechanism ablation (mean best fitness per size over runs)"); err != nil {
+		return err
+	}
+	headers := []string{"Scheme"}
+	for s := minSize; s <= maxSize; s++ {
+		headers = append(headers, fmt.Sprintf("size %d", s))
+	}
+	headers = append(headers, "mean #eval", "mean gens")
+	var body [][]string
+	for _, row := range rows {
+		cells := []string{row.Scheme}
+		for s := minSize; s <= maxSize; s++ {
+			if v, ok := row.MeanBestBySize[s]; ok {
+				cells = append(cells, fmt.Sprintf("%.2f", v))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		cells = append(cells,
+			fmt.Sprintf("%.0f", row.MeanEvals),
+			fmt.Sprintf("%.1f", row.MeanGenerations))
+		body = append(body, cells)
+	}
+	return renderTable(w, headers, body)
+}

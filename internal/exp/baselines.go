@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/clump"
+	"repro/internal/core"
+	"repro/internal/ehdiall"
+	"repro/internal/fitness"
+	"repro/internal/genotype"
+	"repro/internal/master"
+	"repro/internal/stats"
+)
+
+// BaselinesParams configures the method comparison backing §3's
+// argument: the dedicated GA against the optimization methods the
+// paper weighs and rejects, on a shared evaluation budget.
+type BaselinesParams struct {
+	// Size is the haplotype size every method searches (default 4 —
+	// large enough that enumeration is already expensive).
+	Size int
+	// Budget is the evaluation budget for the budgeted methods
+	// (default 5000, far below exhaustive for size 4 at 51 SNPs).
+	Budget int64
+	// Runs averages the stochastic methods over several seeds
+	// (default 3).
+	Runs int
+	Seed uint64
+	// Slaves sizes the GA's evaluation pool.
+	Slaves int
+	// IncludeExhaustive also runs full enumeration to report the true
+	// optimum (costly; it ignores Budget).
+	IncludeExhaustive bool
+}
+
+// BaselineRow is one method's aggregate outcome.
+type BaselineRow struct {
+	Method string
+	// MeanBest / BestOfRuns summarize the per-run best fitness.
+	MeanBest   float64
+	BestOfRuns float64
+	// MeanEvals is the per-run evaluation count (the shared budget,
+	// except for greedy and exhaustive which set their own).
+	MeanEvals float64
+}
+
+// Baselines runs every method and returns one row each, ordered:
+// random search, hill climber, simulated annealing, tabu search,
+// greedy constructive, plain GA, dedicated GA (+ exhaustive optimum
+// when requested).
+func Baselines(d *genotype.Dataset, p BaselinesParams) ([]BaselineRow, error) {
+	if p.Size == 0 {
+		p.Size = 4
+	}
+	if p.Budget == 0 {
+		p.Budget = 5000
+	}
+	if p.Runs <= 0 {
+		p.Runs = 3
+	}
+	pipe, err := fitness.NewPipeline(d, clump.T1, ehdiall.Config{})
+	if err != nil {
+		return nil, err
+	}
+
+	type runner func(seed uint64) (baseline.Result, error)
+	aggregate := func(name string, fn runner) (BaselineRow, error) {
+		row := BaselineRow{Method: name}
+		var fit, evals stats.Accumulator
+		for run := 0; run < p.Runs; run++ {
+			res, err := fn(p.Seed + uint64(run))
+			if err != nil {
+				return row, fmt.Errorf("exp: %s: %w", name, err)
+			}
+			fit.Add(res.BestFitness)
+			evals.Add(float64(res.Evaluations))
+			if res.BestFitness > row.BestOfRuns {
+				row.BestOfRuns = res.BestFitness
+			}
+		}
+		row.MeanBest = fit.Mean()
+		row.MeanEvals = evals.Mean()
+		return row, nil
+	}
+
+	var rows []BaselineRow
+	methods := []struct {
+		name string
+		fn   runner
+	}{
+		{"random search", func(seed uint64) (baseline.Result, error) {
+			return baseline.RandomSearch(pipe, d.NumSNPs(), p.Size, p.Budget, seed)
+		}},
+		{"hill climber (restarts)", func(seed uint64) (baseline.Result, error) {
+			// Each restart costs ~k*(n-k) evaluations per step; one
+			// restart fits small budgets.
+			return baseline.HillClimber(pipe, d.NumSNPs(), p.Size, 2, seed)
+		}},
+		{"simulated annealing", func(seed uint64) (baseline.Result, error) {
+			return baseline.SimulatedAnnealing(pipe, d.NumSNPs(), p.Size,
+				baseline.SAConfig{Budget: p.Budget, Seed: seed})
+		}},
+		{"tabu search", func(seed uint64) (baseline.Result, error) {
+			return baseline.TabuSearch(pipe, d.NumSNPs(), p.Size,
+				baseline.TabuConfig{Budget: p.Budget, Seed: seed})
+		}},
+		{"greedy constructive (beam 10)", func(seed uint64) (baseline.Result, error) {
+			results, err := baseline.GreedyConstructive(pipe, d.NumSNPs(), p.Size, 10)
+			if err != nil {
+				return baseline.Result{}, err
+			}
+			return results[len(results)-1], nil
+		}},
+		{"plain GA (no mechanisms)", func(seed uint64) (baseline.Result, error) {
+			return baseline.SimpleGA(pipe, d.NumSNPs(), p.Size, 60, seed)
+		}},
+	}
+	for _, m := range methods {
+		row, err := aggregate(m.name, m.fn)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+
+	// The dedicated GA, restricted to the same single size for a fair
+	// comparison, through the master/slave pool.
+	pool, err := master.NewPool(pipe, p.Slaves)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
+	dedicated, err := aggregate("dedicated GA (this paper)", func(seed uint64) (baseline.Result, error) {
+		ga, err := core.New(pool, d.NumSNPs(), core.Config{
+			MinSize: p.Size, MaxSize: p.Size,
+			PopulationSize:      60,
+			PairsPerGeneration:  20,
+			StagnationLimit:     30,
+			ImmigrantStagnation: 10,
+			Seed:                seed,
+		})
+		if err != nil {
+			return baseline.Result{}, err
+		}
+		res, err := ga.Run()
+		if err != nil {
+			return baseline.Result{}, err
+		}
+		best := res.BestBySize[p.Size]
+		if best == nil {
+			return baseline.Result{}, fmt.Errorf("no result")
+		}
+		return baseline.Result{
+			BestSites:   best.Sites,
+			BestFitness: best.Fitness,
+			Evaluations: res.TotalEvaluations,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, dedicated)
+
+	if p.IncludeExhaustive {
+		exact, err := baseline.Exhaustive(pipe, d.NumSNPs(), p.Size)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BaselineRow{
+			Method:     "exhaustive (true optimum)",
+			MeanBest:   exact.BestFitness,
+			BestOfRuns: exact.BestFitness,
+			MeanEvals:  float64(exact.Evaluations),
+		})
+	}
+	return rows, nil
+}
+
+// RenderBaselines prints the method comparison.
+func RenderBaselines(w io.Writer, rows []BaselineRow, p BaselinesParams) error {
+	if p.Size == 0 {
+		p.Size = 4
+	}
+	fmt.Fprintf(w, "Method comparison at haplotype size %d (§3)\n", p.Size)
+	headers := []string{"Method", "Mean best fitness", "Best of runs", "Mean #eval"}
+	var body [][]string
+	for _, row := range rows {
+		body = append(body, []string{
+			row.Method,
+			fmt.Sprintf("%.3f", row.MeanBest),
+			fmt.Sprintf("%.3f", row.BestOfRuns),
+			fmt.Sprintf("%.0f", row.MeanEvals),
+		})
+	}
+	return renderTable(w, headers, body)
+}

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBaselinesComparison(t *testing.T) {
+	d := smallDataset(t, 12)
+	p := BaselinesParams{
+		Size: 3, Budget: 600, Runs: 2, Seed: 5, Slaves: 2,
+		IncludeExhaustive: true,
+	}
+	rows, err := Baselines(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8 methods", len(rows))
+	}
+	byName := map[string]BaselineRow{}
+	for _, r := range rows {
+		byName[r.Method] = r
+		if r.MeanBest <= 0 || r.BestOfRuns < r.MeanBest-1e-9 {
+			t.Fatalf("%s: mean %v, best %v", r.Method, r.MeanBest, r.BestOfRuns)
+		}
+	}
+	exact, ok := byName["exhaustive (true optimum)"]
+	if !ok {
+		t.Fatal("exhaustive row missing")
+	}
+	// Nothing can beat the enumerated optimum.
+	for _, r := range rows {
+		if r.BestOfRuns > exact.MeanBest+1e-9 {
+			t.Fatalf("%s beat the exhaustive optimum: %v > %v",
+				r.Method, r.BestOfRuns, exact.MeanBest)
+		}
+	}
+	// The dedicated GA should at least match random search on mean
+	// best at this budget.
+	ga := byName["dedicated GA (this paper)"]
+	rs := byName["random search"]
+	if ga.MeanBest < rs.MeanBest*0.9 {
+		t.Fatalf("dedicated GA (%v) far below random search (%v)", ga.MeanBest, rs.MeanBest)
+	}
+
+	var buf bytes.Buffer
+	if err := RenderBaselines(&buf, rows, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"tabu search", "dedicated GA", "Mean best fitness"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}

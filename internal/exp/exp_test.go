@@ -1,0 +1,354 @@
+package exp
+
+import (
+	"bytes"
+	"math/big"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/genotype"
+	"repro/internal/popgen"
+)
+
+// smallDataset builds a quick 20-SNP study with a planted 3-SNP
+// signal so experiment tests stay fast.
+func smallDataset(t testing.TB, seed uint64) *genotype.Dataset {
+	t.Helper()
+	cfg := popgen.Config{
+		NumSNPs: 20, NumAffected: 40, NumUnaffected: 40,
+		BlockSize: 5, RiskHaplotypeFreq: 0.3,
+		Disease: popgen.DiseaseModel{
+			CausalSites:     []int{3, 9, 15},
+			RiskAlleles:     []uint8{1, 0, 1},
+			BaseRisk:        0.15,
+			HaplotypeEffect: 0.6,
+			AlleleEffect:    0.05,
+		},
+		Seed: seed,
+	}
+	d, err := popgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// quickGA is a reduced configuration for tests.
+func quickGA() core.Config {
+	return core.Config{
+		MinSize: 2, MaxSize: 3,
+		PopulationSize:      40,
+		PairsPerGeneration:  10,
+		StagnationLimit:     15,
+		ImmigrantStagnation: 6,
+		MaxGenerations:      200,
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1([]int{51, 150, 249}, 2, 6)
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Spot-check against the paper's printed values.
+	if rows[0].Counts[0].Cmp(big.NewInt(1275)) != 0 {
+		t.Fatalf("C(51,2) = %v", rows[0].Counts[0])
+	}
+	if rows[4].Counts[0].Cmp(big.NewInt(18009460)) != 0 {
+		t.Fatalf("C(51,6) = %v", rows[4].Counts[0])
+	}
+	if rows[2].Counts[2].Cmp(big.NewInt(156340626)) != 0 {
+		t.Fatalf("C(249,4) = %v", rows[2].Counts[2])
+	}
+	var buf bytes.Buffer
+	if err := RenderTable1(&buf, []int{51, 150, 249}, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1275") || !strings.Contains(out, "51 SNPs") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	// Large values print in scientific notation like the paper.
+	if !strings.Contains(out, "e+") {
+		t.Fatalf("large counts not in scientific notation:\n%s", out)
+	}
+}
+
+func TestFigure4GrowsWithSize(t *testing.T) {
+	d := smallDataset(t, 1)
+	points, err := Figure4(d, 2, 5, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// The headline claim: evaluation time grows with haplotype size.
+	if points[len(points)-1].MeanTime <= points[0].MeanTime {
+		t.Fatalf("eval time did not grow: %v -> %v",
+			points[0].MeanTime, points[len(points)-1].MeanTime)
+	}
+	var buf bytes.Buffer
+	if err := RenderFigure4(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 4") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFigure4Errors(t *testing.T) {
+	d := smallDataset(t, 1)
+	if _, err := Figure4(d, 2, 3, 0, 1); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+}
+
+func TestTable2EndToEnd(t *testing.T) {
+	d := smallDataset(t, 2)
+	res, err := Table2(d, Table2Params{
+		Runs: 3, Seed: 11, GA: quickGA(), Slaves: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 3 || len(res.Rows) != 2 {
+		t.Fatalf("runs=%d rows=%d", res.Runs, len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row.BestSites) != row.Size {
+			t.Fatalf("size %d row has %d sites", row.Size, len(row.BestSites))
+		}
+		if row.BestFitness < row.MeanFitness-1e-9 {
+			t.Fatalf("best < mean for size %d", row.Size)
+		}
+		if row.Deviation < -1e-9 {
+			t.Fatalf("negative deviation %v", row.Deviation)
+		}
+		if row.MinEvals <= 0 || float64(row.MinEvals) > row.MeanEvals+1e-9 {
+			t.Fatalf("eval stats wrong: min=%d mean=%v", row.MinEvals, row.MeanEvals)
+		}
+		if row.Hits < 1 || row.Hits > 3 {
+			t.Fatalf("hits = %d", row.Hits)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderTable2(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "Best Haplotype") {
+		t.Fatalf("render missing headers:\n%s", out)
+	}
+}
+
+func TestTable2WithReference(t *testing.T) {
+	d := smallDataset(t, 3)
+	// An absurdly high reference forces nonzero deviation and no hits.
+	res, err := Table2(d, Table2Params{
+		Runs: 2, Seed: 5, GA: quickGA(), Slaves: 2,
+		RefBest: map[int]float64{2: 1e9, 3: 1e9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Deviation < 1e8 {
+			t.Fatalf("deviation ignored reference: %v", row.Deviation)
+		}
+		if row.Hits != 0 {
+			t.Fatalf("hits = %d with unreachable reference", row.Hits)
+		}
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	full := SchemeName(core.Config{})
+	if !strings.Contains(full, "Adaptive") || !strings.Contains(full, "Random Immigrant") {
+		t.Fatalf("full scheme name: %s", full)
+	}
+	plain := SchemeName(core.Config{
+		DisableAdaptiveRates: true, DisableRandomImmigrants: true,
+		DisableSizeMutations: true, DisableInterPopCrossover: true,
+	})
+	if strings.Contains(plain, "Adaptive") || strings.Contains(plain, "Immigrant") {
+		t.Fatalf("plain scheme name: %s", plain)
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	d := smallDataset(t, 4)
+	rows, err := Ablation(d, Table2Params{Runs: 2, Seed: 3, GA: quickGA(), Slaves: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d schemes", len(rows))
+	}
+	if !strings.Contains(rows[0].Scheme, "plain") ||
+		!strings.Contains(rows[4].Scheme, "full method") {
+		t.Fatalf("scheme order wrong: %q ... %q", rows[0].Scheme, rows[4].Scheme)
+	}
+	var buf bytes.Buffer
+	if err := RenderAblation(&buf, rows, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "size 2") {
+		t.Fatal("render missing size columns")
+	}
+}
+
+func TestSpeedupParallelGain(t *testing.T) {
+	d := smallDataset(t, 5)
+	points, err := Speedup(d, SpeedupParams{
+		Slaves:        []int{1, 2},
+		BatchSize:     16,
+		Batches:       2,
+		HaplotypeSize: 3,
+		EvalLatency:   3 * time.Millisecond,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	if points[1].Speedup < 1.4 {
+		t.Fatalf("2 slaves speedup = %v, want > 1.4 with latency-dominated work", points[1].Speedup)
+	}
+	var buf bytes.Buffer
+	if err := RenderSpeedup(&buf, points, SpeedupParams{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Speedup") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestSpeedupPVMBackend(t *testing.T) {
+	d := smallDataset(t, 6)
+	points, err := Speedup(d, SpeedupParams{
+		Slaves:         []int{1, 2},
+		BatchSize:      8,
+		Batches:        1,
+		HaplotypeSize:  2,
+		MessageLatency: time.Millisecond,
+		Seed:           2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].Elapsed <= 0 {
+		t.Fatalf("pvm speedup points wrong: %+v", points)
+	}
+}
+
+func TestSpeedupRejectsBadSlaves(t *testing.T) {
+	d := smallDataset(t, 6)
+	if _, err := Speedup(d, SpeedupParams{Slaves: []int{0}}); err == nil {
+		t.Fatal("slave count 0 accepted")
+	}
+}
+
+func TestLandscapeReport(t *testing.T) {
+	d := smallDataset(t, 7)
+	rep, err := Landscape(d, LandscapeParams{MinSize: 2, MaxSize: 3, TopN: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Summaries) != 2 {
+		t.Fatalf("got %d summaries", len(rep.Summaries))
+	}
+	// C(20,2) = 190 and C(20,3) = 1140 haplotypes.
+	if rep.Summaries[0].Count+rep.Summaries[0].Failed != 190 {
+		t.Fatalf("size-2 enumerated %d", rep.Summaries[0].Count)
+	}
+	if rep.Summaries[1].Count+rep.Summaries[1].Failed != 1140 {
+		t.Fatalf("size-3 enumerated %d", rep.Summaries[1].Count)
+	}
+	// §3 finding: fitness ranges grow with size.
+	if !rep.RangesGrow {
+		t.Error("fitness ranges did not grow with size")
+	}
+	var buf bytes.Buffer
+	if err := RenderLandscape(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Landscape study") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestRobustness(t *testing.T) {
+	d := smallDataset(t, 8)
+	res, err := Robustness(d, RobustParams{Runs: 3, Seed: 21, GA: quickGA(), Slaves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 2; s <= 3; s++ {
+		j, ok := res.MeanJaccardBySize[s]
+		if !ok {
+			t.Fatalf("no Jaccard for size %d", s)
+		}
+		if j < 0 || j > 1 {
+			t.Fatalf("Jaccard out of range: %v", j)
+		}
+		if res.BestBySize[s] == nil {
+			t.Fatalf("no best for size %d", s)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderRobustness(&buf, res, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Jaccard") {
+		t.Fatal("render missing column")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want float64
+	}{
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 1},
+		{[]int{1, 2}, []int{3, 4}, 0},
+		{[]int{1, 2, 3}, []int{2, 3, 4}, 0.5},
+		{nil, nil, 1},
+	}
+	for _, c := range cases {
+		if got := jaccard(c.a, c.b); got != c.want {
+			t.Errorf("jaccard(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRenderTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	err := renderTable(&buf, []string{"A", "LongHeader"}, [][]string{
+		{"x", "1"},
+		{"longer", "2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "------") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+}
+
+func TestSitesString(t *testing.T) {
+	if got := sitesString([]int{7, 11, 14}); got != "8 12 15" {
+		t.Fatalf("sitesString = %q", got)
+	}
+	if got := sitesString(nil); got != "" {
+		t.Fatalf("empty sitesString = %q", got)
+	}
+}

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/clump"
+	"repro/internal/ehdiall"
+	"repro/internal/fitness"
+	"repro/internal/genotype"
+	"repro/internal/rng"
+)
+
+// Figure4Point is one haplotype size of the evaluation-time curve.
+type Figure4Point struct {
+	Size    int
+	Samples int
+	// MeanTime is the average wall-clock time of one full
+	// EH-DIALL -> CLUMP evaluation at this size.
+	MeanTime time.Duration
+	// GrowthFactor is MeanTime relative to the previous size (1 for
+	// the first point); the paper's figure shows exponential growth,
+	// i.e. factors consistently above 1.
+	GrowthFactor float64
+}
+
+// Figure4 measures the average evaluation time of random haplotypes
+// of each size in [minSize, maxSize], reproducing the paper's Figure 4
+// on the given dataset.
+func Figure4(d *genotype.Dataset, minSize, maxSize, samples int, seed uint64) ([]Figure4Point, error) {
+	if samples < 1 {
+		return nil, fmt.Errorf("exp: samples = %d", samples)
+	}
+	pipe, err := fitness.NewPipeline(d, clump.T1, ehdiall.Config{})
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(seed)
+	var out []Figure4Point
+	prev := time.Duration(0)
+	for k := minSize; k <= maxSize; k++ {
+		// Pre-draw the haplotypes so RNG time is excluded.
+		sets := make([][]int, samples)
+		for i := range sets {
+			sets[i] = r.Sample(d.NumSNPs(), k)
+			genotype.SortSites(sets[i])
+		}
+		start := time.Now()
+		evaluated := 0
+		for _, sites := range sets {
+			if _, err := pipe.Evaluate(sites); err == nil {
+				evaluated++
+			}
+		}
+		elapsed := time.Since(start)
+		if evaluated == 0 {
+			return nil, fmt.Errorf("exp: no size-%d haplotype could be evaluated", k)
+		}
+		p := Figure4Point{
+			Size:     k,
+			Samples:  evaluated,
+			MeanTime: elapsed / time.Duration(evaluated),
+		}
+		if prev > 0 {
+			p.GrowthFactor = float64(p.MeanTime) / float64(prev)
+		} else {
+			p.GrowthFactor = 1
+		}
+		prev = p.MeanTime
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RenderFigure4 prints the measured curve.
+func RenderFigure4(w io.Writer, points []Figure4Point) error {
+	if _, err := fmt.Fprintln(w, "Figure 4. Average time of an evaluation according to the haplotype size"); err != nil {
+		return err
+	}
+	headers := []string{"Haplotype size", "Mean eval time", "Growth vs previous size"}
+	var body [][]string
+	for _, p := range points {
+		body = append(body, []string{
+			fmt.Sprintf("%d", p.Size),
+			p.MeanTime.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.2fx", p.GrowthFactor),
+		})
+	}
+	return renderTable(w, headers, body)
+}

@@ -1,0 +1,63 @@
+// Package exp is the experiment harness: one runner per table and
+// figure of the paper's evaluation, each returning structured results
+// and rendering them as aligned text tables in the same layout the
+// paper reports. The cmd/ldexp tool and the repository's benchmark
+// suite are thin wrappers around this package.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// renderTable writes an aligned monospace table.
+func renderTable(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(headers)); err != nil {
+		return err
+	}
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sitesString renders 0-based site indices as the paper's 1-based SNP
+// numbers ("8 12 15").
+func sitesString(sites []int) string {
+	parts := make([]string, len(sites))
+	for i, s := range sites {
+		parts[i] = fmt.Sprintf("%d", s+1)
+	}
+	return strings.Join(parts, " ")
+}

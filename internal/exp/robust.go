@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/clump"
+	"repro/internal/core"
+	"repro/internal/ehdiall"
+	"repro/internal/fitness"
+	"repro/internal/genotype"
+	"repro/internal/master"
+	"repro/internal/stats"
+)
+
+// RobustParams configures the §5.2 robustness claim on the larger
+// dataset: "solutions provided are similar from one execution to
+// another".
+type RobustParams struct {
+	Runs   int // independent GA runs (default 5)
+	Seed   uint64
+	GA     core.Config
+	Stat   clump.Statistic
+	Slaves int
+}
+
+// RobustResult reports cross-run solution similarity.
+type RobustResult struct {
+	Runs int
+	// MeanJaccardBySize is the mean pairwise Jaccard similarity of
+	// the best SNP sets across runs, per size; 1 means every run
+	// returned the same haplotype.
+	MeanJaccardBySize map[int]float64
+	// BestBySize is the best haplotype over all runs, per size.
+	BestBySize map[int]*core.Haplotype
+	// FitnessCVBySize is the coefficient of variation of the per-run
+	// best fitness, per size (low = stable quality).
+	FitnessCVBySize map[int]float64
+}
+
+func jaccard(a, b []int) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inA := make(map[int]bool, len(a))
+	for _, v := range a {
+		inA[v] = true
+	}
+	inter := 0
+	for _, v := range b {
+		if inA[v] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Robustness runs the GA repeatedly and measures how similar the
+// reported haplotypes are across executions.
+func Robustness(d *genotype.Dataset, p RobustParams) (*RobustResult, error) {
+	if p.Runs <= 0 {
+		p.Runs = 5
+	}
+	if p.Stat == 0 {
+		p.Stat = clump.T1
+	}
+	pipe, err := fitness.NewPipeline(d, p.Stat, ehdiall.Config{})
+	if err != nil {
+		return nil, err
+	}
+	pool, err := master.NewPool(pipe, p.Slaves)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
+
+	var results []*core.Result
+	for run := 0; run < p.Runs; run++ {
+		cfg := p.GA
+		cfg.Seed = p.Seed + uint64(run)
+		ga, err := core.New(pool, d.NumSNPs(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := ga.Run()
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+
+	out := &RobustResult{
+		Runs:              p.Runs,
+		MeanJaccardBySize: make(map[int]float64),
+		BestBySize:        make(map[int]*core.Haplotype),
+		FitnessCVBySize:   make(map[int]float64),
+	}
+	sizes := map[int]bool{}
+	for _, r := range results {
+		for s := range r.BestBySize {
+			sizes[s] = true
+		}
+	}
+	for s := range sizes {
+		var sets [][]int
+		var fit stats.Accumulator
+		for _, r := range results {
+			if b := r.BestBySize[s]; b != nil {
+				sets = append(sets, b.Sites)
+				fit.Add(b.Fitness)
+				if out.BestBySize[s] == nil || b.Fitness > out.BestBySize[s].Fitness {
+					out.BestBySize[s] = b
+				}
+			}
+		}
+		if len(sets) < 2 {
+			continue
+		}
+		var acc stats.Accumulator
+		for i := 0; i < len(sets); i++ {
+			for j := i + 1; j < len(sets); j++ {
+				acc.Add(jaccard(sets[i], sets[j]))
+			}
+		}
+		out.MeanJaccardBySize[s] = acc.Mean()
+		if fit.Mean() != 0 {
+			out.FitnessCVBySize[s] = fit.StdDev() / fit.Mean()
+		}
+	}
+	return out, nil
+}
+
+// RenderRobustness prints the similarity table.
+func RenderRobustness(w io.Writer, res *RobustResult, minSize, maxSize int) error {
+	fmt.Fprintf(w, "Robustness over %d runs (paper §5.2: solutions similar across executions)\n", res.Runs)
+	headers := []string{"Size", "Best haplotype", "Fitness", "Mean pairwise Jaccard", "Fitness CV"}
+	var body [][]string
+	for s := minSize; s <= maxSize; s++ {
+		b := res.BestBySize[s]
+		if b == nil {
+			continue
+		}
+		body = append(body, []string{
+			fmt.Sprintf("%d", s),
+			sitesString(b.Sites),
+			fmt.Sprintf("%.3f", b.Fitness),
+			fmt.Sprintf("%.3f", res.MeanJaccardBySize[s]),
+			fmt.Sprintf("%.3f", res.FitnessCVBySize[s]),
+		})
+	}
+	return renderTable(w, headers, body)
+}

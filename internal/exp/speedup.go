@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/clump"
+	"repro/internal/ehdiall"
+	"repro/internal/fitness"
+	"repro/internal/genotype"
+	"repro/internal/master"
+	"repro/internal/pvm"
+	"repro/internal/rng"
+)
+
+// SpeedupParams configures the §4.5 master/slave scaling experiment.
+type SpeedupParams struct {
+	// Slaves lists the worker counts to measure (default 1,2,4,8).
+	Slaves []int
+	// BatchSize is the number of individuals per synchronous
+	// generation batch (default 150, one population's worth).
+	BatchSize int
+	// Batches is how many batches to time per point (default 3).
+	Batches int
+	// HaplotypeSize is the size of the evaluated haplotypes
+	// (default 5, an expensive size per Figure 4).
+	HaplotypeSize int
+	// EvalLatency, when positive, adds simulated per-evaluation cost,
+	// emulating the paper's 2004 hardware where size-7 evaluations
+	// took ~200 ms.
+	EvalLatency time.Duration
+	// MessageLatency, when positive, selects the PVM backend with the
+	// given per-message delivery delay; otherwise the goroutine pool
+	// backend is used.
+	MessageLatency time.Duration
+	// Seed drives workload generation.
+	Seed uint64
+}
+
+func (p SpeedupParams) withDefaults() SpeedupParams {
+	if len(p.Slaves) == 0 {
+		p.Slaves = []int{1, 2, 4, 8}
+	}
+	if p.BatchSize == 0 {
+		p.BatchSize = 150
+	}
+	if p.Batches == 0 {
+		p.Batches = 3
+	}
+	if p.HaplotypeSize == 0 {
+		p.HaplotypeSize = 5
+	}
+	return p
+}
+
+// SpeedupPoint is one slave count's measurement.
+type SpeedupPoint struct {
+	Slaves     int
+	Elapsed    time.Duration
+	Speedup    float64 // relative to the 1-slave (or first) point
+	Efficiency float64 // Speedup / Slaves
+}
+
+// Speedup measures synchronous batch evaluation throughput against
+// the number of slaves.
+func Speedup(d *genotype.Dataset, p SpeedupParams) ([]SpeedupPoint, error) {
+	p = p.withDefaults()
+	pipe, err := fitness.NewPipeline(d, clump.T1, ehdiall.Config{})
+	if err != nil {
+		return nil, err
+	}
+	var ev fitness.Evaluator = pipe
+	if p.EvalLatency > 0 {
+		ev = fitness.NewLatency(pipe, p.EvalLatency)
+	}
+	// Fixed workload shared by every point.
+	r := rng.New(p.Seed)
+	batch := make([][]int, p.BatchSize)
+	for i := range batch {
+		batch[i] = r.Sample(d.NumSNPs(), p.HaplotypeSize)
+		genotype.SortSites(batch[i])
+	}
+
+	var out []SpeedupPoint
+	for _, slaves := range p.Slaves {
+		if slaves < 1 {
+			return nil, fmt.Errorf("exp: invalid slave count %d", slaves)
+		}
+		var be fitness.BatchEvaluator
+		var closer func()
+		if p.MessageLatency > 0 {
+			pe, err := master.NewPVMEvaluator(ev, slaves, pvm.WithLatency(p.MessageLatency))
+			if err != nil {
+				return nil, err
+			}
+			be, closer = pe, pe.Close
+		} else {
+			pool, err := master.NewPool(ev, slaves)
+			if err != nil {
+				return nil, err
+			}
+			be, closer = pool, pool.Close
+		}
+		start := time.Now()
+		for b := 0; b < p.Batches; b++ {
+			_, errs := be.EvaluateBatch(batch)
+			for _, e := range errs {
+				if e != nil {
+					closer()
+					return nil, fmt.Errorf("exp: evaluation failed during speedup run: %w", e)
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		closer()
+		out = append(out, SpeedupPoint{Slaves: slaves, Elapsed: elapsed})
+	}
+	base := float64(out[0].Elapsed) * float64(out[0].Slaves)
+	for i := range out {
+		out[i].Speedup = base / float64(out[i].Elapsed)
+		out[i].Efficiency = out[i].Speedup / float64(out[i].Slaves)
+	}
+	return out, nil
+}
+
+// RenderSpeedup prints the scaling table.
+func RenderSpeedup(w io.Writer, points []SpeedupPoint, p SpeedupParams) error {
+	p = p.withDefaults()
+	backend := "goroutine pool"
+	if p.MessageLatency > 0 {
+		backend = fmt.Sprintf("PVM simulation (%s/message)", p.MessageLatency)
+	}
+	fmt.Fprintf(w, "Master/slave speedup — %d x %d size-%d evaluations, backend: %s\n",
+		p.Batches, p.BatchSize, p.HaplotypeSize, backend)
+	headers := []string{"Slaves", "Elapsed", "Speedup", "Efficiency"}
+	var body [][]string
+	for _, pt := range points {
+		body = append(body, []string{
+			fmt.Sprintf("%d", pt.Slaves),
+			pt.Elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2fx", pt.Speedup),
+			fmt.Sprintf("%.0f%%", pt.Efficiency*100),
+		})
+	}
+	return renderTable(w, headers, body)
+}

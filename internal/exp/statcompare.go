@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/clump"
+	"repro/internal/core"
+	"repro/internal/ehdiall"
+	"repro/internal/fitness"
+	"repro/internal/genotype"
+	"repro/internal/rng"
+)
+
+// StatCompareParams configures the objective-function comparison the
+// paper's conclusion announces as future work: "different objective
+// functions are going to be used in order to compare them and to
+// validate their biological interest".
+type StatCompareParams struct {
+	// Runs is the number of GA runs per statistic (default 3).
+	Runs int
+	Seed uint64
+	GA   core.Config
+	// Slaves sizes the evaluation pool.
+	Slaves int
+	// MCReps, when positive, validates each statistic's winners with
+	// CLUMP Monte-Carlo p-values (default 500).
+	MCReps int
+	// Stats lists the objective functions to compare (default all
+	// four CLUMP statistics).
+	Stats []clump.Statistic
+}
+
+// StatCompareRow reports one objective function's outcome.
+type StatCompareRow struct {
+	Stat clump.Statistic
+	// BestBySize / FitnessBySize: the best haplotype per size over
+	// runs under this objective.
+	BestBySize    map[int][]int
+	FitnessBySize map[int]float64
+	// MCPBySize is the Monte-Carlo p-value of each winner, computed
+	// with the same statistic that selected it.
+	MCPBySize map[int]float64
+	// MeanEvals is the mean total evaluations per run.
+	MeanEvals float64
+}
+
+// StatCompare runs the GA once per objective function and collects the
+// winners for side-by-side comparison.
+func StatCompare(d *genotype.Dataset, p StatCompareParams) ([]StatCompareRow, error) {
+	if p.Runs <= 0 {
+		p.Runs = 3
+	}
+	if p.MCReps == 0 {
+		p.MCReps = 500
+	}
+	if len(p.Stats) == 0 {
+		p.Stats = []clump.Statistic{clump.T1, clump.T2, clump.T3, clump.T4}
+	}
+	var out []StatCompareRow
+	for _, stat := range p.Stats {
+		res, err := Table2(d, Table2Params{
+			Runs: p.Runs, Seed: p.Seed, GA: p.GA, Stat: stat, Slaves: p.Slaves,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("exp: statistic %v: %w", stat, err)
+		}
+		row := StatCompareRow{
+			Stat:          stat,
+			BestBySize:    make(map[int][]int),
+			FitnessBySize: make(map[int]float64),
+			MCPBySize:     make(map[int]float64),
+			MeanEvals:     res.MeanTotalEvals,
+		}
+		pipe, err := fitness.NewPipeline(d, stat, ehdiall.Config{})
+		if err != nil {
+			return nil, err
+		}
+		src := rng.New(p.Seed ^ uint64(stat)<<32)
+		for _, r := range res.Rows {
+			row.BestBySize[r.Size] = r.BestSites
+			row.FitnessBySize[r.Size] = r.BestFitness
+			if p.MCReps > 0 {
+				pv, err := pipe.MonteCarloP(r.BestSites, p.MCReps, src)
+				if err != nil {
+					return nil, err
+				}
+				row.MCPBySize[r.Size] = pv.Get(stat)
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderStatCompare prints the side-by-side objective comparison for
+// the given size.
+func RenderStatCompare(w io.Writer, rows []StatCompareRow, sizes []int) error {
+	if _, err := fmt.Fprintln(w, "Objective-function comparison (paper conclusion: future work)"); err != nil {
+		return err
+	}
+	headers := []string{"Statistic", "Size", "Best haplotype", "Fitness", "MC p-value", "Mean #eval/run"}
+	var body [][]string
+	for _, row := range rows {
+		for _, s := range sizes {
+			sites, ok := row.BestBySize[s]
+			if !ok {
+				continue
+			}
+			mcp := "-"
+			if p, ok := row.MCPBySize[s]; ok {
+				mcp = fmt.Sprintf("%.4f", p)
+			}
+			body = append(body, []string{
+				row.Stat.String(),
+				fmt.Sprintf("%d", s),
+				sitesString(sites),
+				fmt.Sprintf("%.3f", row.FitnessBySize[s]),
+				mcp,
+				fmt.Sprintf("%.0f", row.MeanEvals),
+			})
+		}
+	}
+	if err := renderTable(w, headers, body); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "(winners that agree across statistics are strong candidates; p-values use each statistic's own Monte-Carlo null)")
+	return err
+}
+
+// StatAgreement summarizes how similar the winners selected by two
+// statistics are (mean Jaccard over the shared sizes).
+func StatAgreement(a, b StatCompareRow) float64 {
+	sum, n := 0.0, 0
+	for size, sa := range a.BestBySize {
+		if sb, ok := b.BestBySize[size]; ok {
+			sum += jaccard(sa, sb)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

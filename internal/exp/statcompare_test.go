@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/clump"
+)
+
+func TestStatCompareRunsAllStatistics(t *testing.T) {
+	d := smallDataset(t, 9)
+	rows, err := StatCompare(d, StatCompareParams{
+		Runs: 1, Seed: 3, GA: quickGA(), Slaves: 2, MCReps: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 statistics", len(rows))
+	}
+	for _, row := range rows {
+		for s := 2; s <= 3; s++ {
+			if len(row.BestBySize[s]) != s {
+				t.Fatalf("%v size %d best = %v", row.Stat, s, row.BestBySize[s])
+			}
+			if row.FitnessBySize[s] <= 0 {
+				t.Fatalf("%v size %d fitness = %v", row.Stat, s, row.FitnessBySize[s])
+			}
+			p := row.MCPBySize[s]
+			if p <= 0 || p > 1 {
+				t.Fatalf("%v size %d MC p = %v", row.Stat, s, p)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderStatCompare(&buf, rows, []int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T1", "T4", "MC p-value"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatCompareSubsetOfStats(t *testing.T) {
+	d := smallDataset(t, 10)
+	rows, err := StatCompare(d, StatCompareParams{
+		Runs: 1, Seed: 1, GA: quickGA(), Slaves: 2, MCReps: -1,
+		Stats: []clump.Statistic{clump.T1, clump.T4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Stat != clump.T1 || rows[1].Stat != clump.T4 {
+		t.Fatalf("stats = %v, %v", rows[0].Stat, rows[1].Stat)
+	}
+}
+
+func TestStatAgreement(t *testing.T) {
+	a := StatCompareRow{BestBySize: map[int][]int{2: {1, 2}, 3: {1, 2, 3}}}
+	b := StatCompareRow{BestBySize: map[int][]int{2: {1, 2}, 3: {4, 5, 6}}}
+	if got := StatAgreement(a, b); got != 0.5 {
+		t.Fatalf("agreement = %v, want 0.5", got)
+	}
+	empty := StatCompareRow{BestBySize: map[int][]int{}}
+	if got := StatAgreement(a, empty); got != 0 {
+		t.Fatalf("agreement with empty = %v", got)
+	}
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/combin"
+)
+
+// Table1Row is one haplotype size of the search-space table.
+type Table1Row struct {
+	Size int
+	// Counts maps each SNP count to the exact number of size-Size
+	// haplotypes, C(n, Size).
+	Counts []*big.Int
+}
+
+// Table1 computes the paper's Table 1: the number of possible
+// haplotypes of each size for the given SNP counts (the paper uses 51,
+// 150 and 249).
+func Table1(snpCounts []int, minSize, maxSize int) []Table1Row {
+	rows := make([]Table1Row, 0, maxSize-minSize+1)
+	for k := minSize; k <= maxSize; k++ {
+		row := Table1Row{Size: k}
+		for _, n := range snpCounts {
+			row.Counts = append(row.Counts, combin.Binomial(n, k))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable1 prints the table in the paper's layout, formatting
+// counts above 10^9 in scientific notation as the paper does.
+func RenderTable1(w io.Writer, snpCounts []int, rows []Table1Row) error {
+	if _, err := fmt.Fprintln(w, "Table 1. Size of the search space"); err != nil {
+		return err
+	}
+	headers := []string{"Haplotype size"}
+	for _, n := range snpCounts {
+		headers = append(headers, fmt.Sprintf("%d SNPs", n))
+	}
+	var body [][]string
+	for _, row := range rows {
+		cells := []string{fmt.Sprintf("%d", row.Size)}
+		for _, c := range row.Counts {
+			cells = append(cells, formatBig(c))
+		}
+		body = append(body, cells)
+	}
+	return renderTable(w, headers, body)
+}
+
+var billion = big.NewInt(1_000_000_000)
+
+func formatBig(v *big.Int) string {
+	if v.Cmp(billion) < 0 {
+		return v.String()
+	}
+	f := new(big.Float).SetInt(v)
+	out, _ := f.Float64()
+	return fmt.Sprintf("%.2e", out)
+}

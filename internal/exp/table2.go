@@ -1,0 +1,210 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/clump"
+	"repro/internal/core"
+	"repro/internal/ehdiall"
+	"repro/internal/fitness"
+	"repro/internal/genotype"
+	"repro/internal/master"
+	"repro/internal/stats"
+)
+
+// Table2Params configures the paper's central experiment (§5.2.2):
+// repeated GA runs on the case/control dataset, reported per
+// haplotype size.
+type Table2Params struct {
+	// Runs is the number of independent GA runs (paper: 10).
+	Runs int
+	// Seed derives each run's seed (Seed + run index).
+	Seed uint64
+	// GA is the base configuration; its Seed field is overridden per
+	// run. Zero value = the paper's §5.2.1 parameters.
+	GA core.Config
+	// Stat selects the CLUMP statistic used as fitness (default T1).
+	Stat clump.Statistic
+	// Slaves sizes the master/slave evaluation pool (default: one per
+	// CPU).
+	Slaves int
+	// RefBest optionally supplies the known optimum per size (e.g.
+	// from exhaustive enumeration); deviations are measured against
+	// it. When nil, the best fitness over all runs is the reference,
+	// as the paper does for sizes too large to enumerate.
+	RefBest map[int]float64
+}
+
+// Table2Row aggregates one haplotype size over all runs.
+type Table2Row struct {
+	Size int
+	// BestSites / BestFitness: the best haplotype over all runs.
+	BestSites   []int
+	BestFitness float64
+	// MeanFitness is the mean over runs of each run's best fitness.
+	MeanFitness float64
+	// Deviation is the paper's "Dev": mean difference between the
+	// reference best and each run's best.
+	Deviation float64
+	// MinEvals and MeanEvals are the minimum and mean, over runs, of
+	// the evaluation count at which the run's best was found.
+	MinEvals  int64
+	MeanEvals float64
+	// Hits counts runs whose best reached the reference fitness.
+	Hits int
+}
+
+// Table2Result is the full experiment outcome.
+type Table2Result struct {
+	Rows    []Table2Row
+	Runs    int
+	Scheme  string
+	Elapsed time.Duration
+	// MeanGenerations and MeanTotalEvals summarize run cost.
+	MeanGenerations float64
+	MeanTotalEvals  float64
+}
+
+// SchemeName renders the mechanism combination of a configuration in
+// the style of the paper's "Scheme" column.
+func SchemeName(cfg core.Config) string {
+	name := ""
+	if !cfg.DisableAdaptiveRates {
+		name += "Adaptive Mutation + Adaptive crossover"
+	} else {
+		name += "Fixed rates"
+	}
+	if !cfg.DisableSizeMutations {
+		name += " + Size mutations"
+	}
+	if !cfg.DisableInterPopCrossover {
+		name += " + Inter-pop crossover"
+	}
+	if !cfg.DisableRandomImmigrants {
+		name += " + Random Immigrant"
+	}
+	return name
+}
+
+// Table2 runs the experiment and aggregates the paper's Table 2.
+func Table2(d *genotype.Dataset, p Table2Params) (*Table2Result, error) {
+	if p.Runs <= 0 {
+		p.Runs = 10
+	}
+	if p.Stat == 0 {
+		p.Stat = clump.T1
+	}
+	pipe, err := fitness.NewPipeline(d, p.Stat, ehdiall.Config{})
+	if err != nil {
+		return nil, err
+	}
+	pool, err := master.NewPool(pipe, p.Slaves)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
+
+	start := time.Now()
+	type runOutcome struct{ res *core.Result }
+	outcomes := make([]runOutcome, 0, p.Runs)
+	var gens, totalEvals stats.Accumulator
+	for run := 0; run < p.Runs; run++ {
+		cfg := p.GA
+		cfg.Seed = p.Seed + uint64(run)
+		ga, err := core.New(pool, d.NumSNPs(), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("exp: run %d: %w", run, err)
+		}
+		res, err := ga.Run()
+		if err != nil {
+			return nil, fmt.Errorf("exp: run %d: %w", run, err)
+		}
+		outcomes = append(outcomes, runOutcome{res})
+		gens.Add(float64(res.Generations))
+		totalEvals.Add(float64(res.TotalEvaluations))
+	}
+
+	// Aggregate per size. Sizes come from the first run's result.
+	cfgDefaults := p.GA
+	if cfgDefaults.MinSize == 0 {
+		cfgDefaults.MinSize = 2
+	}
+	if cfgDefaults.MaxSize == 0 {
+		cfgDefaults.MaxSize = 6
+	}
+	out := &Table2Result{
+		Runs:            p.Runs,
+		Scheme:          SchemeName(p.GA),
+		MeanGenerations: gens.Mean(),
+		MeanTotalEvals:  totalEvals.Mean(),
+	}
+	for size := cfgDefaults.MinSize; size <= cfgDefaults.MaxSize; size++ {
+		row := Table2Row{Size: size}
+		var fit, evals stats.Accumulator
+		var minEvals int64 = -1
+		for _, oc := range outcomes {
+			best := oc.res.BestBySize[size]
+			if best == nil {
+				continue
+			}
+			fit.Add(best.Fitness)
+			e := oc.res.EvalsAtBest[size]
+			evals.Add(float64(e))
+			if minEvals < 0 || e < minEvals {
+				minEvals = e
+			}
+			if best.Fitness > row.BestFitness || row.BestSites == nil {
+				row.BestFitness = best.Fitness
+				row.BestSites = append([]int(nil), best.Sites...)
+			}
+		}
+		if fit.N() == 0 {
+			continue
+		}
+		ref, ok := p.RefBest[size]
+		if !ok {
+			ref = row.BestFitness
+		}
+		row.MeanFitness = fit.Mean()
+		row.Deviation = ref - fit.Mean()
+		row.MinEvals = minEvals
+		row.MeanEvals = evals.Mean()
+		for _, oc := range outcomes {
+			if best := oc.res.BestBySize[size]; best != nil && best.Fitness >= ref-1e-9 {
+				row.Hits++
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// RenderTable2 prints the aggregate in the paper's Table 2 layout,
+// with SNPs reported by their 1-based numbers.
+func RenderTable2(w io.Writer, res *Table2Result) error {
+	fmt.Fprintf(w, "Table 2. Results obtained by the GA over %d runs\n", res.Runs)
+	fmt.Fprintf(w, "Scheme: %s\n", res.Scheme)
+	headers := []string{"Size", "Best Haplotype", "Fitness", "Mean", "Dev", "Hits", "Min #Eval", "Mean #Eval"}
+	var body [][]string
+	for _, row := range res.Rows {
+		body = append(body, []string{
+			fmt.Sprintf("%d", row.Size),
+			sitesString(row.BestSites),
+			fmt.Sprintf("%.3f", row.BestFitness),
+			fmt.Sprintf("%.3f", row.MeanFitness),
+			fmt.Sprintf("%.3f", row.Deviation),
+			fmt.Sprintf("%d/%d", row.Hits, res.Runs),
+			fmt.Sprintf("%d", row.MinEvals),
+			fmt.Sprintf("%.1f", row.MeanEvals),
+		})
+	}
+	if err := renderTable(w, headers, body); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "mean generations/run: %.1f   mean evaluations/run: %.0f   elapsed: %s\n",
+		res.MeanGenerations, res.MeanTotalEvals, res.Elapsed.Round(time.Millisecond))
+	return err
+}

@@ -1,0 +1,68 @@
+package fitness
+
+// BatchEvaluator evaluates many haplotypes at once, possibly in
+// parallel. Results are positional: Values[i] and Errs[i] belong to
+// batch[i], and Errs[i] == nil means Values[i] is valid. This is the
+// synchronous-generation contract of the paper's master/slave model:
+// the call returns only when every item has been evaluated.
+type BatchEvaluator interface {
+	EvaluateBatch(batch [][]int) (values []float64, errs []error)
+}
+
+// EvaluateAll evaluates a batch through ev, using its BatchEvaluator
+// fast path when available and falling back to serial evaluation
+// otherwise. Per-item failures are reported in errs without aborting
+// the rest of the batch.
+func EvaluateAll(ev Evaluator, batch [][]int) (values []float64, errs []error) {
+	if be, ok := ev.(BatchEvaluator); ok {
+		return be.EvaluateBatch(batch)
+	}
+	values = make([]float64, len(batch))
+	errs = make([]error, len(batch))
+	for i, sites := range batch {
+		values[i], errs[i] = ev.Evaluate(sites)
+	}
+	return values, errs
+}
+
+// EvaluateBatch counts every item, then delegates with the inner
+// evaluator's own batching if present.
+func (c *Counting) EvaluateBatch(batch [][]int) ([]float64, []error) {
+	c.n.Add(int64(len(batch)))
+	return EvaluateAll(c.inner, batch)
+}
+
+// EvaluateBatch serves hits from the cache and forwards only the
+// misses to the inner evaluator (as one inner batch).
+func (c *Cache) EvaluateBatch(batch [][]int) ([]float64, []error) {
+	values := make([]float64, len(batch))
+	errs := make([]error, len(batch))
+	var missIdx []int
+	var missSites [][]int
+	c.mu.RLock()
+	for i, sites := range batch {
+		if v, ok := c.m[siteKey(sites)]; ok {
+			values[i] = v
+			c.hits.Add(1)
+		} else {
+			missIdx = append(missIdx, i)
+			missSites = append(missSites, sites)
+		}
+	}
+	c.mu.RUnlock()
+	if len(missIdx) == 0 {
+		return values, errs
+	}
+	mv, me := EvaluateAll(c.inner, missSites)
+	c.mu.Lock()
+	for j, i := range missIdx {
+		if me[j] != nil {
+			errs[i] = me[j]
+			continue
+		}
+		values[i] = mv[j]
+		c.m[siteKey(missSites[j])] = mv[j]
+	}
+	c.mu.Unlock()
+	return values, errs
+}

@@ -1,0 +1,44 @@
+package fitness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/popgen"
+)
+
+func TestWriteReportContents(t *testing.T) {
+	p := newPaperPipeline(t, 11)
+	sites := popgen.PaperCausalSites[:3]
+	names := p.Dataset().SNPNames(sites)
+	var buf bytes.Buffer
+	if err := p.WriteReport(&buf, names, sites); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"EH-DIALL estimation",
+		"affected", "unaffected",
+		"Estimated haplotype frequencies",
+		"T1 (raw chi-square)",
+		"T4 (best 2-way clumping)",
+		"fitness (selected statistic)",
+		"SNP8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteReportErrors(t *testing.T) {
+	p := newPaperPipeline(t, 11)
+	var buf bytes.Buffer
+	if err := p.WriteReport(&buf, []string{"only-one"}, []int{1, 2}); err == nil {
+		t.Fatal("mismatched names accepted")
+	}
+	if err := p.WriteReport(&buf, nil, []int{9, 3}); err == nil {
+		t.Fatal("unsorted sites accepted")
+	}
+}

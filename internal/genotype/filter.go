@@ -1,0 +1,96 @@
+package genotype
+
+import "fmt"
+
+// FilterConfig selects quality-control thresholds for FilterSNPs, the
+// standard preprocessing applied to association study tables before
+// analysis.
+type FilterConfig struct {
+	// MinMAF drops SNPs with minor allele frequency below the
+	// threshold (0 disables). The paper's §2.3 frequency condition
+	// serves the same purpose inside the GA; filtering up front
+	// shrinks the search space instead.
+	MinMAF float64
+	// MaxMissing drops SNPs missing in more than this fraction of
+	// individuals (0 disables; 1 keeps everything).
+	MaxMissing float64
+	// MinTyped drops SNPs typed in fewer than this many individuals
+	// (0 disables).
+	MinTyped int
+}
+
+// FilterSNPs returns a new dataset containing only the SNP columns
+// passing the config, plus the kept original column indices (needed to
+// map results back to the source table). Individual rows are preserved.
+func FilterSNPs(d *Dataset, cfg FilterConfig) (*Dataset, []int, error) {
+	if cfg.MinMAF < 0 || cfg.MinMAF > 0.5 {
+		return nil, nil, fmt.Errorf("genotype: MinMAF %v out of [0, 0.5]", cfg.MinMAF)
+	}
+	if cfg.MaxMissing < 0 || cfg.MaxMissing > 1 {
+		return nil, nil, fmt.Errorf("genotype: MaxMissing %v out of [0, 1]", cfg.MaxMissing)
+	}
+	n := d.NumIndividuals()
+	var keep []int
+	for j := range d.SNPs {
+		_, _, typed := d.AlleleFreq(j)
+		if cfg.MinTyped > 0 && typed < cfg.MinTyped {
+			continue
+		}
+		if cfg.MaxMissing > 0 && n > 0 {
+			missing := float64(n-typed) / float64(n)
+			if missing > cfg.MaxMissing {
+				continue
+			}
+		}
+		if cfg.MinMAF > 0 && d.MinorAlleleFreq(j) < cfg.MinMAF {
+			continue
+		}
+		keep = append(keep, j)
+	}
+	if len(keep) == 0 {
+		return nil, nil, fmt.Errorf("genotype: no SNP passes the filter")
+	}
+	out := &Dataset{SNPs: make([]SNP, len(keep)), Individuals: make([]Individual, n)}
+	for nj, j := range keep {
+		out.SNPs[nj] = d.SNPs[j]
+	}
+	for i := range d.Individuals {
+		src := &d.Individuals[i]
+		g := make([]Genotype, len(keep))
+		for nj, j := range keep {
+			g[nj] = src.Genotypes[j]
+		}
+		out.Individuals[i] = Individual{ID: src.ID, Status: src.Status, Genotypes: g}
+	}
+	return out, keep, nil
+}
+
+// DropUnknown returns a new dataset without Unknown-status individuals
+// (the evaluation pipeline ignores them anyway; dropping them shrinks
+// the table).
+func DropUnknown(d *Dataset) *Dataset {
+	var rows []int
+	for i, ind := range d.Individuals {
+		if ind.Status != Unknown {
+			rows = append(rows, i)
+		}
+	}
+	return d.Subset(rows)
+}
+
+// MissingRate returns the overall fraction of missing genotype calls.
+func (d *Dataset) MissingRate() float64 {
+	total, missing := 0, 0
+	for i := range d.Individuals {
+		for _, g := range d.Individuals[i].Genotypes {
+			total++
+			if g == Missing {
+				missing++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(missing) / float64(total)
+}

@@ -1,0 +1,123 @@
+package genotype
+
+import (
+	"testing"
+)
+
+func filterDataset() *Dataset {
+	// SNP0: common, fully typed. SNP1: rare (MAF low). SNP2: heavily
+	// missing. SNP3: common, fully typed.
+	return &Dataset{
+		SNPs: []SNP{{Name: "common"}, {Name: "rare"}, {Name: "missing"}, {Name: "good"}},
+		Individuals: []Individual{
+			{ID: "1", Status: Affected, Genotypes: []Genotype{1, 0, Missing, 2}},
+			{ID: "2", Status: Affected, Genotypes: []Genotype{2, 0, Missing, 1}},
+			{ID: "3", Status: Unaffected, Genotypes: []Genotype{1, 0, Missing, 0}},
+			{ID: "4", Status: Unaffected, Genotypes: []Genotype{0, 0, 1, 1}},
+			{ID: "5", Status: Unknown, Genotypes: []Genotype{1, 1, Missing, 2}},
+		},
+	}
+}
+
+func TestFilterSNPsByMAF(t *testing.T) {
+	d := filterDataset()
+	out, kept, err := FilterSNPs(d, FilterConfig{MinMAF: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range kept {
+		if d.SNPs[j].Name == "rare" {
+			t.Fatal("rare SNP survived the MAF filter")
+		}
+	}
+	if out.NumIndividuals() != 5 {
+		t.Fatal("individuals changed")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterSNPsByMissing(t *testing.T) {
+	d := filterDataset()
+	out, kept, err := FilterSNPs(d, FilterConfig{MaxMissing: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range kept {
+		if d.SNPs[j].Name == "missing" {
+			t.Fatal("heavily missing SNP survived")
+		}
+	}
+	if out.NumSNPs() != 3 {
+		t.Fatalf("kept %d SNPs, want 3", out.NumSNPs())
+	}
+}
+
+func TestFilterSNPsByMinTyped(t *testing.T) {
+	d := filterDataset()
+	_, kept, err := FilterSNPs(d, FilterConfig{MinTyped: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only fully typed SNPs (0, 1, 3) survive.
+	if len(kept) != 3 {
+		t.Fatalf("kept %v", kept)
+	}
+}
+
+func TestFilterSNPsKeepsColumnMapping(t *testing.T) {
+	d := filterDataset()
+	out, kept, err := FilterSNPs(d, FilterConfig{MaxMissing: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for nj, j := range kept {
+		if out.SNPs[nj].Name != d.SNPs[j].Name {
+			t.Fatalf("column mapping broken at %d", nj)
+		}
+		for i := range d.Individuals {
+			if out.Individuals[i].Genotypes[nj] != d.Individuals[i].Genotypes[j] {
+				t.Fatalf("genotype mapping broken at (%d,%d)", i, nj)
+			}
+		}
+	}
+}
+
+func TestFilterSNPsErrors(t *testing.T) {
+	d := filterDataset()
+	if _, _, err := FilterSNPs(d, FilterConfig{MinMAF: 0.9}); err == nil {
+		t.Fatal("MinMAF > 0.5 accepted")
+	}
+	if _, _, err := FilterSNPs(d, FilterConfig{MaxMissing: 2}); err == nil {
+		t.Fatal("MaxMissing > 1 accepted")
+	}
+	if _, _, err := FilterSNPs(d, FilterConfig{MinTyped: 100}); err == nil {
+		t.Fatal("filter that drops everything did not error")
+	}
+}
+
+func TestDropUnknown(t *testing.T) {
+	d := filterDataset()
+	out := DropUnknown(d)
+	if out.NumIndividuals() != 4 {
+		t.Fatalf("kept %d individuals, want 4", out.NumIndividuals())
+	}
+	for _, ind := range out.Individuals {
+		if ind.Status == Unknown {
+			t.Fatal("unknown individual survived")
+		}
+	}
+}
+
+func TestMissingRate(t *testing.T) {
+	d := filterDataset()
+	// 4 missing of 20 calls.
+	if got := d.MissingRate(); got != 0.2 {
+		t.Fatalf("MissingRate = %v, want 0.2", got)
+	}
+	empty := &Dataset{}
+	if empty.MissingRate() != 0 {
+		t.Fatal("empty dataset missing rate should be 0")
+	}
+}

@@ -1,0 +1,145 @@
+package genotype
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The on-disk format mirrors the paper's first data table: a header
+// naming the SNP columns, then one row per individual with an ID, a
+// status code and the genotype at each SNP in two-allele notation
+// (11, 12, 22, 00 = missing). Lines starting with '#' are comments.
+//
+//	# any comment
+//	ID STATUS SNP0 SNP1 SNP2 ...
+//	ind001 A 11 12 22 ...
+//	ind002 U 12 12 00 ...
+
+// Write serializes the dataset in the text table format.
+func Write(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %d individuals, %d SNPs\n", d.NumIndividuals(), d.NumSNPs())
+	fmt.Fprint(bw, "ID STATUS")
+	for _, s := range d.SNPs {
+		fmt.Fprintf(bw, " %s", s.Name)
+	}
+	fmt.Fprintln(bw)
+	for i := range d.Individuals {
+		ind := &d.Individuals[i]
+		fmt.Fprintf(bw, "%s %s", ind.ID, ind.Status)
+		for _, g := range ind.Genotypes {
+			fmt.Fprintf(bw, " %s", g)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the dataset to a file path.
+func WriteFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("genotype: %w", err)
+	}
+	if err := Write(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func parseGenotype(tok string) (Genotype, error) {
+	switch tok {
+	case "11":
+		return 0, nil
+	case "12", "21":
+		return 1, nil
+	case "22":
+		return 2, nil
+	case "00", "0", ".":
+		return Missing, nil
+	}
+	return Missing, fmt.Errorf("genotype: invalid genotype token %q", tok)
+}
+
+// Read parses a dataset in the text table format, validating it before
+// returning.
+func Read(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	d := &Dataset{}
+	lineNo := 0
+	headerSeen := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if !headerSeen {
+			if len(fields) < 3 || fields[0] != "ID" || fields[1] != "STATUS" {
+				return nil, fmt.Errorf("genotype: line %d: header must start with \"ID STATUS\" followed by SNP names", lineNo)
+			}
+			for _, name := range fields[2:] {
+				d.SNPs = append(d.SNPs, SNP{Name: name})
+			}
+			headerSeen = true
+			continue
+		}
+		if len(fields) != 2+len(d.SNPs) {
+			return nil, fmt.Errorf("genotype: line %d: %d fields, want %d", lineNo, len(fields), 2+len(d.SNPs))
+		}
+		status, err := ParseStatus(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("genotype: line %d: %w", lineNo, err)
+		}
+		ind := Individual{ID: fields[0], Status: status, Genotypes: make([]Genotype, len(d.SNPs))}
+		for j, tok := range fields[2:] {
+			g, err := parseGenotype(tok)
+			if err != nil {
+				return nil, fmt.Errorf("genotype: line %d, column %s: %w", lineNo, d.SNPs[j].Name, err)
+			}
+			ind.Genotypes[j] = g
+		}
+		d.Individuals = append(d.Individuals, ind)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("genotype: %w", err)
+	}
+	if !headerSeen {
+		return nil, fmt.Errorf("genotype: empty input")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReadFile parses a dataset from a file path.
+func ReadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("genotype: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// WriteFreqTable writes the paper's second data table (per-SNP allele
+// frequencies) as tab-separated text.
+func WriteFreqTable(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "SNP\tFREQ1\tFREQ2\tTYPED")
+	for j, s := range d.SNPs {
+		p1, p2, typed := d.AlleleFreq(j)
+		fmt.Fprintf(bw, "%s\t%s\t%s\t%d\n", s.Name,
+			strconv.FormatFloat(p1, 'f', 6, 64),
+			strconv.FormatFloat(p2, 'f', 6, 64), typed)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,155 @@
+package genotype
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The original EH-DIALL tool chain consumed LINKAGE-format pedigree
+// files ("pre-makeped" layout). This file provides a reader and writer
+// for the subset relevant to case/control haplotype studies:
+//
+//	FamID IndID FatherID MotherID Sex Status  a1 a2  a1 a2 ...
+//
+// with alleles coded 1/2 (0 = missing) and affection status coded
+// 2 = affected, 1 = unaffected, 0 = unknown. Family structure beyond
+// the IDs is preserved on round trip but not interpreted: the paper's
+// analysis treats individuals as unrelated.
+
+// pedStatus maps the LINKAGE affection code to Status.
+func pedStatus(code string) (Status, error) {
+	switch code {
+	case "2":
+		return Affected, nil
+	case "1":
+		return Unaffected, nil
+	case "0", "x", "X":
+		return Unknown, nil
+	}
+	return Unknown, fmt.Errorf("genotype: invalid affection code %q", code)
+}
+
+func statusPed(s Status) string {
+	switch s {
+	case Affected:
+		return "2"
+	case Unaffected:
+		return "1"
+	default:
+		return "0"
+	}
+}
+
+// ReadPED parses a LINKAGE-style pedigree file with numSNPs markers.
+// Each individual's ID is "fam/ind". Allele pairs are collapsed to the
+// package's genotype coding; a pair with any 0 allele is Missing.
+func ReadPED(r io.Reader, numSNPs int) (*Dataset, error) {
+	if numSNPs < 1 {
+		return nil, fmt.Errorf("genotype: ReadPED requires numSNPs >= 1")
+	}
+	d := &Dataset{SNPs: make([]SNP, numSNPs)}
+	for j := range d.SNPs {
+		d.SNPs[j] = SNP{Name: fmt.Sprintf("SNP%d", j+1)}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		want := 6 + 2*numSNPs
+		if len(fields) != want {
+			return nil, fmt.Errorf("genotype: ped line %d: %d fields, want %d", lineNo, len(fields), want)
+		}
+		status, err := pedStatus(fields[5])
+		if err != nil {
+			return nil, fmt.Errorf("genotype: ped line %d: %w", lineNo, err)
+		}
+		ind := Individual{
+			ID:        fields[0] + "/" + fields[1],
+			Status:    status,
+			Genotypes: make([]Genotype, numSNPs),
+		}
+		for j := 0; j < numSNPs; j++ {
+			a1, a2 := fields[6+2*j], fields[7+2*j]
+			g, err := pedGenotype(a1, a2)
+			if err != nil {
+				return nil, fmt.Errorf("genotype: ped line %d, marker %d: %w", lineNo, j+1, err)
+			}
+			ind.Genotypes[j] = g
+		}
+		d.Individuals = append(d.Individuals, ind)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("genotype: %w", err)
+	}
+	if len(d.Individuals) == 0 {
+		return nil, fmt.Errorf("genotype: empty ped input")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func pedGenotype(a1, a2 string) (Genotype, error) {
+	v := func(a string) (int, error) {
+		switch a {
+		case "0":
+			return -1, nil
+		case "1":
+			return 0, nil
+		case "2":
+			return 1, nil
+		}
+		return 0, fmt.Errorf("invalid allele %q", a)
+	}
+	x1, err := v(a1)
+	if err != nil {
+		return Missing, err
+	}
+	x2, err := v(a2)
+	if err != nil {
+		return Missing, err
+	}
+	if x1 < 0 || x2 < 0 {
+		return Missing, nil
+	}
+	return Genotype(x1 + x2), nil
+}
+
+// WritePED serializes the dataset in LINKAGE layout. Individuals are
+// written as singleton families (founders: father and mother 0, sex 0)
+// unless their ID already has the "fam/ind" shape, which is split
+// back.
+func WritePED(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for i := range d.Individuals {
+		ind := &d.Individuals[i]
+		fam, id := ind.ID, ind.ID
+		if k := strings.IndexByte(ind.ID, '/'); k > 0 && k+1 < len(ind.ID) {
+			fam, id = ind.ID[:k], ind.ID[k+1:]
+		}
+		fmt.Fprintf(bw, "%s %s 0 0 0 %s", fam, id, statusPed(ind.Status))
+		for _, g := range ind.Genotypes {
+			switch g {
+			case 0:
+				fmt.Fprint(bw, " 1 1")
+			case 1:
+				fmt.Fprint(bw, " 1 2")
+			case 2:
+				fmt.Fprint(bw, " 2 2")
+			default:
+				fmt.Fprint(bw, " 0 0")
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,109 @@
+package genotype
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const pedSample = `# two families
+fam1 ind1 0 0 1 2  1 1  1 2  2 2
+fam1 ind2 0 0 2 1  1 2  0 0  1 1
+fam2 ind1 0 0 1 0  2 2  2 1  1 2
+`
+
+func TestReadPED(t *testing.T) {
+	d, err := ReadPED(strings.NewReader(pedSample), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSNPs() != 3 || d.NumIndividuals() != 3 {
+		t.Fatalf("shape = %d/%d", d.NumSNPs(), d.NumIndividuals())
+	}
+	if d.Individuals[0].ID != "fam1/ind1" || d.Individuals[0].Status != Affected {
+		t.Fatalf("individual 0 = %+v", d.Individuals[0])
+	}
+	if d.Individuals[1].Status != Unaffected || d.Individuals[2].Status != Unknown {
+		t.Fatal("statuses wrong")
+	}
+	// Genotypes: ind1 = 11,12,22 -> 0,1,2.
+	g := d.Individuals[0].Genotypes
+	if g[0] != 0 || g[1] != 1 || g[2] != 2 {
+		t.Fatalf("ind1 genotypes = %v", g)
+	}
+	// ind2 marker 2 is 0 0 -> missing.
+	if d.Individuals[1].Genotypes[1] != Missing {
+		t.Fatal("0 0 pair should be Missing")
+	}
+	// "2 1" is the same heterozygote as "1 2".
+	if d.Individuals[2].Genotypes[1] != 1 {
+		t.Fatalf("2 1 pair = %v, want heterozygote", d.Individuals[2].Genotypes[1])
+	}
+}
+
+func TestReadPEDErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"short line":   "f i 0 0 1 2 1 1\n",
+		"bad status":   "f i 0 0 1 9  1 1  1 1  1 1\n",
+		"bad allele":   "f i 0 0 1 2  1 3  1 1  1 1\n",
+		"half missing": "f i 0 0 1 2  0 1  1 1  1 1\n", // 0 1 is missing, fine
+	}
+	for name, input := range cases {
+		_, err := ReadPED(strings.NewReader(input), 3)
+		if name == "half missing" {
+			if err != nil {
+				t.Errorf("half-missing pair rejected: %v", err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := ReadPED(strings.NewReader(pedSample), 0); err == nil {
+		t.Error("numSNPs 0 accepted")
+	}
+}
+
+func TestPEDRoundTrip(t *testing.T) {
+	d, err := ReadPED(strings.NewReader(pedSample), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePED(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPED(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Individuals {
+		if back.Individuals[i].ID != d.Individuals[i].ID ||
+			back.Individuals[i].Status != d.Individuals[i].Status {
+			t.Fatalf("individual %d metadata mismatch", i)
+		}
+		for j := range d.SNPs {
+			if back.Individuals[i].Genotypes[j] != d.Individuals[i].Genotypes[j] {
+				t.Fatalf("genotype (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestWritePEDSingletonIDs(t *testing.T) {
+	d := tinyDataset()
+	var buf bytes.Buffer
+	if err := WritePED(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.Fields(strings.Split(buf.String(), "\n")[0])
+	// ID "a" has no family part: family and individual both "a".
+	if first[0] != "a" || first[1] != "a" {
+		t.Fatalf("singleton line starts %v", first[:2])
+	}
+	if first[5] != "2" { // Affected
+		t.Fatalf("status field = %s", first[5])
+	}
+}

@@ -1,0 +1,98 @@
+package ld
+
+import "fmt"
+
+// Block is a run of consecutive SNPs in strong mutual linkage
+// disequilibrium — the haplotype-block structure that motivates using
+// multi-SNP haplotypes as markers (§2.2 of the paper).
+type Block struct {
+	// Start and End are inclusive SNP column bounds.
+	Start, End int
+	// MeanAbsDPrime is the mean |D'| over all pairs inside the block.
+	MeanAbsDPrime float64
+}
+
+// Size returns the number of SNPs in the block.
+func (b Block) Size() int { return b.End - b.Start + 1 }
+
+// BlockConfig tunes block detection.
+type BlockConfig struct {
+	// MinDPrime is the |D'| threshold for a pair to count as "strong
+	// LD" (default 0.8, the conventional strong-LD cut-off).
+	MinDPrime float64
+	// MinFraction is the fraction of within-candidate pairs that must
+	// be in strong LD for the extension to continue (default 0.9).
+	MinFraction float64
+	// MinSize is the smallest block reported (default 2).
+	MinSize int
+}
+
+func (c BlockConfig) withDefaults() BlockConfig {
+	if c.MinDPrime == 0 {
+		c.MinDPrime = 0.8
+	}
+	if c.MinFraction == 0 {
+		c.MinFraction = 0.9
+	}
+	if c.MinSize == 0 {
+		c.MinSize = 2
+	}
+	return c
+}
+
+// FindBlocks partitions the marker map into maximal runs of
+// consecutive SNPs whose pairwise |D'| is predominantly strong,
+// a greedy variant of the Gabriel-style confidence-bound method
+// operating on the precomputed matrix. Returned blocks are disjoint
+// and ordered; SNPs in no block are simply not covered.
+func FindBlocks(m *Matrix, cfg BlockConfig) ([]Block, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MinDPrime < 0 || cfg.MinDPrime > 1 || cfg.MinFraction <= 0 || cfg.MinFraction > 1 {
+		return nil, fmt.Errorf("ld: invalid block config %+v", cfg)
+	}
+	n := m.NumSNPs()
+	var blocks []Block
+	start := 0
+	for start < n-1 {
+		end := start
+		strong, total := 0, 0
+		// Greedily extend while the strong-LD fraction holds.
+		for next := end + 1; next < n; next++ {
+			ns, nt := strong, total
+			for j := start; j <= end; j++ {
+				nt++
+				d := m.At(j, next).DPrime
+				if d >= cfg.MinDPrime || d <= -cfg.MinDPrime {
+					ns++
+				}
+			}
+			if float64(ns) < cfg.MinFraction*float64(nt) {
+				break
+			}
+			strong, total = ns, nt
+			end = next
+		}
+		if end-start+1 >= cfg.MinSize {
+			sum := 0.0
+			pairs := 0
+			for i := start; i <= end; i++ {
+				for j := i + 1; j <= end; j++ {
+					d := m.At(i, j).DPrime
+					if d < 0 {
+						d = -d
+					}
+					sum += d
+					pairs++
+				}
+			}
+			blocks = append(blocks, Block{
+				Start: start, End: end,
+				MeanAbsDPrime: sum / float64(pairs),
+			})
+			start = end + 1
+		} else {
+			start++
+		}
+	}
+	return blocks, nil
+}

@@ -1,0 +1,114 @@
+package ld
+
+import (
+	"testing"
+
+	"repro/internal/genotype"
+	"repro/internal/popgen"
+)
+
+// blockStructuredDataset has two strong 4-SNP blocks separated by
+// independent SNPs.
+func blockStructuredDataset(t *testing.T) *genotype.Dataset {
+	t.Helper()
+	cfg := popgen.Config{
+		NumSNPs: 12, NumUnknown: 400,
+		BlockSize: 4, HaplotypesPerBlock: 2, MutationRate: 0.005,
+		Disease: popgen.DiseaseModel{BaseRisk: 0.5},
+		Seed:    3,
+	}
+	d, err := popgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFindBlocksRecoversStructure(t *testing.T) {
+	d := blockStructuredDataset(t)
+	m := ComputeMatrix(d)
+	blocks, err := FindBlocks(m, BlockConfig{MinDPrime: 0.7, MinFraction: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) == 0 {
+		t.Fatal("no blocks found in block-structured data")
+	}
+	// Blocks must be disjoint, ordered, and at least MinSize wide.
+	prevEnd := -1
+	for _, b := range blocks {
+		if b.Start <= prevEnd {
+			t.Fatalf("overlapping blocks: %+v", blocks)
+		}
+		if b.Size() < 2 {
+			t.Fatalf("undersized block %+v", b)
+		}
+		if b.MeanAbsDPrime < 0.5 {
+			t.Fatalf("weak block reported: %+v", b)
+		}
+		prevEnd = b.End
+	}
+	// The generator's first block spans SNPs 0-3; the detector should
+	// find a block starting at or near 0.
+	if blocks[0].Start > 1 {
+		t.Fatalf("first block starts at %d, want near 0", blocks[0].Start)
+	}
+}
+
+func TestFindBlocksMinSizeFilter(t *testing.T) {
+	d := blockStructuredDataset(t)
+	m := ComputeMatrix(d)
+	blocks, err := FindBlocks(m, BlockConfig{MinDPrime: 0.7, MinFraction: 0.8, MinSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		if b.Size() < 4 {
+			t.Fatalf("block smaller than MinSize: %+v", b)
+		}
+	}
+}
+
+func TestFindBlocksNoStructure(t *testing.T) {
+	// Independent SNPs (one haplotype pool with max diversity) should
+	// produce few or no blocks under a strict threshold.
+	cfg := popgen.Config{
+		NumSNPs: 10, NumUnknown: 300,
+		BlockSize: 1, HaplotypesPerBlock: 8, MutationRate: 0.4,
+		Disease: popgen.DiseaseModel{BaseRisk: 0.5},
+		Seed:    5,
+	}
+	d, err := popgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ComputeMatrix(d)
+	blocks, err := FindBlocks(m, BlockConfig{MinDPrime: 0.95, MinFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range blocks {
+		total += b.Size()
+	}
+	if total > 4 {
+		t.Fatalf("random data produced %d SNPs in blocks", total)
+	}
+}
+
+func TestFindBlocksConfigErrors(t *testing.T) {
+	m := &Matrix{n: 3, data: make([]Pair, 3)}
+	if _, err := FindBlocks(m, BlockConfig{MinDPrime: 2}); err == nil {
+		t.Fatal("MinDPrime > 1 accepted")
+	}
+	if _, err := FindBlocks(m, BlockConfig{MinFraction: -0.5, MinDPrime: 0.5}); err == nil {
+		t.Fatal("negative MinFraction accepted")
+	}
+}
+
+func TestBlockSize(t *testing.T) {
+	b := Block{Start: 3, End: 7}
+	if b.Size() != 5 {
+		t.Fatalf("Size = %d", b.Size())
+	}
+}

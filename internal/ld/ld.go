@@ -1,0 +1,157 @@
+// Package ld computes pairwise linkage disequilibrium between
+// biallelic SNPs from unphased genotype data, using the classic
+// two-locus EM of Hill (1974): only double heterozygotes are phase
+// ambiguous, and their cis/trans split is iterated to the maximum
+// likelihood haplotype frequencies.
+//
+// It also implements the paper's §2.3 feasibility conditions on pairs
+// of SNPs inside a candidate haplotype: their pairwise disequilibrium
+// must stay below a threshold t_d (so the haplotype combines
+// non-redundant markers) and their variants must be common enough
+// (frequency threshold t_f).
+package ld
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/genotype"
+)
+
+// Pair summarizes the disequilibrium between two SNPs.
+type Pair struct {
+	// D is the raw disequilibrium coefficient f11 - pA*pB.
+	D float64
+	// DPrime is Lewontin's normalized D', in [-1, 1].
+	DPrime float64
+	// R2 is the squared allelic correlation, in [0, 1].
+	R2 float64
+	// Chi2 is the allelic association chi-square, 2N * R2.
+	Chi2 float64
+	// N is the number of individuals typed at both loci.
+	N int
+}
+
+const (
+	emTol     = 1e-10
+	emMaxIter = 1000
+)
+
+// Estimate computes the disequilibrium between SNP columns i and j of
+// the dataset. Individuals missing either genotype are excluded. An
+// error is returned when fewer than two complete individuals exist.
+func Estimate(d *genotype.Dataset, i, j int) (Pair, error) {
+	var counts [3][3]float64
+	n := 0
+	for k := range d.Individuals {
+		gi := d.Individuals[k].Genotypes[i]
+		gj := d.Individuals[k].Genotypes[j]
+		if gi == genotype.Missing || gj == genotype.Missing {
+			continue
+		}
+		counts[gi][gj]++
+		n++
+	}
+	if n < 2 {
+		return Pair{}, fmt.Errorf("ld: fewer than 2 individuals typed at SNPs %d and %d", i, j)
+	}
+	total := 2 * float64(n)
+
+	// Haplotype counts that are phase-determined. Index: allele at
+	// locus i (0/1) then allele at locus j.
+	var h [2][2]float64
+	h[0][0] = 2*counts[0][0] + counts[0][1] + counts[1][0]
+	h[0][1] = 2*counts[0][2] + counts[0][1] + counts[1][2]
+	h[1][0] = 2*counts[2][0] + counts[1][0] + counts[2][1]
+	h[1][1] = 2*counts[2][2] + counts[1][2] + counts[2][1]
+	dh := counts[1][1] // double heterozygotes: cis/trans ambiguous
+
+	// EM over the cis fraction of double heterozygotes.
+	f := [2][2]float64{
+		{(h[0][0] + dh/2) / total, (h[0][1] + dh/2) / total},
+		{(h[1][0] + dh/2) / total, (h[1][1] + dh/2) / total},
+	}
+	if dh > 0 {
+		for iter := 0; iter < emMaxIter; iter++ {
+			cisW := f[0][0] * f[1][1]
+			transW := f[0][1] * f[1][0]
+			pCis := 0.5
+			if cisW+transW > 0 {
+				pCis = cisW / (cisW + transW)
+			}
+			nf := [2][2]float64{
+				{(h[0][0] + dh*pCis) / total, (h[0][1] + dh*(1-pCis)) / total},
+				{(h[1][0] + dh*(1-pCis)) / total, (h[1][1] + dh*pCis) / total},
+			}
+			delta := 0.0
+			for a := 0; a < 2; a++ {
+				for b := 0; b < 2; b++ {
+					delta += math.Abs(nf[a][b] - f[a][b])
+				}
+			}
+			f = nf
+			if delta < emTol {
+				break
+			}
+		}
+	}
+
+	pA := f[1][0] + f[1][1] // allele "2" frequency at locus i
+	pB := f[0][1] + f[1][1] // allele "2" frequency at locus j
+	dis := f[1][1] - pA*pB
+
+	p := Pair{D: dis, N: n}
+	denom := pA * (1 - pA) * pB * (1 - pB)
+	if denom > 0 {
+		p.R2 = dis * dis / denom
+		var dmax float64
+		if dis >= 0 {
+			dmax = math.Min(pA*(1-pB), (1-pA)*pB)
+		} else {
+			dmax = math.Min(pA*pB, (1-pA)*(1-pB))
+		}
+		if dmax > 0 {
+			p.DPrime = dis / dmax
+		}
+		p.Chi2 = 2 * float64(n) * p.R2
+	}
+	return p, nil
+}
+
+// Constraint captures the paper's two conditions on every pair of SNPs
+// within a haplotype (§2.3): |D'| below MaxAbsDPrime (threshold t_d)
+// and both minor allele frequencies at least MinMAF (threshold t_f).
+// A zero-value Constraint accepts everything.
+type Constraint struct {
+	// MaxAbsDPrime is t_d; pairs with |D'| above it are infeasible.
+	// Zero disables the check.
+	MaxAbsDPrime float64
+	// MinMAF is t_f; SNPs with minor allele frequency below it are
+	// infeasible. Zero disables the check.
+	MinMAF float64
+}
+
+// FeasiblePair reports whether the pair statistics and the two minor
+// allele frequencies satisfy the constraint.
+func (c Constraint) FeasiblePair(p Pair, mafI, mafJ float64) bool {
+	if c.MaxAbsDPrime > 0 && math.Abs(p.DPrime) > c.MaxAbsDPrime {
+		return false
+	}
+	if c.MinMAF > 0 && (mafI < c.MinMAF || mafJ < c.MinMAF) {
+		return false
+	}
+	return true
+}
+
+// FeasibleSet reports whether every pair of the sorted SNP sites
+// satisfies the constraint, using a precomputed matrix.
+func (c Constraint) FeasibleSet(m *Matrix, maf []float64, sites []int) bool {
+	for a := 0; a < len(sites); a++ {
+		for b := a + 1; b < len(sites); b++ {
+			if !c.FeasiblePair(m.At(sites[a], sites[b]), maf[sites[a]], maf[sites[b]]) {
+				return false
+			}
+		}
+	}
+	return true
+}

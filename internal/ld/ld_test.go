@@ -1,0 +1,321 @@
+package ld
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/genotype"
+	"repro/internal/rng"
+)
+
+// datasetFromHaplotypes builds unphased genotypes for two loci by
+// pairing the provided haplotypes (each {a, b} with alleles 0/1) in
+// order: individuals are (hap[0],hap[1]), (hap[2],hap[3]), ...
+func datasetFromHaplotypes(haps [][2]int) *genotype.Dataset {
+	d := &genotype.Dataset{SNPs: []genotype.SNP{{Name: "A"}, {Name: "B"}}}
+	for i := 0; i+1 < len(haps); i += 2 {
+		h1, h2 := haps[i], haps[i+1]
+		d.Individuals = append(d.Individuals, genotype.Individual{
+			ID:     "i",
+			Status: genotype.Unknown,
+			Genotypes: []genotype.Genotype{
+				genotype.Genotype(h1[0] + h2[0]),
+				genotype.Genotype(h1[1] + h2[1]),
+			},
+		})
+	}
+	return d
+}
+
+func TestPerfectPositiveLD(t *testing.T) {
+	// Only haplotypes 00 and 11, equally frequent. Pair them so that
+	// homozygotes anchor the phase (an all-double-heterozygote sample
+	// carries no phase information at all).
+	var haps [][2]int
+	for i := 0; i < 13; i++ {
+		haps = append(haps,
+			[2]int{0, 0}, [2]int{0, 0}, // individual 00/00
+			[2]int{1, 1}, [2]int{1, 1}, // individual 11/11
+			[2]int{0, 0}, [2]int{1, 1}, // double heterozygote
+		)
+	}
+	p, err := Estimate(datasetFromHaplotypes(haps), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.DPrime-1) > 1e-6 {
+		t.Fatalf("D' = %v, want 1", p.DPrime)
+	}
+	if math.Abs(p.R2-1) > 1e-6 {
+		t.Fatalf("r2 = %v, want 1", p.R2)
+	}
+	if math.Abs(p.D-0.25) > 1e-6 {
+		t.Fatalf("D = %v, want 0.25", p.D)
+	}
+}
+
+func TestPerfectNegativeLD(t *testing.T) {
+	// Only haplotypes 01 and 10: allele 2 at one locus implies allele
+	// 1 at the other. Homozygous pairings anchor the phase.
+	var haps [][2]int
+	for i := 0; i < 13; i++ {
+		haps = append(haps,
+			[2]int{0, 1}, [2]int{0, 1}, // individual 11/22
+			[2]int{1, 0}, [2]int{1, 0}, // individual 22/11
+			[2]int{0, 1}, [2]int{1, 0}, // double heterozygote
+		)
+	}
+	p, err := Estimate(datasetFromHaplotypes(haps), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.DPrime+1) > 1e-6 {
+		t.Fatalf("D' = %v, want -1", p.DPrime)
+	}
+	if p.D >= 0 {
+		t.Fatalf("D = %v, want negative", p.D)
+	}
+}
+
+func TestLinkageEquilibrium(t *testing.T) {
+	// All four haplotypes at product frequencies: pA=pB=0.5, D=0.
+	var haps [][2]int
+	for i := 0; i < 100; i++ {
+		haps = append(haps, [2]int{i % 2, (i / 2) % 2})
+	}
+	p, err := Estimate(datasetFromHaplotypes(haps), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.D) > 0.02 {
+		t.Fatalf("D = %v, want ~0", p.D)
+	}
+	if p.R2 > 0.01 {
+		t.Fatalf("r2 = %v, want ~0", p.R2)
+	}
+}
+
+func TestEstimateSymmetric(t *testing.T) {
+	r := rng.New(5)
+	d := randomDataset(r, 30, 4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			a, errA := Estimate(d, i, j)
+			b, errB := Estimate(d, j, i)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("asymmetric error at (%d,%d)", i, j)
+			}
+			if errA != nil {
+				continue
+			}
+			if math.Abs(a.D-b.D) > 1e-9 || math.Abs(a.R2-b.R2) > 1e-9 {
+				t.Fatalf("Estimate not symmetric at (%d,%d): %+v vs %+v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestEstimateSkipsMissing(t *testing.T) {
+	d := &genotype.Dataset{
+		SNPs: []genotype.SNP{{Name: "A"}, {Name: "B"}},
+		Individuals: []genotype.Individual{
+			{ID: "1", Genotypes: []genotype.Genotype{0, 0}},
+			{ID: "2", Genotypes: []genotype.Genotype{2, 2}},
+			{ID: "3", Genotypes: []genotype.Genotype{genotype.Missing, 1}},
+			{ID: "4", Genotypes: []genotype.Genotype{1, genotype.Missing}},
+		},
+	}
+	p, err := Estimate(d, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 2 {
+		t.Fatalf("N = %d, want 2 (missing rows must be dropped)", p.N)
+	}
+}
+
+func TestEstimateTooFewIndividuals(t *testing.T) {
+	d := &genotype.Dataset{
+		SNPs: []genotype.SNP{{Name: "A"}, {Name: "B"}},
+		Individuals: []genotype.Individual{
+			{ID: "1", Genotypes: []genotype.Genotype{0, genotype.Missing}},
+			{ID: "2", Genotypes: []genotype.Genotype{1, 1}},
+		},
+	}
+	if _, err := Estimate(d, 0, 1); err == nil {
+		t.Fatal("expected error with < 2 complete individuals")
+	}
+}
+
+func TestMonomorphicSNPGivesZero(t *testing.T) {
+	d := &genotype.Dataset{
+		SNPs: []genotype.SNP{{Name: "A"}, {Name: "B"}},
+		Individuals: []genotype.Individual{
+			{ID: "1", Genotypes: []genotype.Genotype{0, 0}},
+			{ID: "2", Genotypes: []genotype.Genotype{0, 1}},
+			{ID: "3", Genotypes: []genotype.Genotype{0, 2}},
+		},
+	}
+	p, err := Estimate(d, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.R2 != 0 || p.DPrime != 0 {
+		t.Fatalf("monomorphic SNP should give zero LD, got %+v", p)
+	}
+}
+
+func randomDataset(r *rng.RNG, n, m int) *genotype.Dataset {
+	d := &genotype.Dataset{}
+	for j := 0; j < m; j++ {
+		d.SNPs = append(d.SNPs, genotype.SNP{Name: "S" + string(rune('A'+j))})
+	}
+	for i := 0; i < n; i++ {
+		g := make([]genotype.Genotype, m)
+		for j := range g {
+			g[j] = genotype.Genotype(r.Intn(3))
+		}
+		d.Individuals = append(d.Individuals, genotype.Individual{ID: "x", Genotypes: g})
+	}
+	return d
+}
+
+func TestBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		d := randomDataset(r, 10+r.Intn(40), 2)
+		p, err := Estimate(d, 0, 1)
+		if err != nil {
+			return true
+		}
+		return p.R2 >= -1e-9 && p.R2 <= 1+1e-9 &&
+			p.DPrime >= -1-1e-9 && p.DPrime <= 1+1e-9 &&
+			math.Abs(p.D) <= 0.25+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeMatrixMatchesEstimate(t *testing.T) {
+	r := rng.New(11)
+	d := randomDataset(r, 50, 8)
+	m := ComputeMatrix(d)
+	if m.NumSNPs() != 8 {
+		t.Fatalf("matrix dim = %d", m.NumSNPs())
+	}
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			want, err := Estimate(d, i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := m.At(i, j)
+			if math.Abs(got.D-want.D) > 1e-12 || got.N != want.N {
+				t.Fatalf("matrix (%d,%d) = %+v, want %+v", i, j, got, want)
+			}
+			// Symmetric access.
+			if m.At(j, i) != got {
+				t.Fatalf("matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixAtPanicsOnDiagonal(t *testing.T) {
+	m := &Matrix{n: 3, data: make([]Pair, 3)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(i,i) did not panic")
+		}
+	}()
+	m.At(1, 1)
+}
+
+func TestMatrixWrite(t *testing.T) {
+	r := rng.New(13)
+	d := randomDataset(r, 30, 3)
+	m := ComputeMatrix(d)
+	var buf bytes.Buffer
+	if err := m.Write(&buf, []string{"a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+3 {
+		t.Fatalf("matrix output has %d lines, want 4", len(lines))
+	}
+	if err := m.Write(&buf, []string{"a"}); err == nil {
+		t.Fatal("wrong name count accepted")
+	}
+}
+
+func TestConstraintFeasiblePair(t *testing.T) {
+	c := Constraint{MaxAbsDPrime: 0.8, MinMAF: 0.1}
+	ok := Pair{DPrime: 0.5}
+	if !c.FeasiblePair(ok, 0.3, 0.4) {
+		t.Fatal("feasible pair rejected")
+	}
+	if c.FeasiblePair(Pair{DPrime: 0.9}, 0.3, 0.4) {
+		t.Fatal("high-LD pair accepted")
+	}
+	if c.FeasiblePair(Pair{DPrime: -0.9}, 0.3, 0.4) {
+		t.Fatal("high negative LD pair accepted")
+	}
+	if c.FeasiblePair(ok, 0.05, 0.4) {
+		t.Fatal("rare variant accepted")
+	}
+	var zero Constraint
+	if !zero.FeasiblePair(Pair{DPrime: 1}, 0, 0) {
+		t.Fatal("zero constraint should accept everything")
+	}
+}
+
+func TestConstraintFeasibleSet(t *testing.T) {
+	r := rng.New(17)
+	d := randomDataset(r, 60, 5)
+	m := ComputeMatrix(d)
+	maf := MAFs(d)
+	loose := Constraint{}
+	if !loose.FeasibleSet(m, maf, []int{0, 2, 4}) {
+		t.Fatal("loose constraint rejected a set")
+	}
+	strict := Constraint{MinMAF: 0.999}
+	if strict.FeasibleSet(m, maf, []int{0, 2, 4}) {
+		t.Fatal("impossible MAF constraint accepted a set")
+	}
+}
+
+func TestMAFsLength(t *testing.T) {
+	r := rng.New(19)
+	d := randomDataset(r, 20, 7)
+	maf := MAFs(d)
+	if len(maf) != 7 {
+		t.Fatalf("MAFs length = %d", len(maf))
+	}
+	for j, v := range maf {
+		if v < 0 || v > 0.5 {
+			t.Fatalf("MAF[%d] = %v out of [0, 0.5]", j, v)
+		}
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	r := rng.New(1)
+	d := randomDataset(r, 176, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Estimate(d, 0, 1)
+	}
+}
+
+func BenchmarkComputeMatrix51(b *testing.B) {
+	r := rng.New(1)
+	d := randomDataset(r, 106, 51)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ComputeMatrix(d)
+	}
+}

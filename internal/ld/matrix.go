@@ -1,0 +1,104 @@
+package ld
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/genotype"
+)
+
+// Matrix is the symmetric pairwise disequilibrium table over all SNPs
+// of a dataset — the paper's third data table.
+type Matrix struct {
+	n    int
+	data []Pair // upper triangle, row-major
+}
+
+func (m *Matrix) index(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	// Offset of row i in the packed upper triangle (excluding the
+	// diagonal), plus the column offset.
+	return i*(2*m.n-i-1)/2 + (j - i - 1)
+}
+
+// NumSNPs returns the dimension of the matrix.
+func (m *Matrix) NumSNPs() int { return m.n }
+
+// At returns the pair statistics between SNPs i and j (i != j).
+func (m *Matrix) At(i, j int) Pair {
+	if i == j {
+		panic("ld: Matrix.At called with i == j")
+	}
+	return m.data[m.index(i, j)]
+}
+
+// ComputeMatrix estimates disequilibrium for every SNP pair, spreading
+// rows across all CPUs. Pairs that cannot be estimated (all data
+// missing) are left as zero values.
+func ComputeMatrix(d *genotype.Dataset) *Matrix {
+	n := d.NumSNPs()
+	m := &Matrix{n: n, data: make([]Pair, n*(n-1)/2)}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rows := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rows {
+				for j := i + 1; j < n; j++ {
+					p, err := Estimate(d, i, j)
+					if err != nil {
+						continue // leave zero value
+					}
+					m.data[m.index(i, j)] = p
+				}
+			}
+		}()
+	}
+	for i := 0; i < n-1; i++ {
+		rows <- i
+	}
+	close(rows)
+	wg.Wait()
+	return m
+}
+
+// Write serializes the matrix as tab-separated rows
+// (SNP_I, SNP_J, D, DPRIME, R2, CHI2, N).
+func (m *Matrix) Write(w io.Writer, names []string) error {
+	if len(names) != m.n {
+		return fmt.Errorf("ld: %d names for %d SNPs", len(names), m.n)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "SNP_I\tSNP_J\tD\tDPRIME\tR2\tCHI2\tN")
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			p := m.At(i, j)
+			fmt.Fprintf(bw, "%s\t%s\t%.6f\t%.6f\t%.6f\t%.4f\t%d\n",
+				names[i], names[j], p.D, p.DPrime, p.R2, p.Chi2, p.N)
+		}
+	}
+	return bw.Flush()
+}
+
+// MAFs returns the minor allele frequency of every SNP in the dataset,
+// the companion vector used with Constraint.FeasibleSet.
+func MAFs(d *genotype.Dataset) []float64 {
+	out := make([]float64, d.NumSNPs())
+	for j := range out {
+		out[j] = d.MinorAlleleFreq(j)
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+// Package master implements the paper's §4.5 synchronous master/slave
+// parallel evaluation (Figure 6). The master hands each slave one
+// individual at a time; the slave computes the fitness and sends it
+// back; a batch call returns only when every individual of the
+// generation has been evaluated — the synchronous barrier of the
+// paper's implementation.
+//
+// Two interchangeable backends are provided:
+//
+//   - Pool: slaves are plain goroutines fed by a channel. This is the
+//     idiomatic Go mapping and the default for experiments.
+//   - PVMEvaluator: slaves are tasks of the pvm package exchanging
+//     packed messages, reproducing the structure (and, with injected
+//     latency, the communication cost) of the original C/PVM program.
+//
+// Both implement fitness.Evaluator and fitness.BatchEvaluator and
+// return results identical to serial evaluation.
+package master
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/fitness"
+	"repro/internal/pvm"
+)
+
+// ErrClosed is returned when evaluating through a closed pool.
+var ErrClosed = errors.New("master: evaluator closed")
+
+type job struct {
+	index int
+	sites []int
+}
+
+type result struct {
+	index int
+	value float64
+	err   error
+}
+
+// Pool is a goroutine-backed synchronous master/slave evaluator.
+type Pool struct {
+	ev     fitness.Evaluator
+	slaves int
+
+	mu     sync.Mutex
+	closed bool
+
+	jobs    chan job
+	results chan result
+	wg      sync.WaitGroup
+}
+
+// NewPool starts the given number of slave goroutines (0 means one per
+// CPU). Each slave holds a reference to the evaluator from the start,
+// mirroring the paper's slaves that "access only once to the data".
+func NewPool(ev fitness.Evaluator, slaves int) (*Pool, error) {
+	if ev == nil {
+		return nil, fmt.Errorf("master: nil evaluator")
+	}
+	if slaves <= 0 {
+		slaves = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		ev:      ev,
+		slaves:  slaves,
+		jobs:    make(chan job),
+		results: make(chan result),
+	}
+	for i := 0; i < slaves; i++ {
+		p.wg.Add(1)
+		go p.slave()
+	}
+	return p, nil
+}
+
+// slave is the worker loop: receive an individual, evaluate, reply.
+func (p *Pool) slave() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		v, err := p.ev.Evaluate(j.sites)
+		p.results <- result{index: j.index, value: v, err: err}
+	}
+}
+
+// Slaves returns the number of slave workers.
+func (p *Pool) Slaves() int { return p.slaves }
+
+// EvaluateBatch distributes the batch over the slaves and waits for
+// every result (the synchronous generation barrier).
+func (p *Pool) EvaluateBatch(batch [][]int) ([]float64, []error) {
+	values := make([]float64, len(batch))
+	errs := make([]error, len(batch))
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		for i := range errs {
+			errs[i] = ErrClosed
+		}
+		return values, errs
+	}
+	// Feed jobs and collect results concurrently from the master
+	// side; the lock is held for the whole batch so batches are
+	// serialized, as in the synchronous original.
+	defer p.mu.Unlock()
+	go func() {
+		for i, sites := range batch {
+			p.jobs <- job{index: i, sites: sites}
+		}
+	}()
+	for done := 0; done < len(batch); done++ {
+		r := <-p.results
+		values[r.index] = r.value
+		errs[r.index] = r.err
+	}
+	return values, errs
+}
+
+// Evaluate satisfies fitness.Evaluator for single individuals.
+func (p *Pool) Evaluate(sites []int) (float64, error) {
+	values, errs := p.EvaluateBatch([][]int{sites})
+	return values[0], errs[0]
+}
+
+// Close stops the slaves. The pool cannot be reused afterwards.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// Message tags of the PVM protocol, matching the roles in Figure 6.
+const (
+	tagWork   = 1 // master -> slave: solution to evaluate
+	tagResult = 2 // slave -> master: evaluated solution
+	tagStop   = 3 // master -> slave: terminate
+)
+
+// PVMEvaluator runs the master/slave protocol over the pvm machine.
+type PVMEvaluator struct {
+	ev      fitness.Evaluator
+	machine *pvm.Machine
+	master  *pvm.Task
+	slaves  []int
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPVMEvaluator spawns the slave tasks on a fresh virtual machine.
+// latencyOpts are forwarded to the machine (e.g. pvm.WithLatency).
+func NewPVMEvaluator(ev fitness.Evaluator, slaves int, opts ...pvm.Option) (*PVMEvaluator, error) {
+	if ev == nil {
+		return nil, fmt.Errorf("master: nil evaluator")
+	}
+	if slaves <= 0 {
+		slaves = runtime.GOMAXPROCS(0)
+	}
+	m := pvm.NewMachine(opts...)
+	masterTask, err := m.Register()
+	if err != nil {
+		return nil, err
+	}
+	pe := &PVMEvaluator{ev: ev, machine: m, master: masterTask}
+	for i := 0; i < slaves; i++ {
+		tid, err := m.Spawn(func(t *pvm.Task) { pe.slaveLoop(t) })
+		if err != nil {
+			m.Halt()
+			return nil, err
+		}
+		pe.slaves = append(pe.slaves, tid)
+	}
+	return pe, nil
+}
+
+// slaveLoop is the PVM slave program: receive work, evaluate, reply,
+// until told to stop.
+func (pe *PVMEvaluator) slaveLoop(t *pvm.Task) {
+	for {
+		msg, err := t.Recv(pvm.AnySource, pvm.AnyTag)
+		if err != nil {
+			return // machine halted
+		}
+		switch msg.Tag {
+		case tagStop:
+			return
+		case tagWork:
+			buf := pvm.FromBytes(msg.Body)
+			index := buf.UnpackInt()
+			sites := buf.UnpackInts()
+			reply := pvm.NewBuffer().PackInt(index)
+			if err := buf.Err(); err != nil {
+				reply.PackInt(1).PackString(err.Error()).PackFloat64(0)
+			} else if v, err := pe.ev.Evaluate(sites); err != nil {
+				reply.PackInt(1).PackString(err.Error()).PackFloat64(0)
+			} else {
+				reply.PackInt(0).PackString("").PackFloat64(v)
+			}
+			if err := t.Send(msg.Src, tagResult, reply.Bytes()); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Slaves returns the number of slave tasks.
+func (pe *PVMEvaluator) Slaves() int { return len(pe.slaves) }
+
+// EvaluateBatch implements the paper's dispatch: initially one
+// individual per slave, then each returning result triggers the next
+// send, until the batch is drained and all results are home.
+func (pe *PVMEvaluator) EvaluateBatch(batch [][]int) ([]float64, []error) {
+	values := make([]float64, len(batch))
+	errs := make([]error, len(batch))
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	if pe.closed {
+		for i := range errs {
+			errs[i] = ErrClosed
+		}
+		return values, errs
+	}
+	next := 0
+	inFlight := 0
+	send := func(slave int) error {
+		buf := pvm.NewBuffer().PackInt(next).PackInts(batch[next])
+		if err := pe.master.Send(slave, tagWork, buf.Bytes()); err != nil {
+			return err
+		}
+		next++
+		inFlight++
+		return nil
+	}
+	for _, tid := range pe.slaves {
+		if next >= len(batch) {
+			break
+		}
+		if err := send(tid); err != nil {
+			for i := range errs {
+				if errs[i] == nil && i >= next {
+					errs[i] = err
+				}
+			}
+			break
+		}
+	}
+	for inFlight > 0 {
+		msg, err := pe.master.Recv(pvm.AnySource, tagResult)
+		if err != nil {
+			for i := range errs {
+				if errs[i] == nil {
+					errs[i] = err
+				}
+			}
+			return values, errs
+		}
+		buf := pvm.FromBytes(msg.Body)
+		index := buf.UnpackInt()
+		failed := buf.UnpackInt()
+		emsg := buf.UnpackString()
+		v := buf.UnpackFloat64()
+		if err := buf.Err(); err != nil {
+			errs[index] = err
+		} else if failed != 0 {
+			errs[index] = errors.New(emsg)
+		} else {
+			values[index] = v
+		}
+		inFlight--
+		if next < len(batch) {
+			if err := send(msg.Src); err != nil {
+				errs[next] = err
+			}
+		}
+	}
+	return values, errs
+}
+
+// Evaluate satisfies fitness.Evaluator.
+func (pe *PVMEvaluator) Evaluate(sites []int) (float64, error) {
+	values, errs := pe.EvaluateBatch([][]int{sites})
+	return values[0], errs[0]
+}
+
+// Close sends every slave a stop message and halts the machine.
+func (pe *PVMEvaluator) Close() {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	if pe.closed {
+		return
+	}
+	pe.closed = true
+	for _, tid := range pe.slaves {
+		// Best effort; slaves also exit on machine halt.
+		_ = pe.master.Send(tid, tagStop, nil)
+	}
+	pe.machine.Halt()
+}
+
+// Interface conformance checks.
+var (
+	_ fitness.Evaluator      = (*Pool)(nil)
+	_ fitness.BatchEvaluator = (*Pool)(nil)
+	_ fitness.Evaluator      = (*PVMEvaluator)(nil)
+	_ fitness.BatchEvaluator = (*PVMEvaluator)(nil)
+)

@@ -1,0 +1,301 @@
+package master
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fitness"
+	"repro/internal/pvm"
+)
+
+// slowEval deterministically scores sites with an optional per-call
+// delay and injected failures.
+func slowEval(delay time.Duration, failOn int) fitness.Evaluator {
+	return fitness.Func(func(sites []int) (float64, error) {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		sum := 0
+		for _, s := range sites {
+			if s == failOn {
+				return 0, fmt.Errorf("injected failure on site %d", s)
+			}
+			sum += s
+		}
+		return float64(sum), nil
+	})
+}
+
+func batchOf(n int) [][]int {
+	batch := make([][]int, n)
+	for i := range batch {
+		batch[i] = []int{i, i + 100}
+	}
+	return batch
+}
+
+func TestPoolMatchesSerial(t *testing.T) {
+	ev := slowEval(0, -1)
+	p, err := NewPool(ev, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	batch := batchOf(50)
+	values, errs := p.EvaluateBatch(batch)
+	for i := range batch {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		want, _ := ev.Evaluate(batch[i])
+		if values[i] != want {
+			t.Fatalf("item %d: %v, want %v", i, values[i], want)
+		}
+	}
+}
+
+func TestPoolPerItemErrors(t *testing.T) {
+	p, err := NewPool(slowEval(0, 7), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	batch := [][]int{{1, 2}, {7, 9}, {3, 4}}
+	values, errs := p.EvaluateBatch(batch)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatal("healthy items errored")
+	}
+	if errs[1] == nil {
+		t.Fatal("failing item did not error")
+	}
+	if values[0] != 3 || values[2] != 7 {
+		t.Fatalf("values = %v", values)
+	}
+}
+
+func TestPoolSingleEvaluate(t *testing.T) {
+	p, err := NewPool(slowEval(0, -1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	v, err := p.Evaluate([]int{5, 6})
+	if err != nil || v != 11 {
+		t.Fatalf("Evaluate = %v, %v", v, err)
+	}
+}
+
+func TestPoolActuallyParallel(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	p, err := NewPool(slowEval(delay, -1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	start := time.Now()
+	_, errs := p.EvaluateBatch(batchOf(8))
+	elapsed := time.Since(start)
+	for _, e := range errs {
+		if e != nil {
+			t.Fatal(e)
+		}
+	}
+	// Serial would take 240ms; 8 slaves should finish in ~30ms.
+	if elapsed > 4*delay {
+		t.Fatalf("8 slaves took %v for 8 x %v jobs; not parallel", elapsed, delay)
+	}
+}
+
+func TestPoolClosedRejects(t *testing.T) {
+	p, err := NewPool(slowEval(0, -1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close() // idempotent
+	_, errs := p.EvaluateBatch(batchOf(3))
+	for _, e := range errs {
+		if e != ErrClosed {
+			t.Fatalf("err = %v, want ErrClosed", e)
+		}
+	}
+	if _, err := p.Evaluate([]int{1}); err != ErrClosed {
+		t.Fatalf("Evaluate after close: %v", err)
+	}
+}
+
+func TestPoolConcurrentBatches(t *testing.T) {
+	p, err := NewPool(slowEval(time.Millisecond, -1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch := batchOf(10)
+			values, errs := p.EvaluateBatch(batch)
+			for i := range batch {
+				if errs[i] != nil || values[i] != float64(batch[i][0]+batch[i][1]) {
+					t.Errorf("concurrent batch wrong at %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPoolDefaultSlaves(t *testing.T) {
+	p, err := NewPool(slowEval(0, -1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Slaves() < 1 {
+		t.Fatalf("Slaves() = %d", p.Slaves())
+	}
+}
+
+func TestNewPoolNilEvaluator(t *testing.T) {
+	if _, err := NewPool(nil, 2); err == nil {
+		t.Fatal("nil evaluator accepted")
+	}
+	if _, err := NewPVMEvaluator(nil, 2); err == nil {
+		t.Fatal("nil evaluator accepted by PVM variant")
+	}
+}
+
+func TestPVMEvaluatorMatchesSerial(t *testing.T) {
+	ev := slowEval(0, -1)
+	pe, err := NewPVMEvaluator(ev, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pe.Close()
+	batch := batchOf(37) // more jobs than slaves exercises re-dispatch
+	values, errs := pe.EvaluateBatch(batch)
+	for i := range batch {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		want, _ := ev.Evaluate(batch[i])
+		if values[i] != want {
+			t.Fatalf("item %d: %v, want %v", i, values[i], want)
+		}
+	}
+}
+
+func TestPVMEvaluatorPerItemErrors(t *testing.T) {
+	pe, err := NewPVMEvaluator(slowEval(0, 7), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pe.Close()
+	batch := [][]int{{1, 2}, {7, 9}, {3, 4}, {7, 7}}
+	values, errs := pe.EvaluateBatch(batch)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("healthy items errored: %v", errs)
+	}
+	if errs[1] == nil || errs[3] == nil {
+		t.Fatal("failing items did not error")
+	}
+	if values[0] != 3 || values[2] != 7 {
+		t.Fatalf("values = %v", values)
+	}
+}
+
+func TestPVMEvaluatorSmallBatch(t *testing.T) {
+	// Fewer jobs than slaves.
+	pe, err := NewPVMEvaluator(slowEval(0, -1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pe.Close()
+	values, errs := pe.EvaluateBatch([][]int{{2, 3}})
+	if errs[0] != nil || values[0] != 5 {
+		t.Fatalf("small batch: %v, %v", values, errs)
+	}
+}
+
+func TestPVMEvaluatorWithLatency(t *testing.T) {
+	pe, err := NewPVMEvaluator(slowEval(0, -1), 2, pvm.WithLatency(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pe.Close()
+	batch := batchOf(6)
+	values, errs := pe.EvaluateBatch(batch)
+	for i := range batch {
+		if errs[i] != nil || values[i] != float64(batch[i][0]+batch[i][1]) {
+			t.Fatalf("latency run wrong at %d: %v %v", i, values[i], errs[i])
+		}
+	}
+}
+
+func TestPVMEvaluatorClosed(t *testing.T) {
+	pe, err := NewPVMEvaluator(slowEval(0, -1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe.Close()
+	pe.Close() // idempotent
+	_, errs := pe.EvaluateBatch(batchOf(2))
+	for _, e := range errs {
+		if e != ErrClosed {
+			t.Fatalf("err = %v, want ErrClosed", e)
+		}
+	}
+}
+
+func TestPoolAndPVMAgree(t *testing.T) {
+	ev := slowEval(0, -1)
+	pool, err := NewPool(ev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	pe, err := NewPVMEvaluator(ev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pe.Close()
+	batch := batchOf(25)
+	v1, e1 := pool.EvaluateBatch(batch)
+	v2, e2 := pe.EvaluateBatch(batch)
+	for i := range batch {
+		if (e1[i] == nil) != (e2[i] == nil) || v1[i] != v2[i] {
+			t.Fatalf("backends disagree at %d: %v/%v vs %v/%v", i, v1[i], e1[i], v2[i], e2[i])
+		}
+	}
+}
+
+func BenchmarkPoolBatch(b *testing.B) {
+	p, err := NewPool(slowEval(0, -1), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	batch := batchOf(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.EvaluateBatch(batch)
+	}
+}
+
+func BenchmarkPVMBatch(b *testing.B) {
+	pe, err := NewPVMEvaluator(slowEval(0, -1), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pe.Close()
+	batch := batchOf(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pe.EvaluateBatch(batch)
+	}
+}

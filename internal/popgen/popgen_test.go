@@ -1,0 +1,275 @@
+package popgen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/genotype"
+	"repro/internal/ld"
+	"repro/internal/rng"
+)
+
+func TestGenerateShape(t *testing.T) {
+	d, err := Generate(Paper51(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSNPs() != 51 {
+		t.Fatalf("NumSNPs = %d", d.NumSNPs())
+	}
+	a, u, q := d.CountByStatus()
+	if a != 53 || u != 53 || q != 70 {
+		t.Fatalf("groups = %d/%d/%d, want 53/53/70", a, u, q)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d1, err := Generate(Paper51(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Generate(Paper51(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.Individuals {
+		for j := range d1.SNPs {
+			if d1.Individuals[i].Genotypes[j] != d2.Individuals[i].Genotypes[j] {
+				t.Fatalf("same seed produced different data at (%d,%d)", i, j)
+			}
+		}
+	}
+	d3, err := Generate(Paper51(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range d1.Individuals {
+		for j := range d1.SNPs {
+			if d1.Individuals[i].Genotypes[j] != d3.Individuals[i].Genotypes[j] {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestPlantedSignalIsDetectable(t *testing.T) {
+	cfg := Paper51(3)
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The causal SNPs should show allele-frequency differences between
+	// affected and unaffected groups; aggregate over all causal sites.
+	aff := d.Subset(d.ByStatus(genotype.Affected))
+	un := d.Subset(d.ByStatus(genotype.Unaffected))
+	totalShift := 0.0
+	for i, s := range cfg.Disease.CausalSites {
+		_, pa, _ := aff.AlleleFreq(s)
+		_, pu, _ := un.AlleleFreq(s)
+		shift := pa - pu
+		if cfg.Disease.RiskAlleles[i] == 0 {
+			shift = -shift
+		}
+		totalShift += shift
+	}
+	if totalShift < 0.15 {
+		t.Fatalf("aggregate case/control frequency shift on causal sites = %v, want > 0.15", totalShift)
+	}
+}
+
+func TestNullModelNoQuotaBias(t *testing.T) {
+	cfg := Config{
+		NumSNPs: 20, NumAffected: 30, NumUnaffected: 30,
+		Disease: DiseaseModel{BaseRisk: 0.5},
+		Seed:    5,
+	}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, u, _ := d.CountByStatus()
+	if a != 30 || u != 30 {
+		t.Fatalf("groups = %d/%d", a, u)
+	}
+}
+
+func TestBlockLDStructure(t *testing.T) {
+	cfg := Config{
+		NumSNPs: 32, NumAffected: 0, NumUnaffected: 0, NumUnknown: 300,
+		BlockSize: 8, HaplotypesPerBlock: 3, MutationRate: 0.01,
+		Disease: DiseaseModel{BaseRisk: 0.5},
+		Seed:    11,
+	}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean |D'| within blocks should exceed mean |D'| across distant
+	// blocks.
+	within, across := 0.0, 0.0
+	nw, na := 0, 0
+	for i := 0; i < 32; i++ {
+		for j := i + 1; j < 32; j++ {
+			p, err := ld.Estimate(d, i, j)
+			if err != nil {
+				continue
+			}
+			if i/8 == j/8 {
+				within += math.Abs(p.DPrime)
+				nw++
+			} else if j/8-i/8 >= 2 {
+				across += math.Abs(p.DPrime)
+				na++
+			}
+		}
+	}
+	if nw == 0 || na == 0 {
+		t.Fatal("no pairs measured")
+	}
+	if within/float64(nw) <= across/float64(na) {
+		t.Fatalf("within-block LD %v not stronger than across-block %v",
+			within/float64(nw), across/float64(na))
+	}
+}
+
+func TestMissingRate(t *testing.T) {
+	cfg := Config{
+		NumSNPs: 30, NumUnknown: 200, MissingRate: 0.1,
+		Disease: DiseaseModel{BaseRisk: 0.5},
+		Seed:    13,
+	}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing, total := 0, 0
+	for _, ind := range d.Individuals {
+		for _, g := range ind.Genotypes {
+			total++
+			if g == genotype.Missing {
+				missing++
+			}
+		}
+	}
+	rate := float64(missing) / float64(total)
+	if math.Abs(rate-0.1) > 0.02 {
+		t.Fatalf("missing rate = %v, want ~0.1", rate)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{NumSNPs: 0}); err == nil {
+		t.Fatal("zero SNPs accepted")
+	}
+	if _, err := Generate(Config{NumSNPs: 5, NumAffected: -1}); err == nil {
+		t.Fatal("negative group accepted")
+	}
+	bad := Config{NumSNPs: 5, Disease: DiseaseModel{CausalSites: []int{9}, RiskAlleles: []uint8{1}}}
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("out-of-range causal site accepted")
+	}
+	mismatch := Config{NumSNPs: 5, Disease: DiseaseModel{CausalSites: []int{1, 2}, RiskAlleles: []uint8{1}}}
+	if _, err := Generate(mismatch); err == nil {
+		t.Fatal("mismatched risk alleles accepted")
+	}
+	unsorted := Config{NumSNPs: 5, Disease: DiseaseModel{CausalSites: []int{3, 1}, RiskAlleles: []uint8{0, 0}}}
+	if _, err := Generate(unsorted); err == nil {
+		t.Fatal("unsorted causal sites accepted")
+	}
+	badMiss := Config{NumSNPs: 5, MissingRate: 1.5, Disease: DiseaseModel{BaseRisk: 0.5}}
+	if _, err := Generate(badMiss); err == nil {
+		t.Fatal("missing rate >= 1 accepted")
+	}
+}
+
+func TestImpossibleQuotaFails(t *testing.T) {
+	// BaseRisk 0 with no causal sites can never produce an affected
+	// individual; Generate must give up with an error, not hang.
+	cfg := Config{
+		NumSNPs: 5, NumAffected: 1, NumUnaffected: 0,
+		Disease: DiseaseModel{BaseRisk: 0},
+		Seed:    1,
+	}
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("impossible quota did not error")
+	}
+}
+
+func TestDiseaseProbClamped(t *testing.T) {
+	m := DiseaseModel{
+		CausalSites: []int{0, 1}, RiskAlleles: []uint8{1, 1},
+		BaseRisk: 0.9, HaplotypeEffect: 0.9, AlleleEffect: 0.5,
+	}
+	h := []uint8{1, 1}
+	if p := diseaseProb(m, h, h); p != 1 {
+		t.Fatalf("penetrance not clamped: %v", p)
+	}
+	m.BaseRisk = 0
+	m.HaplotypeEffect = 0
+	m.AlleleEffect = 0
+	if p := diseaseProb(m, h, h); p != 0 {
+		t.Fatalf("zero model gave %v", p)
+	}
+}
+
+func TestPaper249Config(t *testing.T) {
+	cfg := Paper249(1)
+	if cfg.NumSNPs != 249 {
+		t.Fatalf("NumSNPs = %d", cfg.NumSNPs)
+	}
+	if err := cfg.Disease.Validate(cfg.NumSNPs); err != nil {
+		t.Fatal(err)
+	}
+	// Generation at this scale must work and be reasonably fast.
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSNPs() != 249 || d.NumIndividuals() != 176 {
+		t.Fatalf("shape = %d SNPs, %d individuals", d.NumSNPs(), d.NumIndividuals())
+	}
+}
+
+func TestPaperCausalSiteNames(t *testing.T) {
+	d, err := Generate(Paper51(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"SNP8", "SNP12", "SNP15", "SNP21", "SNP32", "SNP43"}
+	for i, s := range PaperCausalSites {
+		if d.SNPs[s].Name != wantNames[i] {
+			t.Fatalf("causal site %d is %s, want %s", s, d.SNPs[s].Name, wantNames[i])
+		}
+	}
+}
+
+func TestFounderPoolVariability(t *testing.T) {
+	cfg := Config{NumSNPs: 16, BlockSize: 4, HaplotypesPerBlock: 4, FounderPoolSize: 50}
+	r := rng.New(3)
+	pool := buildFounderPool(cfg.withDefaults(), r)
+	if len(pool) != 50 {
+		t.Fatalf("pool size = %d", len(pool))
+	}
+	distinct := map[string]bool{}
+	for _, h := range pool {
+		distinct[string(h)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("founder pool has no variability")
+	}
+}
+
+func BenchmarkGenerate51(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Paper51(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package rng provides a small, fast, deterministic random number
+// generator used throughout the repository.
+//
+// Reproducibility is a hard requirement of the experiment harness: every
+// run of every experiment is driven by an explicit 64-bit seed, and
+// parallel components (GA subpopulations, master/slave workers, Monte
+// Carlo replicates) each receive an independent stream derived with
+// Split, so results do not depend on goroutine scheduling.
+//
+// The generator is xoshiro256** seeded through SplitMix64, the standard
+// construction recommended by the xoshiro authors. Both are implemented
+// here from the public-domain reference algorithms; no external code is
+// used.
+package rng
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator
+// (xoshiro256**). It is NOT safe for concurrent use; derive one stream
+// per goroutine with Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used for seeding so that nearby seeds yield unrelated streams.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given 64-bit seed. Distinct
+// seeds produce statistically independent streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro256** must not start from the all-zero state; SplitMix64
+	// cannot emit four consecutive zeros, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives a new generator whose stream is independent of the
+// parent's future output. The parent is advanced.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's unbiased
+// multiply-shift rejection method. It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Lemire rejection sampling on the high 64 bits of the 128-bit
+	// product keeps the result exactly uniform.
+	thresh := -n % n
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= thresh {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// IntRange returns a uniform int in [lo, hi]. It panics if hi < lo.
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange called with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar
+// method). Adequate for the moderate-accuracy needs of the synthetic
+// data generator.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Shuffle randomizes the order of n elements via the provided swap
+// function (Fisher–Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Sample returns k distinct integers drawn uniformly from [0, n) in
+// random order. It panics if k > n or k < 0.
+func (r *RNG) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample called with k out of range")
+	}
+	if k == 0 {
+		return nil
+	}
+	// For small k relative to n, use a rejection set; otherwise a
+	// partial Fisher–Yates over a full index slice.
+	if k*8 < n {
+		seen := make(map[int]struct{}, k)
+		out := make([]int, 0, k)
+		for len(out) < k {
+			v := r.Intn(n)
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+		return out
+	}
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p[:k:k]
+}
+
+// Choice returns a uniformly chosen element index weighted by w. All
+// weights must be non-negative and at least one must be positive.
+func (r *RNG) Choice(w []float64) int {
+	total := 0.0
+	for _, v := range w {
+		if v < 0 {
+			panic("rng: Choice called with negative weight")
+		}
+		total += v
+	}
+	if total <= 0 {
+		panic("rng: Choice called with zero total weight")
+	}
+	x := r.Float64() * total
+	acc := 0.0
+	for i, v := range w {
+		acc += v
+		if x < acc {
+			return i
+		}
+	}
+	return len(w) - 1
+}

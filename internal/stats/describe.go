@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance of xs, or 0 when
+// fewer than two samples are available.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	i := int(math.Floor(pos))
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[i]*(1-frac) + s[i+1]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Accumulator is a streaming mean/variance accumulator using Welford's
+// algorithm. The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of samples added so far.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean, or 0 before any samples.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the running unbiased sample variance.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the running sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest sample seen, or 0 before any samples.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample seen, or 0 before any samples.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Merge folds another accumulator into a (parallel reduction), using
+// Chan et al.'s pairwise update so merged results equal a serial pass.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	a.m2 += b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
+	a.mean += delta * float64(b.n) / float64(n)
+	a.n = n
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+}

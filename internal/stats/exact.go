@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// FisherExact2x2 computes the exact two-sided p-value of the 2x2
+// table [[a b] [c d]] under the null of independence conditional on
+// the margins (Fisher's exact test). The two-sided p-value sums the
+// probabilities of every table, with the observed margins, whose
+// point probability does not exceed the observed one — the standard
+// "small p" definition used by R's fisher.test.
+//
+// The test complements the chi-square machinery for the sparse tables
+// that rare haplotypes produce, where asymptotic p-values are
+// unreliable.
+func FisherExact2x2(a, b, c, d int) (float64, error) {
+	if a < 0 || b < 0 || c < 0 || d < 0 {
+		return 0, fmt.Errorf("stats: FisherExact2x2 requires non-negative counts")
+	}
+	n := a + b + c + d
+	if n == 0 {
+		return 1, nil
+	}
+	r0 := a + b
+	c0 := a + c
+	// Probability of a table with top-left cell x, fixed margins.
+	logProb := func(x int) float64 {
+		// hypergeometric: C(r0, x) C(n-r0, c0-x) / C(n, c0)
+		return logChoose(r0, x) + logChoose(n-r0, c0-x) - logChoose(n, c0)
+	}
+	lo := 0
+	if c0-(n-r0) > lo {
+		lo = c0 - (n - r0)
+	}
+	hi := r0
+	if c0 < hi {
+		hi = c0
+	}
+	obs := logProb(a)
+	const slack = 1e-7 // tolerate float noise when comparing point probabilities
+	p := 0.0
+	for x := lo; x <= hi; x++ {
+		lp := logProb(x)
+		if lp <= obs+slack {
+			p += math.Exp(lp)
+		}
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// logChoose returns ln C(n, k) using log-gamma; 0 for k==0 or k==n.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	return lgamma(float64(n)+1) - lgamma(float64(k)+1) - lgamma(float64(n-k)+1)
+}
+
+// NormalCDF returns P(Z <= z) for the standard normal distribution.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// NormalQuantile returns the z with NormalCDF(z) = p, via the
+// Acklam-style rational approximation refined by one Newton step.
+// It panics for p outside (0, 1).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: NormalQuantile requires p in (0,1)")
+	}
+	// Beasley-Springer-Moro style bisection refinement: robust and
+	// plenty fast for reporting code paths.
+	lo, hi := -40.0, 40.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if NormalCDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFisherExactKnownValues(t *testing.T) {
+	// R: fisher.test(matrix(c(3,1,1,3),2)) two-sided p = 0.4857143.
+	p, err := FisherExact2x2(3, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.4857143) > 1e-6 {
+		t.Fatalf("p = %v, want 0.4857143", p)
+	}
+	// Lady tasting tea: fisher.test(matrix(c(4,0,0,4),2)) p = 0.02857143.
+	p, err = FisherExact2x2(4, 0, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.02857143) > 1e-6 {
+		t.Fatalf("p = %v, want 0.02857143", p)
+	}
+}
+
+func TestFisherExactIndependent(t *testing.T) {
+	// Perfectly proportional rows: p must be 1.
+	p, err := FisherExact2x2(10, 20, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1) > 1e-9 {
+		t.Fatalf("p = %v, want 1", p)
+	}
+}
+
+func TestFisherExactEdges(t *testing.T) {
+	if _, err := FisherExact2x2(-1, 0, 0, 0); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	p, err := FisherExact2x2(0, 0, 0, 0)
+	if err != nil || p != 1 {
+		t.Fatalf("empty table p = %v, %v", p, err)
+	}
+	// Zero margin degenerates to p = 1.
+	p, err = FisherExact2x2(0, 0, 5, 7)
+	if err != nil || math.Abs(p-1) > 1e-9 {
+		t.Fatalf("zero-row p = %v, %v", p, err)
+	}
+}
+
+func TestFisherExactValidPValue(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		p, err := FisherExact2x2(int(a%30), int(b%30), int(c%30), int(d%30))
+		return err == nil && p > 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFisherExactAgreesWithChiSquareForLargeCounts(t *testing.T) {
+	// With large balanced counts the exact and asymptotic tests agree
+	// in order of magnitude.
+	tab := mustTable(t, [][]float64{{100, 60}, {60, 100}})
+	chi, df := tab.ChiSquare()
+	asymp := ChiSquareSurvival(chi, df)
+	exact, err := FisherExact2x2(100, 60, 60, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := exact / asymp
+	if ratio < 0.2 || ratio > 5 {
+		t.Fatalf("exact %v vs asymptotic %v disagree wildly", exact, asymp)
+	}
+}
+
+func TestNormalCDFReference(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1.959964, 0.975},
+		{-1.959964, 0.025},
+		{1, 0.8413447},
+		{-3, 0.0013499},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.z); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.001, 0.025, 0.5, 0.9, 0.999} {
+		z := NormalQuantile(p)
+		if back := NormalCDF(z); math.Abs(back-p) > 1e-9 {
+			t.Errorf("round trip p=%v: got %v", p, back)
+		}
+	}
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NormalQuantile(0) did not panic")
+		}
+	}()
+	NormalQuantile(0)
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustTable(t *testing.T, rows [][]float64) *Table {
+	t.Helper()
+	tab, err := TableFromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// Classic textbook 2x2: chi2 = n(ad-bc)^2 / ((a+b)(c+d)(a+c)(b+d)).
+func TestChiSquare2x2Exact(t *testing.T) {
+	tab := mustTable(t, [][]float64{{10, 20}, {30, 40}})
+	chi, df := tab.ChiSquare()
+	n := 100.0
+	want := n * math.Pow(10*40-20*30, 2) / (30 * 70 * 40 * 60)
+	if df != 1 {
+		t.Fatalf("df = %d, want 1", df)
+	}
+	if !almostEqual(chi, want, 1e-9) {
+		t.Fatalf("chi2 = %v, want %v", chi, want)
+	}
+}
+
+func TestChiSquareIndependentTableIsZero(t *testing.T) {
+	// Rows proportional -> expected == observed -> chi2 == 0.
+	tab := mustTable(t, [][]float64{{10, 30, 60}, {5, 15, 30}})
+	chi, df := tab.ChiSquare()
+	if df != 2 {
+		t.Fatalf("df = %d, want 2", df)
+	}
+	if chi > 1e-10 {
+		t.Fatalf("chi2 = %v, want 0", chi)
+	}
+}
+
+func TestChiSquareZeroColumnReducesDF(t *testing.T) {
+	tab := mustTable(t, [][]float64{{10, 0, 20}, {30, 0, 40}})
+	_, df := tab.ChiSquare()
+	if df != 1 {
+		t.Fatalf("df with dead column = %d, want 1", df)
+	}
+}
+
+func TestChiSquareDegenerate(t *testing.T) {
+	tab := mustTable(t, [][]float64{{0, 0}, {0, 0}})
+	chi, df := tab.ChiSquare()
+	if chi != 0 || df != 0 {
+		t.Fatalf("empty table chi/df = %v/%d", chi, df)
+	}
+	one := mustTable(t, [][]float64{{5, 7}})
+	if _, df := one.ChiSquare(); df != 0 {
+		t.Fatal("single-row table should have df 0")
+	}
+}
+
+func TestChiSquareInvariantUnderRowSwap(t *testing.T) {
+	f := func(a, b, c, d, e, g uint8) bool {
+		t1, err := TableFromRows([][]float64{
+			{float64(a), float64(b), float64(c)},
+			{float64(d), float64(e), float64(g)},
+		})
+		if err != nil {
+			return true
+		}
+		t2, err := TableFromRows([][]float64{
+			{float64(d), float64(e), float64(g)},
+			{float64(a), float64(b), float64(c)},
+		})
+		if err != nil {
+			return true
+		}
+		x1, df1 := t1.ChiSquare()
+		x2, df2 := t2.ChiSquare()
+		return df1 == df2 && almostEqual(x1, x2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChiSquareInvariantUnderColPermutation(t *testing.T) {
+	t1 := mustTable(t, [][]float64{{3, 9, 1, 7}, {8, 2, 6, 4}})
+	t2 := mustTable(t, [][]float64{{7, 1, 9, 3}, {4, 6, 2, 8}})
+	x1, _ := t1.ChiSquare()
+	x2, _ := t2.ChiSquare()
+	if !almostEqual(x1, x2, 1e-9) {
+		t.Fatalf("chi2 changed under column permutation: %v vs %v", x1, x2)
+	}
+}
+
+func TestGStatisticNearChiSquareForLargeN(t *testing.T) {
+	tab := mustTable(t, [][]float64{{1000, 1010}, {990, 1000}})
+	chi, _ := tab.ChiSquare()
+	g, _ := tab.GStatistic()
+	if math.Abs(chi-g) > 0.01*math.Max(chi, 1e-9)+1e-6 {
+		t.Fatalf("G = %v far from chi2 = %v on near-null data", g, chi)
+	}
+}
+
+func TestCramersVRange(t *testing.T) {
+	perfect := mustTable(t, [][]float64{{50, 0}, {0, 50}})
+	if v := perfect.CramersV(); !almostEqual(v, 1, 1e-9) {
+		t.Fatalf("Cramer's V of perfect association = %v", v)
+	}
+	indep := mustTable(t, [][]float64{{25, 25}, {25, 25}})
+	if v := indep.CramersV(); v > 1e-9 {
+		t.Fatalf("Cramer's V of independence = %v", v)
+	}
+}
+
+func TestPValueConsistency(t *testing.T) {
+	tab := mustTable(t, [][]float64{{10, 20}, {30, 40}})
+	chi, df := tab.ChiSquare()
+	if p := tab.PValue(); !almostEqual(p, ChiSquareSurvival(chi, df), 1e-12) {
+		t.Fatal("PValue inconsistent with ChiSquareSurvival")
+	}
+	empty := mustTable(t, [][]float64{{0, 0}, {0, 0}})
+	if p := empty.PValue(); p != 1 {
+		t.Fatalf("degenerate p-value = %v, want 1", p)
+	}
+}
+
+func TestTableFromRowsErrors(t *testing.T) {
+	if _, err := TableFromRows(nil); err == nil {
+		t.Fatal("nil rows accepted")
+	}
+	if _, err := TableFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := TableFromRows([][]float64{{1, -2}}); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if _, err := TableFromRows([][]float64{{math.NaN()}}); err == nil {
+		t.Fatal("NaN count accepted")
+	}
+}
+
+func TestMarginals(t *testing.T) {
+	tab := mustTable(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	rt := tab.RowTotals()
+	ct := tab.ColTotals()
+	if rt[0] != 6 || rt[1] != 15 {
+		t.Fatalf("row totals %v", rt)
+	}
+	if ct[0] != 5 || ct[1] != 7 || ct[2] != 9 {
+		t.Fatalf("col totals %v", ct)
+	}
+	if tab.Total() != 21 {
+		t.Fatalf("total %v", tab.Total())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tab := mustTable(t, [][]float64{{1, 2}, {3, 4}})
+	c := tab.Clone()
+	c.Set(0, 0, 99)
+	if tab.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestNewTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTable(0, 3) did not panic")
+		}
+	}()
+	NewTable(0, 3)
+}
+
+func BenchmarkChiSquare2x64(b *testing.B) {
+	tab := NewTable(2, 64)
+	for j := 0; j < 64; j++ {
+		tab.Set(0, j, float64(j%7)+1)
+		tab.Set(1, j, float64(j%5)+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.ChiSquare()
+	}
+}

@@ -1,0 +1,181 @@
+// Package repro is a from-scratch Go reproduction of "A Parallel
+// Adaptive GA for Linkage Disequilibrium in Genomics"
+// (Vermeulen-Jourdan, Dhaenens, Talbi — IPDPS 2004).
+//
+// The library searches case/control SNP datasets for haplotypes
+// (associations of 2–6 SNPs) that explain a disease status, scoring
+// each candidate with the paper's EH-DIALL → CLUMP statistical
+// pipeline and exploring the space with a multipopulation adaptive
+// genetic algorithm evaluated through a synchronous master/slave
+// worker pool.
+//
+// This package is the public facade: it re-exports the user-facing
+// types of the internal packages and provides one-call entry points
+// for the common workflows. The building blocks live in internal/
+// (genotype model, synthetic population generator, linkage
+// disequilibrium, EH-DIALL EM estimator, CLUMP statistics, fitness
+// pipeline, the GA itself, master/slave evaluation, landscape
+// analysis, baselines and the experiment harness).
+//
+// Quick start:
+//
+//	data, _ := repro.Paper51Dataset(1)
+//	result, _ := repro.Run(data, repro.GAConfig{Seed: 1}, repro.RunOptions{})
+//	for size, best := range result.BestBySize {
+//	    fmt.Printf("size %d: %s\n", size, best)
+//	}
+package repro
+
+import (
+	"io"
+
+	"repro/internal/clump"
+	"repro/internal/core"
+	"repro/internal/ehdiall"
+	"repro/internal/fitness"
+	"repro/internal/genotype"
+	"repro/internal/master"
+	"repro/internal/popgen"
+)
+
+// Re-exported data model types.
+type (
+	// Dataset is a case/control SNP study table.
+	Dataset = genotype.Dataset
+	// Individual is one study subject.
+	Individual = genotype.Individual
+	// SNP is one biallelic marker.
+	SNP = genotype.SNP
+	// Genotype is the per-SNP diploid genotype coding.
+	Genotype = genotype.Genotype
+	// Status is the affection status of an individual.
+	Status = genotype.Status
+)
+
+// Affection statuses.
+const (
+	Affected   = genotype.Affected
+	Unaffected = genotype.Unaffected
+	Unknown    = genotype.Unknown
+)
+
+// Re-exported GA types.
+type (
+	// GAConfig holds the GA parameters (§5.2.1 defaults apply).
+	GAConfig = core.Config
+	// GAResult is a finished run's outcome.
+	GAResult = core.Result
+	// Haplotype is one GA individual (a SNP association).
+	Haplotype = core.Haplotype
+	// TraceEntry is a per-generation snapshot.
+	TraceEntry = core.TraceEntry
+)
+
+// Statistic selects the CLUMP statistic used as fitness.
+type Statistic = clump.Statistic
+
+// The four CLUMP statistics (the paper's fitness is T1 by default).
+const (
+	T1 = clump.T1
+	T2 = clump.T2
+	T3 = clump.T3
+	T4 = clump.T4
+)
+
+// Evaluator scores haplotypes; see NewEvaluator and
+// NewParallelEvaluator.
+type Evaluator = fitness.Evaluator
+
+// GeneratorConfig configures the synthetic dataset generator that
+// substitutes for the paper's proprietary Lille data.
+type GeneratorConfig = popgen.Config
+
+// DiseaseModel plants an epistatic risk haplotype in generated data.
+type DiseaseModel = popgen.DiseaseModel
+
+// Paper51Dataset generates the default 51-SNP study (53 affected, 53
+// healthy, 70 unknown individuals) with the planted risk haplotype on
+// SNPs 8, 12, 15, 21, 32 and 43 — the SNP numbers of the paper's best
+// size-6 haplotype.
+func Paper51Dataset(seed uint64) (*Dataset, error) {
+	return popgen.Generate(popgen.Paper51(seed))
+}
+
+// Paper249Dataset generates the paper's larger 249-SNP study shape.
+func Paper249Dataset(seed uint64) (*Dataset, error) {
+	return popgen.Generate(popgen.Paper249(seed))
+}
+
+// GenerateDataset runs the synthetic generator with a custom
+// configuration.
+func GenerateDataset(cfg GeneratorConfig) (*Dataset, error) {
+	return popgen.Generate(cfg)
+}
+
+// ReadDataset parses a dataset from its text table format.
+func ReadDataset(r io.Reader) (*Dataset, error) { return genotype.Read(r) }
+
+// ReadDatasetFile parses a dataset file.
+func ReadDatasetFile(path string) (*Dataset, error) { return genotype.ReadFile(path) }
+
+// WriteDataset serializes a dataset in the text table format.
+func WriteDataset(w io.Writer, d *Dataset) error { return genotype.Write(w, d) }
+
+// NewEvaluator builds the paper's Figure 3 evaluation pipeline
+// (EH-DIALL per status group, concatenation, CLUMP statistic) over the
+// dataset. The evaluator is safe for concurrent use.
+func NewEvaluator(d *Dataset, stat Statistic) (Evaluator, error) {
+	return fitness.NewPipeline(d, stat, ehdiall.Config{})
+}
+
+// ParallelEvaluator is a synchronous master/slave evaluator (§4.5).
+// Close it when done.
+type ParallelEvaluator interface {
+	Evaluator
+	// EvaluateBatch evaluates a whole generation with a synchronous
+	// barrier; results are positional.
+	EvaluateBatch(batch [][]int) ([]float64, []error)
+	// Slaves returns the worker count.
+	Slaves() int
+	// Close stops the slaves.
+	Close()
+}
+
+// NewParallelEvaluator wraps the Figure 3 pipeline in a master/slave
+// pool with the given number of slaves (0 = one per CPU).
+func NewParallelEvaluator(d *Dataset, stat Statistic, slaves int) (ParallelEvaluator, error) {
+	pipe, err := fitness.NewPipeline(d, stat, ehdiall.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return master.NewPool(pipe, slaves)
+}
+
+// RunOptions tunes the one-call Run entry point.
+type RunOptions struct {
+	// Statistic selects the fitness (default T1).
+	Statistic Statistic
+	// Slaves sizes the master/slave pool (0 = one per CPU).
+	Slaves int
+}
+
+// Run executes the complete published method on a dataset: it builds
+// the evaluation pipeline, starts the master/slave pool, runs the
+// multipopulation adaptive GA and returns its per-size best
+// haplotypes.
+func Run(d *Dataset, cfg GAConfig, opts RunOptions) (*GAResult, error) {
+	stat := opts.Statistic
+	if stat == 0 {
+		stat = T1
+	}
+	pool, err := NewParallelEvaluator(d, stat, opts.Slaves)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
+	ga, err := core.New(pool, d.NumSNPs(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ga.Run()
+}
