@@ -1,0 +1,118 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+func backendTestDataset(t *testing.T) *repro.Dataset {
+	t.Helper()
+	d, err := repro.GenerateDataset(repro.GeneratorConfig{
+		NumSNPs: 14, NumAffected: 30, NumUnaffected: 30,
+		RiskHaplotypeFreq: 0.3,
+		Disease: repro.DiseaseModel{
+			CausalSites: []int{3, 9}, RiskAlleles: []uint8{1, 1},
+			BaseRisk: 0.15, HaplotypeEffect: 0.6,
+		},
+		Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func backendTestConfig() repro.GAConfig {
+	return repro.GAConfig{
+		MinSize: 2, MaxSize: 3, PopulationSize: 24,
+		PairsPerGeneration: 8, StagnationLimit: 12,
+		ImmigrantStagnation: 5, MaxGenerations: 200, Seed: 5,
+	}
+}
+
+// TestBackendParity: a fixed seed must produce the identical result
+// under the native engine and the PVM simulation — the backends differ
+// only in speed, never in trajectory.
+func TestBackendParity(t *testing.T) {
+	d := backendTestDataset(t)
+	cfg := backendTestConfig()
+	runWith := func(b repro.Backend) *repro.GAResult {
+		res, err := repro.Run(d, cfg, repro.RunOptions{Slaves: 3, Backend: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	native := runWith(repro.BackendNative)
+	pvm := runWith(repro.BackendPVM)
+	pool := runWith(repro.BackendPool)
+
+	for name, other := range map[string]*repro.GAResult{"pvm": pvm, "pool": pool} {
+		if native.TotalEvaluations != other.TotalEvaluations {
+			t.Errorf("%s: %d evaluations, native %d", name, other.TotalEvaluations, native.TotalEvaluations)
+		}
+		if native.Generations != other.Generations {
+			t.Errorf("%s: %d generations, native %d", name, other.Generations, native.Generations)
+		}
+		if len(native.BestBySize) != len(other.BestBySize) {
+			t.Fatalf("%s: %d sizes, native %d", name, len(other.BestBySize), len(native.BestBySize))
+		}
+		for size, nb := range native.BestBySize {
+			ob := other.BestBySize[size]
+			if ob == nil {
+				t.Fatalf("%s: no best for size %d", name, size)
+			}
+			if nb.Fitness != ob.Fitness {
+				t.Errorf("%s size %d: fitness %v, native %v", name, size, ob.Fitness, nb.Fitness)
+			}
+			if len(nb.Sites) != len(ob.Sites) {
+				t.Fatalf("%s size %d: sites %v, native %v", name, size, ob.Sites, nb.Sites)
+			}
+			for i := range nb.Sites {
+				if nb.Sites[i] != ob.Sites[i] {
+					t.Errorf("%s size %d: sites %v, native %v", name, size, ob.Sites, nb.Sites)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestEngineCacheHitRateDuringRun: the GA re-visits haplotypes across
+// generations, so a run through the native engine must produce cache
+// hits and compute strictly less than it serves.
+func TestEngineCacheHitRateDuringRun(t *testing.T) {
+	d := backendTestDataset(t)
+	eng, err := repro.NewEngine(d, repro.T1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	res, err := repro.RunWith(eng, d.NumSNPs(), backendTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := eng.Report()
+	if rep.CacheHits == 0 || rep.HitRate() <= 0 {
+		t.Fatalf("no cache hits on a repeated-genotype run: %+v", rep)
+	}
+	if rep.Computed >= rep.Requests {
+		t.Fatalf("computed %d of %d requests; memoization had no effect", rep.Computed, rep.Requests)
+	}
+	// The GA coalesces in-batch duplicates itself, so the engine sees
+	// at most the GA's requested-score count.
+	if rep.Requests == 0 || rep.Requests > res.TotalEvaluations {
+		t.Errorf("engine saw %d requests, GA counted %d evaluations", rep.Requests, res.TotalEvaluations)
+	}
+	var perWorker int64
+	for _, n := range rep.PerWorker {
+		perWorker += n
+	}
+	if perWorker != rep.Computed {
+		t.Errorf("per-worker counts sum to %d, computed %d", perWorker, rep.Computed)
+	}
+	if rep.Throughput() <= 0 || rep.WorkerThroughput() <= 0 {
+		t.Errorf("throughput not positive: %+v", rep)
+	}
+}

@@ -61,7 +61,11 @@ type Config struct {
 	TournamentSize int
 
 	// Seed drives all GA randomness; runs are fully deterministic
-	// given (Seed, Config, evaluator).
+	// given (Seed, Config, evaluator). Because evaluation results are
+	// positional and fitness is a pure function of the SNP set, the
+	// trajectory is also independent of the evaluation backend: the
+	// native engine, the goroutine pool and the PVM simulation all
+	// reproduce the same run bit for bit.
 	Seed uint64
 
 	// Constraint, when non-nil, rejects candidate haplotypes before

@@ -114,8 +114,12 @@ func (g *GA) feasible(sites []int) bool {
 }
 
 // evaluateBatch scores every unevaluated haplotype in cands through
-// the evaluator, updating the run's evaluation counters. Haplotypes
-// whose evaluation fails stay unevaluated and are dropped by callers.
+// the evaluator, updating the run's evaluation counters. Identical
+// SNP sets within the batch are submitted once and fanned back out,
+// so the backend sees only distinct work; the evaluation counter
+// still counts every requested score, preserving the paper's cost
+// metric. Haplotypes whose evaluation fails stay unevaluated and are
+// dropped by callers.
 func (g *GA) evaluateBatch(cands []*Haplotype) {
 	var batch [][]int
 	var idx []int
@@ -128,13 +132,15 @@ func (g *GA) evaluateBatch(cands []*Haplotype) {
 	if len(batch) == 0 {
 		return
 	}
-	values, errs := fitness.EvaluateAll(g.eval, batch)
+	unique, index := fitness.Dedupe(batch)
+	values, errs := fitness.EvaluateAll(g.eval, unique)
 	for j, i := range idx {
 		g.evals++
-		if errs[j] != nil {
+		u := index[j]
+		if errs[u] != nil {
 			continue
 		}
-		cands[i].Fitness = values[j]
+		cands[i].Fitness = values[u]
 		cands[i].Evaluated = true
 	}
 }
@@ -313,12 +319,9 @@ func (g *GA) step() bool {
 		if !ok {
 			continue
 		}
-		prevBest := sp.best()
-		if sp.insert(h) {
-			if prevBest == nil || h.Fitness > prevBest.Fitness {
-				g.evalsAtBest[sp.size] = g.evals
-				improved = true
-			}
+		if _, newBest := sp.insertTracked(h); newBest {
+			g.evalsAtBest[sp.size] = g.evals
+			improved = true
 		}
 	}
 
@@ -549,12 +552,12 @@ func (g *GA) randomImmigrants() int {
 			continue
 		}
 		sp := targets[i]
-		prevBest := sp.best()
-		if sp.insert(h) {
+		inserted, newBest := sp.insertTracked(h)
+		if inserted {
 			injected++
-			if prevBest == nil || h.Fitness > prevBest.Fitness {
-				g.evalsAtBest[sp.size] = g.evals
-			}
+		}
+		if newBest {
+			g.evalsAtBest[sp.size] = g.evals
 		}
 	}
 	g.immigrants += int64(injected)

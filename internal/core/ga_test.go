@@ -116,7 +116,11 @@ func TestGADifferentSeedsDiffer(t *testing.T) {
 	}
 }
 
-func TestGAEvaluationCountMatchesEvaluator(t *testing.T) {
+func TestGAEvaluationCountCoversEvaluator(t *testing.T) {
+	// TotalEvaluations counts every score the GA requests — the
+	// paper's cost metric, independent of the evaluation backend. The
+	// evaluator itself sees at most that many calls, because identical
+	// SNP sets within a batch are coalesced before submission.
 	counter := fitness.NewCounting(plantedEvaluator(testTarget))
 	ga, err := New(counter, 20, testConfig(7))
 	if err != nil {
@@ -126,11 +130,11 @@ func TestGAEvaluationCountMatchesEvaluator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.TotalEvaluations != counter.Count() {
-		t.Fatalf("GA counted %d evaluations, evaluator saw %d",
-			res.TotalEvaluations, counter.Count())
+	if counter.Count() > res.TotalEvaluations {
+		t.Fatalf("evaluator saw %d calls, more than the GA's %d requested evaluations",
+			counter.Count(), res.TotalEvaluations)
 	}
-	if res.TotalEvaluations == 0 {
+	if counter.Count() == 0 || res.TotalEvaluations == 0 {
 		t.Fatal("no evaluations performed")
 	}
 	for size, evals := range res.EvalsAtBest {

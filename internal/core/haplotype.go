@@ -11,9 +11,11 @@
 // immigrants re-seed stagnating populations (§4.4), replacement is
 // better-than-worst with duplicate rejection, and the run stops when
 // no subpopulation best has improved for a fixed number of
-// generations (§4.6). Evaluation batches are dispatched through a
-// pluggable evaluator, which package master implements as a
-// synchronous master/slave pool (§4.5).
+// generations (§4.6). Evaluation batches are deduplicated and
+// dispatched through the pluggable fitness.Evaluator seam: package
+// engine provides the default native worker pool with a memoizing
+// cache, and package master the paper-fidelity synchronous
+// master/slave pool and its PVM simulation (§4.5).
 package core
 
 import (

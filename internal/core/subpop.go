@@ -77,6 +77,17 @@ func (sp *subpop) insert(h *Haplotype) bool {
 	return true
 }
 
+// insertTracked inserts h and additionally reports whether it became
+// the new subpopulation best — the signal the stagnation rule and the
+// EvalsAtBest metric key on.
+func (sp *subpop) insertTracked(h *Haplotype) (inserted, newBest bool) {
+	prev := sp.best()
+	if !sp.insert(h) {
+		return false, false
+	}
+	return true, prev == nil || h.Fitness > prev.Fitness
+}
+
 // normalized returns the paper's §4.3.1 normalized fitness of a raw
 // fitness value relative to this subpopulation's best and worst:
 // (f - worst) / (best - worst). Degenerate ranges yield 0.

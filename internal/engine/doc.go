@@ -1,0 +1,40 @@
+// Package engine is the native concurrent evaluation engine: the
+// production-speed counterpart of the paper-fidelity PVM simulation in
+// packages master and pvm.
+//
+// The paper obtains its speedups from a synchronous master/slave
+// fitness evaluation (§4.5); this package keeps that contract — a
+// batch call returns only when the whole generation is scored — but
+// drops the 2004 messaging model. Haplotypes are evaluated by a pool
+// of plain goroutine workers over the shared EH-DIALL -> CLUMP
+// pipeline, and every score is memoized in a sharded, concurrency-safe
+// cache, because the multipopulation GA re-evaluates the same 2-6-SNP
+// sets across generations, subpopulations and repeated experiment
+// runs (the same observation that drives STPGA's memoized fitness and
+// PLINK 2's aggressive reuse of intermediate statistics).
+//
+// A batch is served in one pass: in-batch duplicates are coalesced,
+// cached sets are answered immediately, and only the novel sets reach
+// the workers. Within a batch each distinct haplotype is computed at
+// most once, and across sequential batches at most once per dataset.
+// (Concurrent batches that miss on the same set before either has
+// filled the cache may compute it twice — there is no in-flight
+// coalescing yet; the result is still correct, only the work is
+// duplicated.)
+//
+// # Cache-key canonicalization
+//
+// A cache key is the 8-byte big-endian dataset fingerprint
+// (genotype.Dataset.Fingerprint) followed by the haplotype's site
+// indices, each 4 bytes big-endian, sorted ascending with duplicates
+// removed. Two site slices that differ only in order or repetition
+// share a key — and are evaluated in that canonical form, which is
+// also the form the Evaluator contract requires. The fingerprint
+// prefix keeps scores from different datasets apart even if a cache
+// were ever shared.
+//
+// The engine implements fitness.Evaluator, fitness.BatchEvaluator and
+// fitness.Reporter, so the GA in internal/core and the experiment
+// harness in internal/exp can swap it with the master/PVM backends
+// behind the same seam.
+package engine

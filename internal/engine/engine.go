@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clump"
+	"repro/internal/ehdiall"
+	"repro/internal/fitness"
+	"repro/internal/genotype"
+)
+
+// ErrClosed is returned when evaluating through a closed engine.
+var ErrClosed = errors.New("engine: evaluator closed")
+
+// Options configures an Engine. The zero value is a sensible default.
+type Options struct {
+	// Workers is the goroutine pool size (0 = one per CPU).
+	Workers int
+	// CacheShards sets the shard count of the memoizing cache
+	// (0 = 64).
+	CacheShards int
+	// DisableCache turns memoization off; every request reaches the
+	// pipeline (in-batch duplicates are still coalesced).
+	DisableCache bool
+	// Fingerprint is mixed into every cache key; pass the dataset's
+	// genotype Fingerprint. New sets it automatically when the inner
+	// evaluator is a *fitness.Pipeline.
+	Fingerprint uint64
+}
+
+// job is one unit of worker work: score sites, write the slot, signal.
+type job struct {
+	sites []int
+	slot  *slot
+	wg    *sync.WaitGroup
+}
+
+type slot struct {
+	value float64
+	err   error
+}
+
+// Engine is the native concurrent evaluator: a worker pool over an
+// inner evaluator with a memoizing, sharded fitness cache. It is safe
+// for concurrent use; independent batches proceed in parallel rather
+// than serializing as the master.Pool backend does.
+type Engine struct {
+	inner       fitness.Evaluator
+	workers     int
+	cache       *shardedCache // nil when disabled
+	fingerprint uint64
+	start       time.Time
+
+	requests  atomic.Int64
+	hits      atomic.Int64
+	perWorker []atomic.Int64
+
+	mu     sync.RWMutex
+	closed bool
+	jobs   chan job
+	wg     sync.WaitGroup
+}
+
+// New starts an engine over an arbitrary inner evaluator. When inner
+// is a *fitness.Pipeline and opts.Fingerprint is zero, the pipeline's
+// dataset fingerprint is used automatically.
+func New(inner fitness.Evaluator, opts Options) (*Engine, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("engine: nil evaluator")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Fingerprint == 0 {
+		if p, ok := inner.(*fitness.Pipeline); ok {
+			opts.Fingerprint = p.Dataset().Fingerprint()
+		}
+	}
+	e := &Engine{
+		inner:       inner,
+		workers:     opts.Workers,
+		fingerprint: opts.Fingerprint,
+		start:       time.Now(),
+		perWorker:   make([]atomic.Int64, opts.Workers),
+		jobs:        make(chan job),
+	}
+	if !opts.DisableCache {
+		e.cache = newShardedCache(opts.CacheShards)
+	}
+	for i := 0; i < opts.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker(i)
+	}
+	return e, nil
+}
+
+// NewForDataset builds the Figure 3 pipeline over the dataset and
+// wraps it in an engine — the one-call constructor the facade and the
+// CLIs use.
+func NewForDataset(d *genotype.Dataset, stat clump.Statistic, opts Options) (*Engine, error) {
+	pipe, err := fitness.NewPipeline(d, stat, ehdiall.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if opts.Fingerprint == 0 {
+		opts.Fingerprint = d.Fingerprint()
+	}
+	return New(pipe, opts)
+}
+
+// worker scores jobs until the engine closes, tallying its own count.
+func (e *Engine) worker(id int) {
+	defer e.wg.Done()
+	for j := range e.jobs {
+		j.slot.value, j.slot.err = e.inner.Evaluate(j.sites)
+		e.perWorker[id].Add(1)
+		j.wg.Done()
+	}
+}
+
+// Workers returns the worker pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Slaves returns Workers; it lets the engine satisfy the facade's
+// ParallelEvaluator interface alongside the master/PVM backends.
+func (e *Engine) Slaves() int { return e.workers }
+
+// Evaluate scores one haplotype through the batch path.
+func (e *Engine) Evaluate(sites []int) (float64, error) {
+	values, errs := e.EvaluateBatch([][]int{sites})
+	return values[0], errs[0]
+}
+
+// EvaluateBatch scores a whole generation in one pass: duplicates are
+// coalesced, memoized sets answered from the cache, and only the
+// novel sets fan out to the workers. Results are positional and the
+// call returns only when every item is resolved — the synchronous
+// barrier the GA's generational model expects.
+func (e *Engine) EvaluateBatch(batch [][]int) ([]float64, []error) {
+	values := make([]float64, len(batch))
+	errs := make([]error, len(batch))
+	if len(batch) == 0 {
+		return values, errs
+	}
+	e.requests.Add(int64(len(batch)))
+
+	// Canonicalize, then coalesce identical sets.
+	canon := make([][]int, len(batch))
+	for i, sites := range batch {
+		canon[i] = canonicalSites(sites)
+	}
+	unique, index := fitness.Dedupe(canon)
+
+	// Serve what the cache already knows.
+	uslots := make([]slot, len(unique))
+	cached := make([]bool, len(unique))
+	keys := make([]string, len(unique))
+	var missIdx []int
+	for u, sites := range unique {
+		if e.cache != nil {
+			keys[u] = cacheKey(e.fingerprint, sites)
+			if v, ok := e.cache.get(keys[u]); ok {
+				uslots[u] = slot{value: v}
+				cached[u] = true
+				continue
+			}
+		}
+		missIdx = append(missIdx, u)
+	}
+	for _, u := range index {
+		if cached[u] {
+			e.hits.Add(1)
+		}
+	}
+
+	// Fan the misses out to the workers.
+	if len(missIdx) > 0 {
+		e.mu.RLock()
+		if e.closed {
+			e.mu.RUnlock()
+			for _, u := range missIdx {
+				uslots[u].err = ErrClosed
+			}
+		} else {
+			var wg sync.WaitGroup
+			wg.Add(len(missIdx))
+			for _, u := range missIdx {
+				e.jobs <- job{sites: unique[u], slot: &uslots[u], wg: &wg}
+			}
+			wg.Wait()
+			e.mu.RUnlock()
+			if e.cache != nil {
+				for _, u := range missIdx {
+					if uslots[u].err == nil {
+						e.cache.set(keys[u], uslots[u].value)
+					}
+				}
+			}
+		}
+	}
+
+	for i, u := range index {
+		values[i], errs[i] = uslots[u].value, uslots[u].err
+	}
+	return values, errs
+}
+
+// Report returns the engine's cumulative counters.
+func (e *Engine) Report() fitness.Report {
+	pw := make([]int64, len(e.perWorker))
+	var computed int64
+	for i := range e.perWorker {
+		pw[i] = e.perWorker[i].Load()
+		computed += pw[i]
+	}
+	r := fitness.Report{
+		Requests:  e.requests.Load(),
+		Computed:  computed,
+		CacheHits: e.hits.Load(),
+		Workers:   e.workers,
+		PerWorker: pw,
+		Uptime:    time.Since(e.start),
+	}
+	if e.cache != nil {
+		r.CacheEntries = e.cache.len()
+	}
+	return r
+}
+
+// Close stops the workers and waits for in-flight batches to drain.
+// The engine cannot be reused afterwards; the cache is released.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	close(e.jobs)
+	e.wg.Wait()
+}
+
+// Interface conformance checks.
+var (
+	_ fitness.Evaluator      = (*Engine)(nil)
+	_ fitness.BatchEvaluator = (*Engine)(nil)
+	_ fitness.Reporter       = (*Engine)(nil)
+)

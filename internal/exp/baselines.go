@@ -8,9 +8,9 @@ import (
 	"repro/internal/clump"
 	"repro/internal/core"
 	"repro/internal/ehdiall"
+	"repro/internal/engine"
 	"repro/internal/fitness"
 	"repro/internal/genotype"
-	"repro/internal/master"
 	"repro/internal/stats"
 )
 
@@ -126,8 +126,8 @@ func Baselines(d *genotype.Dataset, p BaselinesParams) ([]BaselineRow, error) {
 	}
 
 	// The dedicated GA, restricted to the same single size for a fair
-	// comparison, through the master/slave pool.
-	pool, err := master.NewPool(pipe, p.Slaves)
+	// comparison, through the native evaluation engine.
+	pool, err := engine.New(pipe, engine.Options{Workers: p.Slaves})
 	if err != nil {
 		return nil, err
 	}

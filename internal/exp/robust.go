@@ -7,9 +7,9 @@ import (
 	"repro/internal/clump"
 	"repro/internal/core"
 	"repro/internal/ehdiall"
+	"repro/internal/engine"
 	"repro/internal/fitness"
 	"repro/internal/genotype"
-	"repro/internal/master"
 	"repro/internal/stats"
 )
 
@@ -72,7 +72,7 @@ func Robustness(d *genotype.Dataset, p RobustParams) (*RobustResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	pool, err := master.NewPool(pipe, p.Slaves)
+	pool, err := engine.New(pipe, engine.Options{Workers: p.Slaves})
 	if err != nil {
 		return nil, err
 	}

@@ -25,6 +25,33 @@ func EvaluateAll(ev Evaluator, batch [][]int) (values []float64, errs []error) {
 	return values, errs
 }
 
+// Dedupe coalesces duplicate site sets of a batch. unique holds the
+// first occurrence of each distinct set in batch order, and index maps
+// every original position to its representative in unique, so callers
+// can evaluate unique once and fan the results back out:
+//
+//	unique, index := fitness.Dedupe(batch)
+//	values, errs := fitness.EvaluateAll(ev, unique)
+//	// batch[i]'s result is values[index[i]], errs[index[i]].
+//
+// Site sets are compared positionally; callers should pass canonical
+// (strictly increasing) sites, as the Evaluator contract requires.
+func Dedupe(batch [][]int) (unique [][]int, index []int) {
+	index = make([]int, len(batch))
+	pos := make(map[string]int, len(batch))
+	for i, sites := range batch {
+		k := siteKey(sites)
+		j, ok := pos[k]
+		if !ok {
+			j = len(unique)
+			unique = append(unique, sites)
+			pos[k] = j
+		}
+		index[i] = j
+	}
+	return unique, index
+}
+
 // EvaluateBatch counts every item, then delegates with the inner
 // evaluator's own batching if present.
 func (c *Counting) EvaluateBatch(batch [][]int) ([]float64, []error) {

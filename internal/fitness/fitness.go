@@ -232,11 +232,14 @@ func NewCache(inner Evaluator) *Cache {
 }
 
 func siteKey(sites []int) string {
-	// Sites are < 2^16 in any realistic study; two bytes per site.
-	b := make([]byte, 2*len(sites))
+	// Four bytes per site: enough for the >10^5-SNP studies the
+	// roadmap targets, where two bytes would silently alias columns.
+	b := make([]byte, 4*len(sites))
 	for i, s := range sites {
-		b[2*i] = byte(s >> 8)
-		b[2*i+1] = byte(s)
+		b[4*i] = byte(s >> 24)
+		b[4*i+1] = byte(s >> 16)
+		b[4*i+2] = byte(s >> 8)
+		b[4*i+3] = byte(s)
 	}
 	return string(b)
 }

@@ -1,0 +1,70 @@
+package fitness
+
+import "time"
+
+// Report aggregates the counters of an evaluation backend. All
+// quantities are cumulative since the backend was constructed, and all
+// item counts are in units of requested scores (one haplotype scored
+// once), so the identity
+//
+//	Requests = CacheHits + Computed + coalesced duplicates
+//
+// holds up to in-flight work: a request served from the memoization
+// layer is a CacheHit, a request that reached the EH-DIALL -> CLUMP
+// pipeline is Computed, and a request coalesced onto an identical
+// in-batch twin is neither.
+type Report struct {
+	// Requests counts every score requested through Evaluate or
+	// EvaluateBatch, including duplicates and cache hits. This matches
+	// the paper's "number of evaluations" cost metric as seen by the
+	// GA.
+	Requests int64
+	// Computed counts the pipeline evaluations actually performed.
+	Computed int64
+	// CacheHits counts requests served from the memoizing cache.
+	CacheHits int64
+	// CacheEntries is the current number of memoized fitness values.
+	CacheEntries int
+	// Workers is the size of the worker pool (0 for serial backends).
+	Workers int
+	// PerWorker splits Computed by the worker that performed it; its
+	// length is Workers. A heavily skewed split indicates a
+	// load-balancing problem.
+	PerWorker []int64
+	// Uptime is the time since the backend was constructed.
+	Uptime time.Duration
+}
+
+// HitRate returns the fraction of requests served from the cache, in
+// [0, 1]. It is 0 before any request.
+func (r Report) HitRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(r.Requests)
+}
+
+// Throughput returns the pipeline evaluations computed per second of
+// uptime — the per-pool analogue of the paper's Figure 4 cost curve.
+func (r Report) Throughput() float64 {
+	if r.Uptime <= 0 {
+		return 0
+	}
+	return float64(r.Computed) / r.Uptime.Seconds()
+}
+
+// WorkerThroughput returns Throughput divided by the worker count: the
+// mean evaluations per second each worker sustained.
+func (r Report) WorkerThroughput() float64 {
+	if r.Workers == 0 {
+		return 0
+	}
+	return r.Throughput() / float64(r.Workers)
+}
+
+// Reporter is implemented by evaluation backends that track their
+// counters (the native engine does; the decorators in this package
+// expose the same numbers piecemeal).
+type Reporter interface {
+	Report() Report
+}

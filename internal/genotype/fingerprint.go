@@ -1,0 +1,42 @@
+package genotype
+
+// fnv64Offset and fnv64Prime are the FNV-1a 64-bit parameters.
+const (
+	fnv64Offset uint64 = 14695981039346656037
+	fnv64Prime  uint64 = 1099511628211
+)
+
+// Fingerprint returns a stable 64-bit FNV-1a digest of the dataset
+// content: dimensions, SNP names, affection statuses and genotype
+// codes. Two datasets with the same fingerprint are, for evaluation
+// purposes, the same study, so memoizing fitness caches mix the
+// fingerprint into their keys to keep entries from different datasets
+// apart. The digest depends only on the data, not on the process, so
+// it is stable across runs and machines.
+func (d *Dataset) Fingerprint() uint64 {
+	h := fnv64Offset
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= fnv64Prime
+	}
+	mixInt := func(v int) {
+		for i := 0; i < 8; i++ {
+			mix(byte(v >> (8 * i)))
+		}
+	}
+	mixInt(d.NumSNPs())
+	mixInt(d.NumIndividuals())
+	for _, s := range d.SNPs {
+		mixInt(len(s.Name))
+		for i := 0; i < len(s.Name); i++ {
+			mix(s.Name[i])
+		}
+	}
+	for _, ind := range d.Individuals {
+		mix(byte(ind.Status))
+		for _, g := range ind.Genotypes {
+			mix(byte(g))
+		}
+	}
+	return h
+}

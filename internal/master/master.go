@@ -7,14 +7,19 @@
 //
 // Two interchangeable backends are provided:
 //
-//   - Pool: slaves are plain goroutines fed by a channel. This is the
-//     idiomatic Go mapping and the default for experiments.
+//   - Pool: slaves are plain goroutines fed by a channel — the direct
+//     Go mapping of the paper's protocol, one individual per message.
 //   - PVMEvaluator: slaves are tasks of the pvm package exchanging
 //     packed messages, reproducing the structure (and, with injected
 //     latency, the communication cost) of the original C/PVM program.
 //
 // Both implement fitness.Evaluator and fitness.BatchEvaluator and
-// return results identical to serial evaluation.
+// return results identical to serial evaluation. They are kept as the
+// paper-fidelity backends behind the shared Evaluator seam — the
+// speedup experiments in internal/exp depend on their per-message
+// behaviour — while package engine provides the hardware-fast native
+// evaluator (worker pool plus memoizing cache) that the CLIs and the
+// repro facade now default to.
 package master
 
 import (

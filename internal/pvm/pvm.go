@@ -46,6 +46,14 @@ type Machine struct {
 	wg      sync.WaitGroup
 }
 
+// DefaultMessageLatency is the one-way message delivery delay that
+// emulates the original experiment's communication fabric (PVM 3 over
+// 2004-era switched Ethernet, where a small message cost on the order
+// of a couple hundred microseconds). Machines are created with zero
+// latency; backends that want paper-faithful communication cost pass
+// WithLatency(DefaultMessageLatency) explicitly.
+const DefaultMessageLatency = 200 * time.Microsecond
+
 // Option configures a Machine.
 type Option func(*Machine)
 

@@ -6,8 +6,11 @@
 // (associations of 2–6 SNPs) that explain a disease status, scoring
 // each candidate with the paper's EH-DIALL → CLUMP statistical
 // pipeline and exploring the space with a multipopulation adaptive
-// genetic algorithm evaluated through a synchronous master/slave
-// worker pool.
+// genetic algorithm. Evaluation runs, by default, on the native
+// concurrent engine (a goroutine worker pool with a memoizing fitness
+// cache); the paper's synchronous master/slave protocol and its PVM-3
+// simulation remain available as pluggable backends for fidelity
+// experiments.
 //
 // This package is the public facade: it re-exports the user-facing
 // types of the internal packages and provides one-call entry points
@@ -27,15 +30,18 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/clump"
 	"repro/internal/core"
 	"repro/internal/ehdiall"
+	"repro/internal/engine"
 	"repro/internal/fitness"
 	"repro/internal/genotype"
 	"repro/internal/master"
 	"repro/internal/popgen"
+	"repro/internal/pvm"
 )
 
 // Re-exported data model types.
@@ -142,7 +148,9 @@ type ParallelEvaluator interface {
 }
 
 // NewParallelEvaluator wraps the Figure 3 pipeline in a master/slave
-// pool with the given number of slaves (0 = one per CPU).
+// pool with the given number of slaves (0 = one per CPU). This is the
+// paper-fidelity goroutine backend; NewEngine is the faster native
+// engine.
 func NewParallelEvaluator(d *Dataset, stat Statistic, slaves int) (ParallelEvaluator, error) {
 	pipe, err := fitness.NewPipeline(d, stat, ehdiall.Config{})
 	if err != nil {
@@ -151,29 +159,96 @@ func NewParallelEvaluator(d *Dataset, stat Statistic, slaves int) (ParallelEvalu
 	return master.NewPool(pipe, slaves)
 }
 
+// NativeEngine is the native concurrent evaluation engine: a goroutine
+// worker pool over the Figure 3 pipeline with a sharded memoizing
+// fitness cache (see internal/engine for the cache-key
+// canonicalization rule). It implements ParallelEvaluator and exposes
+// cumulative counters through its Report method.
+type NativeEngine = engine.Engine
+
+// EngineReport is the counters report of an evaluation backend: cache
+// hit-rate, computed evaluations, and per-worker throughput.
+type EngineReport = fitness.Report
+
+// NewEngine builds a native engine over the dataset with the given
+// number of workers (0 = one per CPU). Close it when done.
+func NewEngine(d *Dataset, stat Statistic, workers int) (*NativeEngine, error) {
+	return engine.NewForDataset(d, stat, engine.Options{Workers: workers})
+}
+
+// Backend selects the parallel evaluation backend behind Run.
+type Backend int
+
+const (
+	// BackendNative is the default: the native worker-pool engine
+	// with the memoizing fitness cache.
+	BackendNative Backend = iota
+	// BackendPool is the paper-fidelity goroutine master/slave pool
+	// without memoization.
+	BackendPool
+	// BackendPVM routes every evaluation through the PVM-3 simulation
+	// (packed messages over the virtual machine) with
+	// pvm.DefaultMessageLatency of emulated network transit per
+	// message, reproducing both the structure and the communication
+	// cost of the 2004 implementation. Use master.NewPVMEvaluator
+	// directly for a PVM backend with custom (or zero) latency.
+	BackendPVM
+)
+
+// NewBackend constructs the selected evaluation backend over the
+// dataset with the given number of workers (0 = one per CPU). Close
+// the returned evaluator when done.
+func NewBackend(d *Dataset, stat Statistic, backend Backend, workers int) (ParallelEvaluator, error) {
+	switch backend {
+	case BackendNative:
+		return NewEngine(d, stat, workers)
+	case BackendPool:
+		return NewParallelEvaluator(d, stat, workers)
+	case BackendPVM:
+		pipe, err := fitness.NewPipeline(d, stat, ehdiall.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return master.NewPVMEvaluator(pipe, workers, pvm.WithLatency(pvm.DefaultMessageLatency))
+	}
+	return nil, fmt.Errorf("repro: unknown backend %d", backend)
+}
+
 // RunOptions tunes the one-call Run entry point.
 type RunOptions struct {
 	// Statistic selects the fitness (default T1).
 	Statistic Statistic
-	// Slaves sizes the master/slave pool (0 = one per CPU).
+	// Slaves sizes the evaluation worker pool (0 = one per CPU).
 	Slaves int
+	// Backend selects the evaluation backend (default BackendNative).
+	// A fixed seed produces the identical GAResult under every
+	// backend; they differ only in speed.
+	Backend Backend
 }
 
 // Run executes the complete published method on a dataset: it builds
-// the evaluation pipeline, starts the master/slave pool, runs the
-// multipopulation adaptive GA and returns its per-size best
-// haplotypes.
+// the evaluation pipeline, starts the selected evaluation backend
+// (the native engine by default), runs the multipopulation adaptive
+// GA and returns its per-size best haplotypes.
 func Run(d *Dataset, cfg GAConfig, opts RunOptions) (*GAResult, error) {
 	stat := opts.Statistic
 	if stat == 0 {
 		stat = T1
 	}
-	pool, err := NewParallelEvaluator(d, stat, opts.Slaves)
+	pool, err := NewBackend(d, stat, opts.Backend, opts.Slaves)
 	if err != nil {
 		return nil, err
 	}
 	defer pool.Close()
-	ga, err := core.New(pool, d.NumSNPs(), cfg)
+	return RunWith(pool, d.NumSNPs(), cfg)
+}
+
+// RunWith executes the GA over a caller-supplied evaluator — for
+// example a NativeEngine whose Report the caller wants to inspect
+// afterwards, or a custom decorated pipeline. The evaluator is not
+// closed.
+func RunWith(ev Evaluator, numSNPs int, cfg GAConfig) (*GAResult, error) {
+	ga, err := core.New(ev, numSNPs, cfg)
 	if err != nil {
 		return nil, err
 	}
