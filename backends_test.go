@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro"
@@ -31,51 +32,78 @@ func backendTestConfig() repro.GAConfig {
 	}
 }
 
+// assertSameResult fails unless the two results are bit-identical in
+// trajectory and winners.
+func assertSameResult(t *testing.T, name string, want, got *repro.GAResult) {
+	t.Helper()
+	if want.TotalEvaluations != got.TotalEvaluations {
+		t.Errorf("%s: %d evaluations, want %d", name, got.TotalEvaluations, want.TotalEvaluations)
+	}
+	if want.Generations != got.Generations {
+		t.Errorf("%s: %d generations, want %d", name, got.Generations, want.Generations)
+	}
+	if len(want.BestBySize) != len(got.BestBySize) {
+		t.Fatalf("%s: %d sizes, want %d", name, len(got.BestBySize), len(want.BestBySize))
+	}
+	for size, wb := range want.BestBySize {
+		gb := got.BestBySize[size]
+		if gb == nil {
+			t.Fatalf("%s: no best for size %d", name, size)
+		}
+		if wb.Fitness != gb.Fitness {
+			t.Errorf("%s size %d: fitness %v, want %v", name, size, gb.Fitness, wb.Fitness)
+		}
+		if len(wb.Sites) != len(gb.Sites) {
+			t.Fatalf("%s size %d: sites %v, want %v", name, size, gb.Sites, wb.Sites)
+		}
+		for i := range wb.Sites {
+			if wb.Sites[i] != gb.Sites[i] {
+				t.Errorf("%s size %d: sites %v, want %v", name, size, gb.Sites, wb.Sites)
+				break
+			}
+		}
+	}
+}
+
 // TestBackendParity: a fixed seed must produce the identical result
-// under the native engine and the PVM simulation — the backends differ
-// only in speed, never in trajectory.
+// under the native engine, the goroutine pool and the PVM simulation —
+// the backends differ only in speed, never in trajectory — and under
+// each backend the new Session.Run and the deprecated Run shim must be
+// bit-identical too.
 func TestBackendParity(t *testing.T) {
 	d := backendTestDataset(t)
 	cfg := backendTestConfig()
-	runWith := func(b repro.Backend) *repro.GAResult {
-		res, err := repro.Run(d, cfg, repro.RunOptions{Slaves: 3, Backend: b})
+	shimWith := func(b repro.Backend) *repro.GAResult {
+		res, err := repro.Run(d, cfg, repro.RunOptions{Slaves: 3, Backend: b}) //nolint:staticcheck // deprecated shim under test
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res
 	}
-	native := runWith(repro.BackendNative)
-	pvm := runWith(repro.BackendPVM)
-	pool := runWith(repro.BackendPool)
+	sessionWith := func(b repro.Backend) *repro.GAResult {
+		s, err := repro.NewSession(d, repro.WithBackend(b), repro.WithWorkers(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		res, err := s.Run(context.Background(), repro.WithGAConfig(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
 
-	for name, other := range map[string]*repro.GAResult{"pvm": pvm, "pool": pool} {
-		if native.TotalEvaluations != other.TotalEvaluations {
-			t.Errorf("%s: %d evaluations, native %d", name, other.TotalEvaluations, native.TotalEvaluations)
-		}
-		if native.Generations != other.Generations {
-			t.Errorf("%s: %d generations, native %d", name, other.Generations, native.Generations)
-		}
-		if len(native.BestBySize) != len(other.BestBySize) {
-			t.Fatalf("%s: %d sizes, native %d", name, len(other.BestBySize), len(native.BestBySize))
-		}
-		for size, nb := range native.BestBySize {
-			ob := other.BestBySize[size]
-			if ob == nil {
-				t.Fatalf("%s: no best for size %d", name, size)
-			}
-			if nb.Fitness != ob.Fitness {
-				t.Errorf("%s size %d: fitness %v, native %v", name, size, ob.Fitness, nb.Fitness)
-			}
-			if len(nb.Sites) != len(ob.Sites) {
-				t.Fatalf("%s size %d: sites %v, native %v", name, size, ob.Sites, nb.Sites)
-			}
-			for i := range nb.Sites {
-				if nb.Sites[i] != ob.Sites[i] {
-					t.Errorf("%s size %d: sites %v, native %v", name, size, ob.Sites, nb.Sites)
-					break
-				}
-			}
-		}
+	native := sessionWith(repro.BackendNative)
+	for _, bc := range []struct {
+		name    string
+		backend repro.Backend
+	}{
+		{"native", repro.BackendNative},
+		{"pool", repro.BackendPool},
+		{"pvm", repro.BackendPVM},
+	} {
+		assertSameResult(t, bc.name+"-session", native, sessionWith(bc.backend))
+		assertSameResult(t, bc.name+"-shim", native, shimWith(bc.backend))
 	}
 }
 

@@ -8,6 +8,7 @@ package repro
 // speedup) alongside wall-clock time.
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -87,7 +88,7 @@ func BenchmarkTable2GA(b *testing.B) {
 	d := benchDataset(b)
 	var lastEvals float64
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Table2(d, exp.Table2Params{
+		res, err := exp.Table2(context.Background(), d, exp.Table2Params{
 			Runs: 2, Seed: uint64(i), GA: benchGAConfig(),
 		})
 		if err != nil {
@@ -112,7 +113,7 @@ func BenchmarkAblation(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var lastEvals float64
 			for i := 0; i < b.N; i++ {
-				rows, err := exp.Ablation(d, exp.Table2Params{
+				rows, err := exp.Ablation(context.Background(), d, exp.Table2Params{
 					Runs: 1, Seed: uint64(i), GA: benchGAConfig(),
 				}, []exp.AblationScheme{scheme})
 				if err != nil {
@@ -133,7 +134,7 @@ func BenchmarkSpeedup(b *testing.B) {
 		b.Run(func() string { return "slaves=" + string(rune('0'+slaves)) }(), func(b *testing.B) {
 			var speedup float64
 			for i := 0; i < b.N; i++ {
-				points, err := exp.Speedup(d, exp.SpeedupParams{
+				points, err := exp.Speedup(context.Background(), d, exp.SpeedupParams{
 					Slaves:        []int{1, slaves},
 					BatchSize:     32,
 					Batches:       1,
@@ -200,7 +201,7 @@ func BenchmarkBackendGA(b *testing.B) {
 func BenchmarkLandscapeEnum(b *testing.B) {
 	d := benchDataset(b)
 	for i := 0; i < b.N; i++ {
-		rep, err := exp.Landscape(d, exp.LandscapeParams{MinSize: 2, MaxSize: 3, Workers: 0})
+		rep, err := exp.Landscape(context.Background(), d, exp.LandscapeParams{MinSize: 2, MaxSize: 3, Workers: 0})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -221,7 +222,7 @@ func BenchmarkRobust249(b *testing.B) {
 	cfg.StagnationLimit = 15
 	var jac float64
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Robustness(d, exp.RobustParams{Runs: 2, Seed: uint64(i), GA: cfg})
+		res, err := exp.Robustness(context.Background(), d, exp.RobustParams{Runs: 2, Seed: uint64(i), GA: cfg})
 		if err != nil {
 			b.Fatal(err)
 		}

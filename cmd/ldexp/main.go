@@ -14,6 +14,10 @@
 //	robust249   cross-run solution stability at 249 SNPs (paper §5.2)
 //	all         everything above
 //
+// SIGINT/SIGTERM interrupt gracefully: the experiment in progress
+// renders whatever it completed (runs, schemes, sizes) and the
+// remaining experiments are skipped.
+//
 // Usage:
 //
 //	ldexp -exp table2 -runs 10 -seed 1
@@ -21,11 +25,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/genotype"
@@ -43,6 +50,9 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
 	gaCfg := core.Config{} // paper defaults
 	if *quick {
 		*runs = 3
@@ -55,16 +65,28 @@ func main() {
 		*samples = 50
 	}
 
+	interrupted := false
 	run := func(name string, fn func() error) {
 		switch {
 		case *which == name, *which == "all":
+			if ctx.Err() != nil {
+				interrupted = true // interrupted between experiments; skip the rest
+				return
+			}
 			fmt.Printf("\n=== %s ===\n", name)
 			start := time.Now()
-			if err := fn(); err != nil {
+			err := fn()
+			switch {
+			case err == nil:
+				fmt.Printf("--- %s done in %s ---\n", name, time.Since(start).Round(time.Millisecond))
+			case errors.Is(err, context.Canceled):
+				interrupted = true
+				fmt.Printf("--- %s interrupted after %s — partial results above ---\n",
+					name, time.Since(start).Round(time.Millisecond))
+			default:
 				fmt.Fprintf(os.Stderr, "ldexp: %s: %v\n", name, err)
 				os.Exit(1)
 			}
-			fmt.Printf("--- %s done in %s ---\n", name, time.Since(start).Round(time.Millisecond))
 		}
 	}
 
@@ -88,11 +110,13 @@ func main() {
 		if err != nil {
 			return err
 		}
-		points, err := exp.Figure4(d, 2, 7, *samples, *seed)
-		if err != nil {
-			return err
+		points, err := exp.Figure4(ctx, d, 2, 7, *samples, *seed)
+		if len(points) > 0 {
+			if rerr := exp.RenderFigure4(os.Stdout, points); rerr != nil {
+				return rerr
+			}
 		}
-		return exp.RenderFigure4(os.Stdout, points)
+		return err
 	})
 
 	run("landscape", func() error {
@@ -104,11 +128,13 @@ func main() {
 		if !*quick {
 			maxSize = 4 // the paper enumerated sizes 2-4 at 51 SNPs
 		}
-		rep, err := exp.Landscape(d, exp.LandscapeParams{MinSize: 2, MaxSize: maxSize, Workers: 0})
-		if err != nil {
-			return err
+		rep, err := exp.Landscape(ctx, d, exp.LandscapeParams{MinSize: 2, MaxSize: maxSize, Workers: 0})
+		if rep != nil {
+			if rerr := exp.RenderLandscape(os.Stdout, rep); rerr != nil {
+				return rerr
+			}
 		}
-		return exp.RenderLandscape(os.Stdout, rep)
+		return err
 	})
 
 	run("table2", func() error {
@@ -119,17 +145,19 @@ func main() {
 		// Use the enumerated optima (sizes 2-3) as deviation
 		// reference, like the paper compared against its landscape
 		// study.
-		ref, err := referenceBests(d)
+		ref, err := referenceBests(ctx, d)
 		if err != nil {
 			return err
 		}
-		res, err := exp.Table2(d, exp.Table2Params{
+		res, err := exp.Table2(ctx, d, exp.Table2Params{
 			Runs: *runs, Seed: *seed, GA: gaCfg, Slaves: *slaves, RefBest: ref,
 		})
-		if err != nil {
-			return err
+		if res != nil {
+			if rerr := exp.RenderTable2(os.Stdout, res); rerr != nil {
+				return rerr
+			}
 		}
-		return exp.RenderTable2(os.Stdout, res)
+		return err
 	})
 
 	run("ablation", func() error {
@@ -141,20 +169,22 @@ func main() {
 		if abRuns > 5 && !*quick {
 			abRuns = 5 // 5 schemes x runs; keep the grid affordable
 		}
-		rows, err := exp.Ablation(d, exp.Table2Params{
+		rows, err := exp.Ablation(ctx, d, exp.Table2Params{
 			Runs: abRuns, Seed: *seed, GA: gaCfg, Slaves: *slaves,
 		}, nil)
-		if err != nil {
-			return err
+		if len(rows) > 0 {
+			cfg := gaCfg
+			if cfg.MinSize == 0 {
+				cfg.MinSize = 2
+			}
+			if cfg.MaxSize == 0 {
+				cfg.MaxSize = 6
+			}
+			if rerr := exp.RenderAblation(os.Stdout, rows, cfg.MinSize, cfg.MaxSize); rerr != nil {
+				return rerr
+			}
 		}
-		cfg := gaCfg
-		if cfg.MinSize == 0 {
-			cfg.MinSize = 2
-		}
-		if cfg.MaxSize == 0 {
-			cfg.MaxSize = 6
-		}
-		return exp.RenderAblation(os.Stdout, rows, cfg.MinSize, cfg.MaxSize)
+		return err
 	})
 
 	run("speedup", func() error {
@@ -172,11 +202,13 @@ func main() {
 			p.BatchSize = 50
 			p.Batches = 1
 		}
-		points, err := exp.Speedup(d, p)
-		if err != nil {
-			return err
+		points, err := exp.Speedup(ctx, d, p)
+		if len(points) > 0 {
+			if rerr := exp.RenderSpeedup(os.Stdout, points, p); rerr != nil {
+				return rerr
+			}
 		}
-		return exp.RenderSpeedup(os.Stdout, points, p)
+		return err
 	})
 
 	run("baselines", func() error {
@@ -188,11 +220,13 @@ func main() {
 			Size: 4, Budget: 5000, Runs: 3, Seed: *seed, Slaves: *slaves,
 			IncludeExhaustive: !*quick,
 		}
-		rows, err := exp.Baselines(d, p)
-		if err != nil {
-			return err
+		rows, err := exp.Baselines(ctx, d, p)
+		if len(rows) > 0 {
+			if rerr := exp.RenderBaselines(os.Stdout, rows, p); rerr != nil {
+				return rerr
+			}
 		}
-		return exp.RenderBaselines(os.Stdout, rows, p)
+		return err
 	})
 
 	run("statcompare", func() error {
@@ -204,31 +238,30 @@ func main() {
 		if scRuns > 3 {
 			scRuns = 3 // 4 statistics x runs; keep the grid affordable
 		}
-		rows, err := exp.StatCompare(d, exp.StatCompareParams{
+		rows, err := exp.StatCompare(ctx, d, exp.StatCompareParams{
 			Runs: scRuns, Seed: *seed, GA: gaCfg, Slaves: *slaves,
 		})
-		if err != nil {
-			return err
+		if len(rows) > 0 {
+			minS, maxS := 2, 6
+			if gaCfg.MinSize != 0 {
+				minS = gaCfg.MinSize
+			}
+			if gaCfg.MaxSize != 0 {
+				maxS = gaCfg.MaxSize
+			}
+			var sizes []int
+			for s := minS; s <= maxS; s++ {
+				sizes = append(sizes, s)
+			}
+			if rerr := exp.RenderStatCompare(os.Stdout, rows, sizes); rerr != nil {
+				return rerr
+			}
+			for i := 1; i < len(rows); i++ {
+				fmt.Printf("agreement %s vs %s: %.3f\n",
+					rows[0].Stat, rows[i].Stat, exp.StatAgreement(rows[0], rows[i]))
+			}
 		}
-		minS, maxS := 2, 6
-		if gaCfg.MinSize != 0 {
-			minS = gaCfg.MinSize
-		}
-		if gaCfg.MaxSize != 0 {
-			maxS = gaCfg.MaxSize
-		}
-		var sizes []int
-		for s := minS; s <= maxS; s++ {
-			sizes = append(sizes, s)
-		}
-		if err := exp.RenderStatCompare(os.Stdout, rows, sizes); err != nil {
-			return err
-		}
-		for i := 1; i < len(rows); i++ {
-			fmt.Printf("agreement %s vs %s: %.3f\n",
-				rows[0].Stat, rows[i].Stat, exp.StatAgreement(rows[0], rows[i]))
-		}
-		return nil
+		return err
 	})
 
 	run("robust249", func() error {
@@ -240,27 +273,34 @@ func main() {
 		if rRuns > 5 {
 			rRuns = 5
 		}
-		res, err := exp.Robustness(d249, exp.RobustParams{
+		res, err := exp.Robustness(ctx, d249, exp.RobustParams{
 			Runs: rRuns, Seed: *seed, GA: gaCfg, Slaves: *slaves,
 		})
-		if err != nil {
-			return err
+		if res != nil {
+			minS, maxS := 2, 6
+			if gaCfg.MinSize != 0 {
+				minS = gaCfg.MinSize
+			}
+			if gaCfg.MaxSize != 0 {
+				maxS = gaCfg.MaxSize
+			}
+			if rerr := exp.RenderRobustness(os.Stdout, res, minS, maxS); rerr != nil {
+				return rerr
+			}
 		}
-		minS, maxS := 2, 6
-		if gaCfg.MinSize != 0 {
-			minS = gaCfg.MinSize
-		}
-		if gaCfg.MaxSize != 0 {
-			maxS = gaCfg.MaxSize
-		}
-		return exp.RenderRobustness(os.Stdout, res, minS, maxS)
+		return err
 	})
+
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "ldexp: interrupted — remaining experiments skipped")
+		os.Exit(130)
+	}
 }
 
 // referenceBests enumerates sizes 2 and 3 exhaustively to obtain exact
 // optima for the Table 2 deviation column.
-func referenceBests(d *genotype.Dataset) (map[int]float64, error) {
-	rep, err := exp.Landscape(d, exp.LandscapeParams{MinSize: 2, MaxSize: 3, TopN: 1, Workers: 0})
+func referenceBests(ctx context.Context, d *genotype.Dataset) (map[int]float64, error) {
+	rep, err := exp.Landscape(ctx, d, exp.LandscapeParams{MinSize: 2, MaxSize: 3, TopN: 1, Workers: 0})
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,9 @@
 // the per-SNP allele frequency table, and the pairwise disequilibrium
 // table.
 //
+// SIGINT/SIGTERM interrupt between output files; tables already
+// written stay on disk and the remaining ones are skipped.
+//
 // Usage:
 //
 //	ldgen -preset 51 -seed 1 -out data.txt -freq freq.tsv -ld ld.tsv
@@ -14,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/genotype"
 	"repro/internal/ld"
 	"repro/internal/popgen"
@@ -34,6 +38,15 @@ func main() {
 		pedOut     = flag.String("ped", "", "LINKAGE pedigree-format output path (optional)")
 	)
 	flag.Parse()
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	checkInterrupt := func() {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "ldgen: interrupted — remaining outputs skipped")
+			os.Exit(130)
+		}
+	}
 
 	var cfg popgen.Config
 	switch *preset {
@@ -73,6 +86,7 @@ func main() {
 		data.SNPNames(cfg.Disease.CausalSites), cfg.Disease.CausalSites)
 
 	if *freqOut != "" {
+		checkInterrupt()
 		f, err := os.Create(*freqOut)
 		if err != nil {
 			fatalf("create %s: %v", *freqOut, err)
@@ -86,6 +100,7 @@ func main() {
 		fmt.Printf("wrote %s\n", *freqOut)
 	}
 	if *pedOut != "" {
+		checkInterrupt()
 		f, err := os.Create(*pedOut)
 		if err != nil {
 			fatalf("create %s: %v", *pedOut, err)
@@ -99,6 +114,7 @@ func main() {
 		fmt.Printf("wrote %s (LINKAGE format, %d markers)\n", *pedOut, data.NumSNPs())
 	}
 	if *ldOut != "" {
+		checkInterrupt()
 		matrix := ld.ComputeMatrix(data)
 		f, err := os.Create(*ldOut)
 		if err != nil {

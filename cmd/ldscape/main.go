@@ -3,6 +3,9 @@
 // per-size fitness distributions, and the structural analysis that
 // rules out constructive and enumeration methods.
 //
+// SIGINT/SIGTERM interrupt the enumeration between sizes; the
+// completed sizes are reported.
+//
 // Usage:
 //
 //	ldscape -preset 51 -min 2 -max 3
@@ -10,11 +13,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/exp"
 	"repro/internal/genotype"
 	"repro/internal/popgen"
@@ -31,6 +37,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "enumeration workers (0 = one per CPU)")
 	)
 	flag.Parse()
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	var (
 		data *genotype.Dataset
@@ -54,12 +63,21 @@ func main() {
 	}
 
 	start := time.Now()
-	rep, err := exp.Landscape(data, exp.LandscapeParams{
+	rep, err := exp.Landscape(ctx, data, exp.LandscapeParams{
 		MinSize: *minSize, MaxSize: *maxSize, TopN: *topN, Workers: *workers,
 	})
+	interrupted := false
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ldscape: %v\n", err)
-		os.Exit(1)
+		if !errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "ldscape: %v\n", err)
+			os.Exit(1)
+		}
+		if rep == nil {
+			fmt.Fprintln(os.Stderr, "ldscape: interrupted before the first size completed")
+			os.Exit(130)
+		}
+		interrupted = true
+		fmt.Println("interrupted — reporting the completed sizes")
 	}
 	if err := exp.RenderLandscape(os.Stdout, rep); err != nil {
 		fmt.Fprintf(os.Stderr, "ldscape: %v\n", err)
@@ -73,4 +91,7 @@ func main() {
 		}
 	}
 	fmt.Printf("elapsed: %s\n", time.Since(start).Round(time.Millisecond))
+	if interrupted {
+		os.Exit(130)
+	}
 }

@@ -1,0 +1,53 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/fitness"
+)
+
+// Sentinel errors of the public API. Errors returned by this package
+// wrap one of these where applicable, so callers can branch with
+// errors.Is regardless of the detail text.
+var (
+	// ErrCanceled is wrapped into the error of a run stopped by
+	// context cancellation or deadline. The accompanying *GAResult is
+	// not nil: it carries the partial outcome accumulated up to the
+	// cancellation (see Session.Run and Job.Wait). The underlying
+	// context.Canceled / context.DeadlineExceeded is wrapped too, so
+	// errors.Is works against either sentinel.
+	ErrCanceled = errors.New("repro: run canceled")
+
+	// ErrBadConfig is wrapped into every configuration error: an
+	// invalid option value, an option applied at the wrong level
+	// (session vs run), or a GAConfig the core GA rejects.
+	ErrBadConfig = errors.New("repro: bad configuration")
+
+	// ErrBadDataset is wrapped into errors about an unusable dataset
+	// (nil, or too few SNPs to search).
+	ErrBadDataset = errors.New("repro: bad dataset")
+
+	// ErrSessionClosed is returned when starting a run on a closed
+	// Session, and wrapped into the error of a run whose backend was
+	// closed underneath it (Session.Close while a Job was running).
+	ErrSessionClosed = errors.New("repro: session closed")
+)
+
+// wrapRunErr translates a GA run error into the public error
+// vocabulary: context errors gain the ErrCanceled sentinel, a backend
+// closed mid-run gains ErrSessionClosed (keeping the underlying error
+// in the chain either way), everything else passes through.
+func wrapRunErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	if errors.Is(err, fitness.ErrEvaluatorClosed) {
+		return fmt.Errorf("%w: %w", ErrSessionClosed, err)
+	}
+	return err
+}

@@ -7,19 +7,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"sort"
 
-	"repro/internal/core"
-	"repro/internal/ehdiall"
-	"repro/internal/fitness"
+	"repro"
 	"repro/internal/ld"
-	"repro/internal/master"
 	"repro/internal/popgen"
-
-	"repro/internal/clump"
 )
 
 func main() {
@@ -48,32 +44,25 @@ func main() {
 	}
 
 	constraint := ld.Constraint{MaxAbsDPrime: *td, MinMAF: *tf}
-	pipe, err := fitness.NewPipeline(data, clump.T1, ehdiall.Config{})
+	session, err := repro.NewSession(data,
+		repro.WithBackend(repro.BackendPool), // the paper's master/slave protocol
+		repro.WithGAConfig(repro.GAConfig{
+			PopulationSize:      100,
+			PairsPerGeneration:  30,
+			StagnationLimit:     30,
+			ImmigrantStagnation: 10,
+			Seed:                *seed,
+			Constraint: func(sites []int) bool {
+				return constraint.FeasibleSet(matrix, mafs, sites)
+			},
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	pool, err := master.NewPool(pipe, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer pool.Close()
+	defer session.Close()
 
-	cfg := core.Config{
-		PopulationSize:      100,
-		PairsPerGeneration:  30,
-		StagnationLimit:     30,
-		ImmigrantStagnation: 10,
-		Seed:                *seed,
-		Constraint: func(sites []int) bool {
-			return constraint.FeasibleSet(matrix, mafs, sites)
-		},
-	}
 	fmt.Printf("\nrunning the GA with t_d=%.2f, t_f=%.2f...\n", *td, *tf)
-	ga, err := core.New(pool, data.NumSNPs(), cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := ga.Run()
+	res, err := session.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

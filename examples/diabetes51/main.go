@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/clump"
 	"repro/internal/core"
 	"repro/internal/ehdiall"
@@ -30,6 +31,9 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced scale for a fast demo")
 	flag.Parse()
 
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
 	// Step 1 — the study data (synthetic stand-in, same shape).
 	data, err := popgen.Generate(popgen.Paper51(*seed))
 	if err != nil {
@@ -42,8 +46,8 @@ func main() {
 
 	// Step 2 — reference optima from exhaustive enumeration.
 	fmt.Println("enumerating sizes 2-3 for reference optima (paper §3)...")
-	rep, err := exp.Landscape(data, exp.LandscapeParams{MinSize: 2, MaxSize: 3, TopN: 3})
-	if err != nil {
+	rep, err := exp.Landscape(ctx, data, exp.LandscapeParams{MinSize: 2, MaxSize: 3, TopN: 3})
+	if err != nil && rep == nil {
 		log.Fatal(err)
 	}
 	ref := map[int]float64{}
@@ -51,6 +55,10 @@ func main() {
 		ref[s.K] = s.Best().Fitness
 		fmt.Printf("  exact best size-%d: %v  fitness %.3f\n",
 			s.K, data.SNPNames(s.Best().Sites), s.Best().Fitness)
+	}
+	if err != nil {
+		fmt.Println("interrupted during enumeration — stopping after the completed sizes")
+		return
 	}
 
 	// Step 3 — the Table 2 experiment.
@@ -65,14 +73,21 @@ func main() {
 		}
 	}
 	fmt.Printf("\nrunning the GA %d times (this is the paper's Table 2)...\n\n", *runs)
-	res, err := exp.Table2(data, exp.Table2Params{
+	res, err := exp.Table2(ctx, data, exp.Table2Params{
 		Runs: *runs, Seed: *seed, GA: gaCfg, RefBest: ref,
 	})
-	if err != nil {
+	interrupted := err != nil
+	if res == nil {
 		log.Fatal(err)
+	}
+	if interrupted {
+		fmt.Println("interrupted — reporting the completed runs")
 	}
 	if err := exp.RenderTable2(os.Stdout, res); err != nil {
 		log.Fatal(err)
+	}
+	if interrupted {
+		return // skip the Monte-Carlo validation on interrupt
 	}
 
 	// Step 4 — statistical validation of the winners.

@@ -12,6 +12,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/exp"
 	"repro/internal/popgen"
 )
@@ -27,6 +28,9 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
 	fmt.Println("=== goroutine-pool backend (idiomatic Go master/slave) ===")
 	poolParams := exp.SpeedupParams{
 		Slaves:        []int{1, 2, 4, 8},
@@ -36,20 +40,29 @@ func main() {
 		EvalLatency:   time.Duration(*evalMs) * time.Millisecond,
 		Seed:          *seed,
 	}
-	points, err := exp.Speedup(data, poolParams)
+	points, err := exp.Speedup(ctx, data, poolParams)
 	if err != nil {
-		log.Fatal(err)
+		if len(points) == 0 {
+			log.Fatal(err)
+		}
+		fmt.Println("interrupted — reporting the completed points")
 	}
 	if err := exp.RenderSpeedup(os.Stdout, points, poolParams); err != nil {
 		log.Fatal(err)
+	}
+	if ctx.Err() != nil {
+		return
 	}
 
 	fmt.Println("\n=== PVM-simulation backend (paper's C/PVM structure) ===")
 	pvmParams := poolParams
 	pvmParams.MessageLatency = time.Duration(*msgUs) * time.Microsecond
-	points, err = exp.Speedup(data, pvmParams)
+	points, err = exp.Speedup(ctx, data, pvmParams)
 	if err != nil {
-		log.Fatal(err)
+		if len(points) == 0 {
+			log.Fatal(err)
+		}
+		fmt.Println("interrupted — reporting the completed points")
 	}
 	if err := exp.RenderSpeedup(os.Stdout, points, pvmParams); err != nil {
 		log.Fatal(err)

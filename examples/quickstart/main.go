@@ -1,12 +1,19 @@
 // Quickstart: generate a small synthetic case/control study, run the
-// paper's full method on it with one call, and print the best
-// haplotype of each size.
+// paper's full method on it through a Session, and print the best
+// haplotype of each size — watching per-generation progress stream
+// from the background Job. Ctrl-C stops the run gracefully and
+// reports the partial results.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"repro"
 )
@@ -33,19 +40,47 @@ func main() {
 	fmt.Printf("generated %d SNPs x %d individuals; hidden causal SNPs: %v\n\n",
 		data.NumSNPs(), data.NumIndividuals(), data.SNPNames([]int{5, 14, 23}))
 
-	// Run the multipopulation adaptive GA (sizes 2..4 here).
-	result, err := repro.Run(data, repro.GAConfig{
-		MinSize:        2,
-		MaxSize:        4,
-		PopulationSize: 60,
-		Seed:           1,
-	}, repro.RunOptions{})
+	// A Session owns the dataset plus its evaluation backend; the
+	// memoizing fitness cache persists across every run it hosts.
+	session, err := repro.NewSession(data,
+		repro.WithGAConfig(repro.GAConfig{
+			MinSize:        2,
+			MaxSize:        4,
+			PopulationSize: 60,
+			Seed:           1,
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer session.Close()
 
-	fmt.Printf("GA finished: %d generations, %d evaluations (converged=%v)\n\n",
-		result.Generations, result.TotalEvaluations, result.Converged)
+	// Run the multipopulation adaptive GA in the background and stream
+	// its per-generation progress; Ctrl-C cancels the context and the
+	// partial results are reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// After the first signal, restore default handling so a second
+	// Ctrl-C terminates immediately instead of being swallowed.
+	go func() { <-ctx.Done(); stop() }()
+	job, err := session.Start(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for e := range job.Progress() {
+		if e.Generation%20 == 0 {
+			fmt.Printf("  gen %3d: %d evaluations so far\n", e.Generation, e.Evaluations)
+		}
+	}
+	result, err := job.Wait()
+	switch {
+	case errors.Is(err, repro.ErrCanceled):
+		fmt.Printf("\ninterrupted: partial results after %d generations\n\n", result.Generations)
+	case err != nil:
+		log.Fatal(err)
+	default:
+		fmt.Printf("\nGA finished: %d generations, %d evaluations (converged=%v)\n\n",
+			result.Generations, result.TotalEvaluations, result.Converged)
+	}
 
 	sizes := make([]int, 0, len(result.BestBySize))
 	for s := range result.BestBySize {

@@ -10,6 +10,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/popgen"
@@ -37,11 +38,13 @@ func main() {
 			ImmigrantStagnation: 10,
 		}
 	}
-	fmt.Printf("running %d independent GA executions...\n\n", *runs)
-	res, err := exp.Robustness(data, exp.RobustParams{
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	fmt.Printf("running %d independent GA executions (Ctrl-C reports the completed ones)...\n\n", *runs)
+	res, err := exp.Robustness(ctx, data, exp.RobustParams{
 		Runs: *runs, Seed: *seed, GA: gaCfg,
 	})
-	if err != nil {
+	if err != nil && res == nil {
 		log.Fatal(err)
 	}
 	minS, maxS := 2, 6

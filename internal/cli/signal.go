@@ -1,0 +1,20 @@
+// Package cli holds small helpers shared by the command-line tools.
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context cancelled by the first SIGINT or
+// SIGTERM. After that first signal, default signal handling is
+// restored, so a second Ctrl-C terminates the process immediately
+// instead of being swallowed while the tool winds down gracefully.
+// Call stop to release the signal registration.
+func SignalContext() (ctx context.Context, stop context.CancelFunc) {
+	ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() { <-ctx.Done(); stop() }()
+	return ctx, stop
+}

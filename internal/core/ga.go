@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/fitness"
@@ -71,6 +73,12 @@ type GA struct {
 	stagnation  int
 	riCounter   int
 	immigrants  int64
+
+	// evalErr latches a terminal evaluator failure (the backend was
+	// closed under the run). Without it a dead backend would fail
+	// every individual, freeze every subpopulation, and let the
+	// stagnation rule report a bogus convergence.
+	evalErr error
 }
 
 // New validates the configuration and builds a GA over numSNPs
@@ -117,10 +125,12 @@ func (g *GA) feasible(sites []int) bool {
 // the evaluator, updating the run's evaluation counters. Identical
 // SNP sets within the batch are submitted once and fanned back out,
 // so the backend sees only distinct work; the evaluation counter
-// still counts every requested score, preserving the paper's cost
-// metric. Haplotypes whose evaluation fails stay unevaluated and are
-// dropped by callers.
-func (g *GA) evaluateBatch(cands []*Haplotype) {
+// still counts every score that was actually attempted — per
+// requested haplotype, preserving the paper's cost metric — but not
+// scores skipped by cancellation or a closed backend. Haplotypes
+// whose evaluation fails stay unevaluated and are dropped by
+// callers.
+func (g *GA) evaluateBatch(ctx context.Context, cands []*Haplotype) {
 	var batch [][]int
 	var idx []int
 	for i, h := range cands {
@@ -133,13 +143,26 @@ func (g *GA) evaluateBatch(cands []*Haplotype) {
 		return
 	}
 	unique, index := fitness.Dedupe(batch)
-	values, errs := fitness.EvaluateAll(g.eval, unique)
+	values, errs := fitness.EvaluateAllContext(ctx, g.eval, unique)
 	for j, i := range idx {
-		g.evals++
 		u := index[j]
 		if errs[u] != nil {
+			// Scores the backend never started — skipped by
+			// cancellation or refused by a closed backend — are not
+			// part of the paper's cost metric; evaluations that ran
+			// and failed still count.
+			switch {
+			case errors.Is(errs[u], context.Canceled), errors.Is(errs[u], context.DeadlineExceeded):
+			case errors.Is(errs[u], fitness.ErrEvaluatorClosed):
+				if g.evalErr == nil {
+					g.evalErr = errs[u]
+				}
+			default:
+				g.evals++
+			}
 			continue
 		}
+		g.evals++
 		cands[i].Fitness = values[u]
 		cands[i].Evaluated = true
 	}
@@ -159,7 +182,7 @@ func (g *GA) randomFeasible(k, maxTries int) *Haplotype {
 
 // initialize fills every subpopulation with random unique feasible
 // individuals and evaluates them.
-func (g *GA) initialize() error {
+func (g *GA) initialize(ctx context.Context) error {
 	var pending []*Haplotype
 	var targets []*subpop
 	for _, s := range g.sizes {
@@ -181,7 +204,7 @@ func (g *GA) initialize() error {
 			targets = append(targets, sp)
 		}
 	}
-	g.evaluateBatch(pending)
+	g.evaluateBatch(ctx, pending)
 	inserted := 0
 	for i, h := range pending {
 		if h.Evaluated && targets[i].insert(h) {
@@ -229,17 +252,69 @@ func (g *GA) pickSubpop(exclude int) *subpop {
 	return g.subs[g.sizes[g.r.Choice(weights)]]
 }
 
-// Run executes the GA to termination and returns its result.
+// Run executes the GA to termination and returns its result. It is
+// RunContext with a background context.
 func (g *GA) Run() (*Result, error) {
+	return g.RunContext(context.Background())
+}
+
+// RunContext executes the GA to termination, honoring ctx. The context
+// is checked every generation and threaded into the evaluation batch
+// path, so cancellation stops the run within one generation (plus any
+// in-flight evaluations). A cancelled run returns the partial Result
+// accumulated so far — every subpopulation best found up to the last
+// completed generation — together with ctx's error; callers that
+// treat cancellation as a soft stop can use the Result as usual.
+func (g *GA) RunContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if g.generation != 0 {
 		return nil, fmt.Errorf("core: GA already run; create a new one")
 	}
-	if err := g.initialize(); err != nil {
+	if err := ctx.Err(); err != nil {
+		return g.result(false, 0), err
+	}
+	if err := g.initialize(ctx); err != nil {
+		// Cancellation or a dead backend during the initial batch
+		// surfaces as an empty population; report the real cause, not
+		// the spurious no-viable-individual error.
+		if cerr := ctx.Err(); cerr != nil {
+			return g.result(false, 0), cerr
+		}
+		if g.evalErr != nil {
+			return g.result(false, 0), g.evalErr
+		}
 		return nil, err
 	}
 	converged := false
+	completed := 0
+	// runErr records why the loop stopped; a cancellation that lands
+	// after natural termination (convergence, generation cap) must not
+	// relabel the completed run as interrupted, so the final return
+	// does not re-read ctx.
+	var runErr error
 	for g.generation = 1; g.generation <= g.cfg.MaxGenerations; g.generation++ {
-		improved := g.step()
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
+		improved := g.step(ctx)
+		if err := ctx.Err(); err != nil {
+			// The generation was cut short mid-step: its insertions
+			// stand (they are fully evaluated individuals), but it is
+			// neither counted, traced, nor allowed to trip the
+			// stagnation rule.
+			runErr = err
+			break
+		}
+		if g.evalErr != nil {
+			// The backend died under the run; return the partial
+			// result with the terminal error instead of letting the
+			// stagnation rule declare a bogus convergence.
+			return g.result(false, completed), g.evalErr
+		}
+		completed = g.generation
 		if improved {
 			g.stagnation = 0
 			g.riCounter = 0
@@ -249,7 +324,7 @@ func (g *GA) Run() (*Result, error) {
 		}
 		injected := 0
 		if !g.cfg.DisableRandomImmigrants && g.riCounter >= g.cfg.ImmigrantStagnation {
-			injected = g.randomImmigrants()
+			injected = g.randomImmigrants(ctx)
 			g.riCounter = 0
 		}
 		if g.cfg.OnGeneration != nil {
@@ -260,19 +335,28 @@ func (g *GA) Run() (*Result, error) {
 			break
 		}
 	}
+	// A terminal evaluator failure latched by the final iteration's
+	// immigrant batch (or by the generation that tripped a stopping
+	// rule) must not be swallowed: any starved iterations were not a
+	// real convergence.
+	if runErr == nil && g.evalErr != nil {
+		return g.result(false, completed), g.evalErr
+	}
+	return g.result(converged, completed), runErr
+}
 
+// result snapshots the run outcome after the given number of completed
+// generations.
+func (g *GA) result(converged bool, generations int) *Result {
 	res := &Result{
 		BestBySize:       make(map[int]*Haplotype, len(g.sizes)),
 		EvalsAtBest:      make(map[int]int64, len(g.sizes)),
 		TotalEvaluations: g.evals,
-		Generations:      g.generation,
+		Generations:      generations,
 		Converged:        converged,
 		MutationRates:    g.mut.Rates(),
 		CrossoverRates:   g.xov.Rates(),
 		Immigrants:       g.immigrants,
-	}
-	if res.Generations > g.cfg.MaxGenerations {
-		res.Generations = g.cfg.MaxGenerations
 	}
 	for _, s := range g.sizes {
 		if b := g.subs[s].best(); b != nil {
@@ -280,12 +364,12 @@ func (g *GA) Run() (*Result, error) {
 			res.EvalsAtBest[s] = g.evalsAtBest[s]
 		}
 	}
-	return res, nil
+	return res
 }
 
 // step runs one synchronous generation and reports whether any
 // subpopulation best improved.
-func (g *GA) step() bool {
+func (g *GA) step(ctx context.Context) bool {
 	lineages := g.breed()
 
 	// Phase A: evaluate crossover children (clones are pre-evaluated).
@@ -293,7 +377,7 @@ func (g *GA) step() bool {
 	for _, ln := range lineages {
 		childBatch = append(childBatch, ln.child)
 	}
-	g.evaluateBatch(childBatch)
+	g.evaluateBatch(ctx, childBatch)
 
 	// Crossover progress accounting (needs child fitnesses).
 	g.recordCrossoverProgress(lineages)
@@ -304,7 +388,7 @@ func (g *GA) step() bool {
 	for _, ln := range lineages {
 		probeBatch = append(probeBatch, ln.probes...)
 	}
-	g.evaluateBatch(probeBatch)
+	g.evaluateBatch(ctx, probeBatch)
 
 	// Resolve mutations, record progress, gather final individuals.
 	finals := g.resolveMutations(lineages)
@@ -524,7 +608,7 @@ func (g *GA) resolveMutations(lineages []*lineage) []*Haplotype {
 // randomImmigrants replaces every member scoring below its
 // subpopulation mean with fresh random individuals (§4.4). It returns
 // the number of immigrants actually inserted.
-func (g *GA) randomImmigrants() int {
+func (g *GA) randomImmigrants(ctx context.Context) int {
 	injected := 0
 	var pending []*Haplotype
 	var targets []*subpop
@@ -546,7 +630,7 @@ func (g *GA) randomImmigrants() int {
 			targets = append(targets, sp)
 		}
 	}
-	g.evaluateBatch(pending)
+	g.evaluateBatch(ctx, pending)
 	for i, h := range pending {
 		if !h.Evaluated {
 			continue

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -338,7 +340,7 @@ func TestRandomImmigrantsReplaceBelowMean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ga.initialize(); err != nil {
+	if err := ga.initialize(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// After initialization the subpopulations have fitness spread, so
@@ -351,7 +353,7 @@ func TestRandomImmigrantsReplaceBelowMean(t *testing.T) {
 		t.Fatal("test setup: no members below mean")
 	}
 	before := ga.evals
-	injected := ga.randomImmigrants()
+	injected := ga.randomImmigrants(context.Background())
 	if injected == 0 {
 		t.Fatal("random immigrants replaced nobody")
 	}
@@ -508,5 +510,57 @@ func BenchmarkGARunSmall(b *testing.B) {
 		if _, err := ga.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestRunContextCancelReturnsPartialResult(t *testing.T) {
+	cancelAfter := 3
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := testConfig(5)
+	cfg.StagnationLimit = 1000
+	cfg.MaxGenerations = 1000
+	cfg.OnGeneration = func(e TraceEntry) {
+		if e.Generation == cancelAfter {
+			cancel()
+		}
+	}
+	ga, err := New(plantedEvaluator(testTarget), 20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ga.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned no partial result")
+	}
+	// The cancel fires in generation cancelAfter's trace; the loop
+	// breaks at the top of the next generation, so exactly cancelAfter
+	// generations completed.
+	if res.Generations != cancelAfter {
+		t.Fatalf("completed %d generations, want %d (stop within one generation of cancel)", res.Generations, cancelAfter)
+	}
+	if len(res.BestBySize) == 0 {
+		t.Fatal("partial result carries no per-size bests")
+	}
+	if !res.Converged && res.TotalEvaluations == 0 {
+		t.Fatal("partial result lost the evaluation count")
+	}
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ga, err := New(plantedEvaluator(testTarget), 20, testConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ga.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Generations != 0 {
+		t.Fatalf("pre-cancelled run: res = %+v", res)
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -14,8 +15,9 @@ import (
 	"repro/internal/genotype"
 )
 
-// ErrClosed is returned when evaluating through a closed engine.
-var ErrClosed = errors.New("engine: evaluator closed")
+// ErrClosed is returned when evaluating through a closed engine. It
+// wraps fitness.ErrEvaluatorClosed.
+var ErrClosed = fmt.Errorf("engine: %w", fitness.ErrEvaluatorClosed)
 
 // Options configures an Engine. The zero value is a sensible default.
 type Options struct {
@@ -45,6 +47,15 @@ type slot struct {
 	err   error
 }
 
+// flight is one in-flight computation of a canonical key, shared by
+// every concurrent batch that misses on it (singleflight). The leader
+// closes done after filling value/err; followers only read afterwards.
+type flight struct {
+	done  chan struct{}
+	value float64
+	err   error
+}
+
 // Engine is the native concurrent evaluator: a worker pool over an
 // inner evaluator with a memoizing, sharded fitness cache. It is safe
 // for concurrent use; independent batches proceed in parallel rather
@@ -58,7 +69,18 @@ type Engine struct {
 
 	requests  atomic.Int64
 	hits      atomic.Int64
+	coalesced atomic.Int64
+	// joins ticks when a batch registers as follower of an in-flight
+	// computation, before the outcome is known (coalesced counts only
+	// followers that actually used the shared result). Diagnostic
+	// only; tests use it to observe the join deterministically.
+	joins     atomic.Int64
 	perWorker []atomic.Int64
+
+	// flightMu guards inflight, the singleflight table of cache keys
+	// currently being computed by some batch.
+	flightMu sync.Mutex
+	inflight map[string]*flight
 
 	mu     sync.RWMutex
 	closed bool
@@ -87,6 +109,7 @@ func New(inner fitness.Evaluator, opts Options) (*Engine, error) {
 		fingerprint: opts.Fingerprint,
 		start:       time.Now(),
 		perWorker:   make([]atomic.Int64, opts.Workers),
+		inflight:    make(map[string]*flight),
 		jobs:        make(chan job),
 	}
 	if !opts.DisableCache {
@@ -136,12 +159,27 @@ func (e *Engine) Evaluate(sites []int) (float64, error) {
 	return values[0], errs[0]
 }
 
-// EvaluateBatch scores a whole generation in one pass: duplicates are
-// coalesced, memoized sets answered from the cache, and only the
-// novel sets fan out to the workers. Results are positional and the
-// call returns only when every item is resolved — the synchronous
-// barrier the GA's generational model expects.
+// EvaluateBatch scores a whole generation in one pass; it is
+// EvaluateBatchContext with a background context.
 func (e *Engine) EvaluateBatch(batch [][]int) ([]float64, []error) {
+	return e.EvaluateBatchContext(context.Background(), batch)
+}
+
+// EvaluateBatchContext scores a whole generation in one pass:
+// duplicates are coalesced, memoized sets answered from the cache,
+// sets already being computed by a concurrent batch joined in flight
+// (singleflight), and only the genuinely novel sets fan out to the
+// workers. Results are positional and the call returns only when every
+// item is resolved — the synchronous barrier the GA's generational
+// model expects.
+//
+// Cancelling ctx stops the batch promptly: no further work is handed
+// to the workers, evaluations already in flight complete, and every
+// unstarted item reports ctx's error.
+func (e *Engine) EvaluateBatchContext(ctx context.Context, batch [][]int) ([]float64, []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	values := make([]float64, len(batch))
 	errs := make([]error, len(batch))
 	if len(batch) == 0 {
@@ -156,55 +194,149 @@ func (e *Engine) EvaluateBatch(batch [][]int) ([]float64, []error) {
 	}
 	unique, index := fitness.Dedupe(canon)
 
-	// Serve what the cache already knows.
+	// Resolve every unique set: serve cache hits, join computations a
+	// concurrent batch already has in flight (singleflight), and fan
+	// the genuinely novel sets out to the workers. A follower whose
+	// leader was cancelled retries — another batch's cancellation must
+	// not fail this one — so resolution loops until every set has a
+	// terminal outcome (value, real error, or this batch's own
+	// cancellation). Each round makes progress: a retried set either
+	// hits the cache, resolves as a leader, or joins a strictly newer
+	// flight.
 	uslots := make([]slot, len(unique))
-	cached := make([]bool, len(unique))
+	const (
+		howComputed = iota
+		howCached
+		howCoalesced
+	)
+	how := make([]byte, len(unique))
 	keys := make([]string, len(unique))
-	var missIdx []int
-	for u, sites := range unique {
-		if e.cache != nil {
+	if e.cache != nil {
+		for u, sites := range unique {
 			keys[u] = cacheKey(e.fingerprint, sites)
-			if v, ok := e.cache.get(keys[u]); ok {
-				uslots[u] = slot{value: v}
-				cached[u] = true
+		}
+	}
+	pending := make([]int, len(unique))
+	for u := range pending {
+		pending[u] = u
+	}
+	for len(pending) > 0 {
+		var leaders, followers []int
+		flights := make(map[int]*flight, len(pending))
+		for _, u := range pending {
+			if e.cache == nil {
+				leaders = append(leaders, u)
 				continue
 			}
+			if v, ok := e.cache.get(keys[u]); ok {
+				uslots[u] = slot{value: v}
+				how[u] = howCached
+				continue
+			}
+			e.flightMu.Lock()
+			f, ok := e.inflight[keys[u]]
+			if !ok {
+				// A previous leader may have published (cache set,
+				// flight removed — in that order, both under this
+				// lock for the removal) between our cache miss above
+				// and this lookup; re-check before leading, or the
+				// set would be computed twice.
+				if v, cached := e.cache.get(keys[u]); cached {
+					e.flightMu.Unlock()
+					uslots[u] = slot{value: v}
+					how[u] = howCached
+					continue
+				}
+				f = &flight{done: make(chan struct{})}
+				e.inflight[keys[u]] = f
+			}
+			e.flightMu.Unlock()
+			flights[u] = f
+			if ok {
+				followers = append(followers, u)
+				e.joins.Add(1)
+			} else {
+				leaders = append(leaders, u)
+			}
 		}
-		missIdx = append(missIdx, u)
-	}
-	for _, u := range index {
-		if cached[u] {
-			e.hits.Add(1)
-		}
-	}
 
-	// Fan the misses out to the workers.
-	if len(missIdx) > 0 {
-		e.mu.RLock()
-		if e.closed {
-			e.mu.RUnlock()
-			for _, u := range missIdx {
-				uslots[u].err = ErrClosed
-			}
-		} else {
-			var wg sync.WaitGroup
-			wg.Add(len(missIdx))
-			for _, u := range missIdx {
-				e.jobs <- job{sites: unique[u], slot: &uslots[u], wg: &wg}
-			}
-			wg.Wait()
-			e.mu.RUnlock()
-			if e.cache != nil {
-				for _, u := range missIdx {
-					if uslots[u].err == nil {
-						e.cache.set(keys[u], uslots[u].value)
+		// Fan the leader misses out to the workers. Once ctx is
+		// cancelled no further work is dispatched and the remaining
+		// leaders resolve with ctx's error. Publishing a flight (value
+		// into the cache, done closed, entry removed) must happen on
+		// every path, or followers would block forever.
+		if len(leaders) > 0 {
+			e.mu.RLock()
+			if e.closed {
+				e.mu.RUnlock()
+				for _, u := range leaders {
+					uslots[u].err = ErrClosed
+				}
+			} else {
+				var wg sync.WaitGroup
+				for _, u := range leaders {
+					if err := ctx.Err(); err != nil {
+						uslots[u].err = err
+						continue
+					}
+					wg.Add(1)
+					select {
+					case e.jobs <- job{sites: unique[u], slot: &uslots[u], wg: &wg}:
+					case <-ctx.Done():
+						wg.Done()
+						uslots[u].err = ctx.Err()
 					}
 				}
+				wg.Wait()
+				e.mu.RUnlock()
+				if e.cache != nil {
+					for _, u := range leaders {
+						if uslots[u].err == nil {
+							e.cache.set(keys[u], uslots[u].value)
+						}
+					}
+				}
+			}
+			if e.cache != nil {
+				for _, u := range leaders {
+					f := flights[u]
+					f.value, f.err = uslots[u].value, uslots[u].err
+					e.flightMu.Lock()
+					delete(e.inflight, keys[u])
+					e.flightMu.Unlock()
+					close(f.done)
+				}
+			}
+		}
+
+		// Collect the followed flights. A flight that ends with its
+		// leader's context error while this batch is still live goes
+		// back to pending and is recomputed next round.
+		pending = pending[:0]
+		for _, u := range followers {
+			f := flights[u]
+			select {
+			case <-f.done:
+				if f.err != nil && ctx.Err() == nil &&
+					(errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
+					pending = append(pending, u)
+					continue
+				}
+				uslots[u] = slot{value: f.value, err: f.err}
+				how[u] = howCoalesced
+			case <-ctx.Done():
+				uslots[u].err = ctx.Err()
 			}
 		}
 	}
 
 	for i, u := range index {
+		switch how[u] {
+		case howCached:
+			e.hits.Add(1)
+		case howCoalesced:
+			e.coalesced.Add(1)
+		}
 		values[i], errs[i] = uslots[u].value, uslots[u].err
 	}
 	return values, errs
@@ -222,6 +354,7 @@ func (e *Engine) Report() fitness.Report {
 		Requests:  e.requests.Load(),
 		Computed:  computed,
 		CacheHits: e.hits.Load(),
+		Coalesced: e.coalesced.Load(),
 		Workers:   e.workers,
 		PerWorker: pw,
 		Uptime:    time.Since(e.start),
@@ -247,7 +380,8 @@ func (e *Engine) Close() {
 
 // Interface conformance checks.
 var (
-	_ fitness.Evaluator      = (*Engine)(nil)
-	_ fitness.BatchEvaluator = (*Engine)(nil)
-	_ fitness.Reporter       = (*Engine)(nil)
+	_ fitness.Evaluator             = (*Engine)(nil)
+	_ fitness.BatchEvaluator        = (*Engine)(nil)
+	_ fitness.ContextBatchEvaluator = (*Engine)(nil)
+	_ fitness.Reporter              = (*Engine)(nil)
 )

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/clump"
 	"repro/internal/ehdiall"
@@ -180,6 +182,137 @@ func TestEngineClosed(t *testing.T) {
 		t.Fatalf("got %v, want ErrClosed", err)
 	}
 	e.Close() // idempotent
+}
+
+// gatedEval blocks every computation until release is closed, so tests
+// can hold evaluations in flight deterministically.
+type gatedEval struct {
+	release chan struct{}
+	calls   atomic.Int64
+}
+
+func (g *gatedEval) Evaluate(sites []int) (float64, error) {
+	g.calls.Add(1)
+	<-g.release
+	sum := 0.0
+	for _, s := range sites {
+		sum += float64(s)
+	}
+	return sum, nil
+}
+
+func TestEvaluateBatchContextCancelUnblocks(t *testing.T) {
+	inner := &gatedEval{release: make(chan struct{})}
+	e, err := New(inner, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// A big batch: 2 evaluations enter the workers and block on the
+	// gate, the rest queue behind them. Cancelling must return the
+	// batch without waiting for the queued items.
+	batch := make([][]int, 64)
+	for i := range batch {
+		batch[i] = []int{i, i + 100}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		values []float64
+		errs   []error
+	}
+	res := make(chan outcome, 1)
+	go func() {
+		v, errs := e.EvaluateBatchContext(ctx, batch)
+		res <- outcome{v, errs}
+	}()
+	// Wait until both workers hold an evaluation, then cancel.
+	for inner.calls.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	// The batch must not resolve while the in-flight pair is still
+	// gated... release them and the batch must come home promptly.
+	close(inner.release)
+	var oc outcome
+	select {
+	case oc = <-res:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled batch did not return")
+	}
+	canceled, completed := 0, 0
+	for i := range batch {
+		switch {
+		case oc.errs[i] == nil:
+			completed++
+		case errors.Is(oc.errs[i], context.Canceled):
+			canceled++
+		default:
+			t.Fatalf("item %d: unexpected error %v", i, oc.errs[i])
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("no item reported the cancellation")
+	}
+	if total := inner.calls.Load(); total >= int64(len(batch)) {
+		t.Fatalf("all %d items were computed despite cancellation", total)
+	}
+	t.Logf("completed %d, canceled %d", completed, canceled)
+}
+
+func TestSingleflightCoalescesConcurrentBatches(t *testing.T) {
+	inner := &gatedEval{release: make(chan struct{})}
+	e, err := New(inner, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Batch A takes the leader role for {3, 7} and blocks in the
+	// worker; batch B misses the cache on the same canonical key and
+	// must join A's flight instead of computing again.
+	type outcome struct {
+		v    float64
+		err  error
+		rept fitness.Report
+	}
+	results := make(chan outcome, 2)
+	go func() {
+		v, errs := e.EvaluateBatchContext(context.Background(), [][]int{{3, 7}})
+		results <- outcome{v[0], errs[0], e.Report()}
+	}()
+	for inner.calls.Load() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		v, errs := e.EvaluateBatchContext(context.Background(), [][]int{{3, 7}})
+		results <- outcome{v[0], errs[0], e.Report()}
+	}()
+	// Wait until batch B has registered as a follower (the joins
+	// counter ticks at registration), then release the computation.
+	for e.joins.Load() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(inner.release)
+	for i := 0; i < 2; i++ {
+		oc := <-results
+		if oc.err != nil {
+			t.Fatal(oc.err)
+		}
+		if oc.v != 10 {
+			t.Fatalf("value %v, want 10", oc.v)
+		}
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Fatalf("computed %d times for one key across two batches, want 1", got)
+	}
+	r := e.Report()
+	if r.Coalesced != 1 {
+		t.Fatalf("Report().Coalesced = %d, want 1", r.Coalesced)
+	}
+	if r.Requests != 2 || r.Computed != 1 {
+		t.Fatalf("report %+v: want 2 requests, 1 computed", r)
+	}
 }
 
 func TestEnginePipelineParity(t *testing.T) {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -75,16 +76,26 @@ type AblationRow struct {
 }
 
 // Ablation runs Table 2 once per scheme and collects the comparison.
-func Ablation(d *genotype.Dataset, base Table2Params, schemes []AblationScheme) ([]AblationRow, error) {
+// On cancellation the completed schemes are returned with ctx's error.
+func Ablation(ctx context.Context, d *genotype.Dataset, base Table2Params, schemes []AblationScheme) ([]AblationRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(schemes) == 0 {
 		schemes = DefaultAblationSchemes()
 	}
 	var out []AblationRow
 	for _, scheme := range schemes {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		p := base
 		scheme.Apply(&p.GA)
-		res, err := Table2(d, p)
+		res, err := Table2(ctx, d, p)
 		if err != nil {
+			if ctx.Err() != nil {
+				return out, ctx.Err() // drop the interrupted scheme
+			}
 			return nil, fmt.Errorf("exp: scheme %q: %w", scheme.Name, err)
 		}
 		row := AblationRow{

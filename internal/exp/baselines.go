@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -49,8 +50,13 @@ type BaselineRow struct {
 // Baselines runs every method and returns one row each, ordered:
 // random search, hill climber, simulated annealing, tabu search,
 // greedy constructive, plain GA, dedicated GA (+ exhaustive optimum
-// when requested).
-func Baselines(d *genotype.Dataset, p BaselinesParams) ([]BaselineRow, error) {
+// when requested). The context is checked between methods and runs
+// (and threaded into the dedicated GA); on cancellation the completed
+// methods are returned with ctx's error.
+func Baselines(ctx context.Context, d *genotype.Dataset, p BaselinesParams) ([]BaselineRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if p.Size == 0 {
 		p.Size = 4
 	}
@@ -70,6 +76,9 @@ func Baselines(d *genotype.Dataset, p BaselinesParams) ([]BaselineRow, error) {
 		row := BaselineRow{Method: name}
 		var fit, evals stats.Accumulator
 		for run := 0; run < p.Runs; run++ {
+			if err := ctx.Err(); err != nil {
+				return row, err
+			}
 			res, err := fn(p.Seed + uint64(run))
 			if err != nil {
 				return row, fmt.Errorf("exp: %s: %w", name, err)
@@ -120,6 +129,9 @@ func Baselines(d *genotype.Dataset, p BaselinesParams) ([]BaselineRow, error) {
 	for _, m := range methods {
 		row, err := aggregate(m.name, m.fn)
 		if err != nil {
+			if ctx.Err() != nil {
+				return rows, ctx.Err() // keep the completed methods
+			}
 			return nil, err
 		}
 		rows = append(rows, row)
@@ -144,7 +156,7 @@ func Baselines(d *genotype.Dataset, p BaselinesParams) ([]BaselineRow, error) {
 		if err != nil {
 			return baseline.Result{}, err
 		}
-		res, err := ga.Run()
+		res, err := ga.RunContext(ctx)
 		if err != nil {
 			return baseline.Result{}, err
 		}
@@ -159,11 +171,17 @@ func Baselines(d *genotype.Dataset, p BaselinesParams) ([]BaselineRow, error) {
 		}, nil
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return rows, ctx.Err()
+		}
 		return nil, err
 	}
 	rows = append(rows, dedicated)
 
 	if p.IncludeExhaustive {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
 		exact, err := baseline.Exhaustive(pipe, d.NumSNPs(), p.Size)
 		if err != nil {
 			return nil, err

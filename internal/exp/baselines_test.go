@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -12,7 +13,7 @@ func TestBaselinesComparison(t *testing.T) {
 		Size: 3, Budget: 600, Runs: 2, Seed: 5, Slaves: 2,
 		IncludeExhaustive: true,
 	}
-	rows, err := Baselines(d, p)
+	rows, err := Baselines(context.Background(), d, p)
 	if err != nil {
 		t.Fatal(err)
 	}

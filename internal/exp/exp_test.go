@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"math/big"
 	"strings"
 	"testing"
@@ -78,7 +79,7 @@ func TestTable1MatchesPaper(t *testing.T) {
 
 func TestFigure4GrowsWithSize(t *testing.T) {
 	d := smallDataset(t, 1)
-	points, err := Figure4(d, 2, 5, 20, 7)
+	points, err := Figure4(context.Background(), d, 2, 5, 20, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,14 +102,14 @@ func TestFigure4GrowsWithSize(t *testing.T) {
 
 func TestFigure4Errors(t *testing.T) {
 	d := smallDataset(t, 1)
-	if _, err := Figure4(d, 2, 3, 0, 1); err == nil {
+	if _, err := Figure4(context.Background(), d, 2, 3, 0, 1); err == nil {
 		t.Fatal("zero samples accepted")
 	}
 }
 
 func TestTable2EndToEnd(t *testing.T) {
 	d := smallDataset(t, 2)
-	res, err := Table2(d, Table2Params{
+	res, err := Table2(context.Background(), d, Table2Params{
 		Runs: 3, Seed: 11, GA: quickGA(), Slaves: 2,
 	})
 	if err != nil {
@@ -147,7 +148,7 @@ func TestTable2EndToEnd(t *testing.T) {
 func TestTable2WithReference(t *testing.T) {
 	d := smallDataset(t, 3)
 	// An absurdly high reference forces nonzero deviation and no hits.
-	res, err := Table2(d, Table2Params{
+	res, err := Table2(context.Background(), d, Table2Params{
 		Runs: 2, Seed: 5, GA: quickGA(), Slaves: 2,
 		RefBest: map[int]float64{2: 1e9, 3: 1e9},
 	})
@@ -180,7 +181,7 @@ func TestSchemeNames(t *testing.T) {
 
 func TestAblationOrdering(t *testing.T) {
 	d := smallDataset(t, 4)
-	rows, err := Ablation(d, Table2Params{Runs: 2, Seed: 3, GA: quickGA(), Slaves: 2}, nil)
+	rows, err := Ablation(context.Background(), d, Table2Params{Runs: 2, Seed: 3, GA: quickGA(), Slaves: 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestAblationOrdering(t *testing.T) {
 
 func TestSpeedupParallelGain(t *testing.T) {
 	d := smallDataset(t, 5)
-	points, err := Speedup(d, SpeedupParams{
+	points, err := Speedup(context.Background(), d, SpeedupParams{
 		Slaves:        []int{1, 2},
 		BatchSize:     16,
 		Batches:       2,
@@ -230,7 +231,7 @@ func TestSpeedupParallelGain(t *testing.T) {
 
 func TestSpeedupPVMBackend(t *testing.T) {
 	d := smallDataset(t, 6)
-	points, err := Speedup(d, SpeedupParams{
+	points, err := Speedup(context.Background(), d, SpeedupParams{
 		Slaves:         []int{1, 2},
 		BatchSize:      8,
 		Batches:        1,
@@ -248,14 +249,14 @@ func TestSpeedupPVMBackend(t *testing.T) {
 
 func TestSpeedupRejectsBadSlaves(t *testing.T) {
 	d := smallDataset(t, 6)
-	if _, err := Speedup(d, SpeedupParams{Slaves: []int{0}}); err == nil {
+	if _, err := Speedup(context.Background(), d, SpeedupParams{Slaves: []int{0}}); err == nil {
 		t.Fatal("slave count 0 accepted")
 	}
 }
 
 func TestLandscapeReport(t *testing.T) {
 	d := smallDataset(t, 7)
-	rep, err := Landscape(d, LandscapeParams{MinSize: 2, MaxSize: 3, TopN: 5, Workers: 2})
+	rep, err := Landscape(context.Background(), d, LandscapeParams{MinSize: 2, MaxSize: 3, TopN: 5, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestLandscapeReport(t *testing.T) {
 
 func TestRobustness(t *testing.T) {
 	d := smallDataset(t, 8)
-	res, err := Robustness(d, RobustParams{Runs: 3, Seed: 21, GA: quickGA(), Slaves: 2})
+	res, err := Robustness(context.Background(), d, RobustParams{Runs: 3, Seed: 21, GA: quickGA(), Slaves: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -27,8 +28,12 @@ type Figure4Point struct {
 
 // Figure4 measures the average evaluation time of random haplotypes
 // of each size in [minSize, maxSize], reproducing the paper's Figure 4
-// on the given dataset.
-func Figure4(d *genotype.Dataset, minSize, maxSize, samples int, seed uint64) ([]Figure4Point, error) {
+// on the given dataset. On cancellation the completed sizes are
+// returned with ctx's error.
+func Figure4(ctx context.Context, d *genotype.Dataset, minSize, maxSize, samples int, seed uint64) ([]Figure4Point, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if samples < 1 {
 		return nil, fmt.Errorf("exp: samples = %d", samples)
 	}
@@ -40,6 +45,9 @@ func Figure4(d *genotype.Dataset, minSize, maxSize, samples int, seed uint64) ([
 	var out []Figure4Point
 	prev := time.Duration(0)
 	for k := minSize; k <= maxSize; k++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		// Pre-draw the haplotypes so RNG time is excluded.
 		sets := make([][]int, samples)
 		for i := range sets {
@@ -49,6 +57,9 @@ func Figure4(d *genotype.Dataset, minSize, maxSize, samples int, seed uint64) ([
 		start := time.Now()
 		evaluated := 0
 		for _, sites := range sets {
+			if err := ctx.Err(); err != nil {
+				return out, err // drop the cut-short size
+			}
 			if _, err := pipe.Evaluate(sites); err == nil {
 				evaluated++
 			}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -34,8 +35,14 @@ type LandscapeReport struct {
 }
 
 // Landscape enumerates the dataset's haplotype landscape and computes
-// the two structural findings of §3.
-func Landscape(d *genotype.Dataset, p LandscapeParams) (*LandscapeReport, error) {
+// the two structural findings of §3. Cancellation stops within one
+// evaluation per enumeration worker (even inside a single large
+// size); on cancellation the report covers the fully completed sizes
+// and carries ctx's error.
+func Landscape(ctx context.Context, d *genotype.Dataset, p LandscapeParams) (*LandscapeReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if p.MinSize == 0 {
 		p.MinSize = 2
 	}
@@ -52,17 +59,20 @@ func Landscape(d *genotype.Dataset, p LandscapeParams) (*LandscapeReport, error)
 	if err != nil {
 		return nil, err
 	}
-	sums, err := landscape.Enumerate(pipe, d.NumSNPs(), landscape.Config{
+	sums, err := landscape.EnumerateContext(ctx, pipe, d.NumSNPs(), landscape.Config{
 		MinSize: p.MinSize, MaxSize: p.MaxSize, TopN: p.TopN, Workers: p.Workers,
 	})
-	if err != nil {
-		return nil, err
+	if len(sums) == 0 {
+		if err != nil {
+			return nil, err
+		}
+		return nil, ctx.Err()
 	}
 	return &LandscapeReport{
 		Summaries:    sums,
 		Containments: landscape.AnalyzeContainment(sums),
 		RangesGrow:   landscape.RangesGrow(sums),
-	}, nil
+	}, err
 }
 
 // RenderLandscape prints the per-size statistics, the top haplotypes,

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -60,8 +61,13 @@ func jaccard(a, b []int) float64 {
 }
 
 // Robustness runs the GA repeatedly and measures how similar the
-// reported haplotypes are across executions.
-func Robustness(d *genotype.Dataset, p RobustParams) (*RobustResult, error) {
+// reported haplotypes are across executions. On cancellation the
+// completed runs are compared and returned with ctx's error (or a nil
+// result when fewer than one run completed).
+func Robustness(ctx context.Context, d *genotype.Dataset, p RobustParams) (*RobustResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if p.Runs <= 0 {
 		p.Runs = 5
 	}
@@ -79,22 +85,28 @@ func Robustness(d *genotype.Dataset, p RobustParams) (*RobustResult, error) {
 	defer pool.Close()
 
 	var results []*core.Result
-	for run := 0; run < p.Runs; run++ {
+	for run := 0; run < p.Runs && ctx.Err() == nil; run++ {
 		cfg := p.GA
 		cfg.Seed = p.Seed + uint64(run)
 		ga, err := core.New(pool, d.NumSNPs(), cfg)
 		if err != nil {
 			return nil, err
 		}
-		res, err := ga.Run()
+		res, err := ga.RunContext(ctx)
 		if err != nil {
+			if ctx.Err() != nil {
+				break // drop the interrupted run
+			}
 			return nil, err
 		}
 		results = append(results, res)
 	}
+	if len(results) == 0 {
+		return nil, ctx.Err()
+	}
 
 	out := &RobustResult{
-		Runs:              p.Runs,
+		Runs:              len(results),
 		MeanJaccardBySize: make(map[int]float64),
 		BestBySize:        make(map[int]*core.Haplotype),
 		FitnessCVBySize:   make(map[int]float64),
@@ -131,7 +143,10 @@ func Robustness(d *genotype.Dataset, p RobustParams) (*RobustResult, error) {
 			out.FitnessCVBySize[s] = fit.StdDev() / fit.Mean()
 		}
 	}
-	return out, nil
+	if len(results) == p.Runs {
+		return out, nil // every requested run completed
+	}
+	return out, ctx.Err()
 }
 
 // RenderRobustness prints the similarity table.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -63,8 +64,12 @@ type SpeedupPoint struct {
 }
 
 // Speedup measures synchronous batch evaluation throughput against
-// the number of slaves.
-func Speedup(d *genotype.Dataset, p SpeedupParams) ([]SpeedupPoint, error) {
+// the number of slaves. Cancellation stops between batches; the
+// completed points are returned with ctx's error.
+func Speedup(ctx context.Context, d *genotype.Dataset, p SpeedupParams) ([]SpeedupPoint, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p = p.withDefaults()
 	pipe, err := fitness.NewPipeline(d, clump.T1, ehdiall.Config{})
 	if err != nil {
@@ -84,10 +89,13 @@ func Speedup(d *genotype.Dataset, p SpeedupParams) ([]SpeedupPoint, error) {
 
 	var out []SpeedupPoint
 	for _, slaves := range p.Slaves {
+		if err := ctx.Err(); err != nil {
+			break
+		}
 		if slaves < 1 {
 			return nil, fmt.Errorf("exp: invalid slave count %d", slaves)
 		}
-		var be fitness.BatchEvaluator
+		var be fitness.Evaluator
 		var closer func()
 		if p.MessageLatency > 0 {
 			pe, err := master.NewPVMEvaluator(ev, slaves, pvm.WithLatency(p.MessageLatency))
@@ -103,25 +111,42 @@ func Speedup(d *genotype.Dataset, p SpeedupParams) ([]SpeedupPoint, error) {
 			be, closer = pool, pool.Close
 		}
 		start := time.Now()
-		for b := 0; b < p.Batches; b++ {
-			_, errs := be.EvaluateBatch(batch)
+		interrupted := false
+		for b := 0; b < p.Batches && !interrupted; b++ {
+			_, errs := fitness.EvaluateAllContext(ctx, be, batch)
 			for _, e := range errs {
 				if e != nil {
+					if ctx.Err() != nil {
+						interrupted = true // drop this point's timing
+						break
+					}
 					closer()
 					return nil, fmt.Errorf("exp: evaluation failed during speedup run: %w", e)
 				}
 			}
+			if ctx.Err() != nil {
+				interrupted = true
+			}
 		}
 		elapsed := time.Since(start)
 		closer()
+		if interrupted {
+			break
+		}
 		out = append(out, SpeedupPoint{Slaves: slaves, Elapsed: elapsed})
+	}
+	if len(out) == 0 {
+		return nil, ctx.Err()
 	}
 	base := float64(out[0].Elapsed) * float64(out[0].Slaves)
 	for i := range out {
 		out[i].Speedup = base / float64(out[i].Elapsed)
 		out[i].Efficiency = out[i].Speedup / float64(out[i].Slaves)
 	}
-	return out, nil
+	if len(out) == len(p.Slaves) {
+		return out, nil // every requested point completed
+	}
+	return out, ctx.Err()
 }
 
 // RenderSpeedup prints the scaling table.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -46,8 +47,12 @@ type StatCompareRow struct {
 }
 
 // StatCompare runs the GA once per objective function and collects the
-// winners for side-by-side comparison.
-func StatCompare(d *genotype.Dataset, p StatCompareParams) ([]StatCompareRow, error) {
+// winners for side-by-side comparison. On cancellation the completed
+// statistics are returned with ctx's error.
+func StatCompare(ctx context.Context, d *genotype.Dataset, p StatCompareParams) ([]StatCompareRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if p.Runs <= 0 {
 		p.Runs = 3
 	}
@@ -59,10 +64,16 @@ func StatCompare(d *genotype.Dataset, p StatCompareParams) ([]StatCompareRow, er
 	}
 	var out []StatCompareRow
 	for _, stat := range p.Stats {
-		res, err := Table2(d, Table2Params{
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		res, err := Table2(ctx, d, Table2Params{
 			Runs: p.Runs, Seed: p.Seed, GA: p.GA, Stat: stat, Slaves: p.Slaves,
 		})
 		if err != nil {
+			if ctx.Err() != nil {
+				return out, ctx.Err() // drop the interrupted statistic
+			}
 			return nil, fmt.Errorf("exp: statistic %v: %w", stat, err)
 		}
 		row := StatCompareRow{

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func TestStatCompareRunsAllStatistics(t *testing.T) {
 	d := smallDataset(t, 9)
-	rows, err := StatCompare(d, StatCompareParams{
+	rows, err := StatCompare(context.Background(), d, StatCompareParams{
 		Runs: 1, Seed: 3, GA: quickGA(), Slaves: 2, MCReps: 50,
 	})
 	if err != nil {
@@ -47,7 +48,7 @@ func TestStatCompareRunsAllStatistics(t *testing.T) {
 
 func TestStatCompareSubsetOfStats(t *testing.T) {
 	d := smallDataset(t, 10)
-	rows, err := StatCompare(d, StatCompareParams{
+	rows, err := StatCompare(context.Background(), d, StatCompareParams{
 		Runs: 1, Seed: 1, GA: quickGA(), Slaves: 2, MCReps: -1,
 		Stats: []clump.Statistic{clump.T1, clump.T4},
 	})

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -88,8 +89,14 @@ func SchemeName(cfg core.Config) string {
 	return name
 }
 
-// Table2 runs the experiment and aggregates the paper's Table 2.
-func Table2(d *genotype.Dataset, p Table2Params) (*Table2Result, error) {
+// Table2 runs the experiment and aggregates the paper's Table 2. The
+// context is honored between and within runs: on cancellation the
+// completed runs are aggregated and returned together with ctx's
+// error (or nil result if no run completed).
+func Table2(ctx context.Context, d *genotype.Dataset, p Table2Params) (*Table2Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if p.Runs <= 0 {
 		p.Runs = 10
 	}
@@ -114,20 +121,26 @@ func Table2(d *genotype.Dataset, p Table2Params) (*Table2Result, error) {
 	type runOutcome struct{ res *core.Result }
 	outcomes := make([]runOutcome, 0, p.Runs)
 	var gens, totalEvals stats.Accumulator
-	for run := 0; run < p.Runs; run++ {
+	for run := 0; run < p.Runs && ctx.Err() == nil; run++ {
 		cfg := p.GA
 		cfg.Seed = p.Seed + uint64(run)
 		ga, err := core.New(pool, d.NumSNPs(), cfg)
 		if err != nil {
 			return nil, fmt.Errorf("exp: run %d: %w", run, err)
 		}
-		res, err := ga.Run()
+		res, err := ga.RunContext(ctx)
 		if err != nil {
+			if ctx.Err() != nil {
+				break // drop the interrupted run; keep the completed ones
+			}
 			return nil, fmt.Errorf("exp: run %d: %w", run, err)
 		}
 		outcomes = append(outcomes, runOutcome{res})
 		gens.Add(float64(res.Generations))
 		totalEvals.Add(float64(res.TotalEvaluations))
+	}
+	if len(outcomes) == 0 {
+		return nil, ctx.Err()
 	}
 
 	// Aggregate per size. Sizes come from the first run's result.
@@ -139,7 +152,7 @@ func Table2(d *genotype.Dataset, p Table2Params) (*Table2Result, error) {
 		cfgDefaults.MaxSize = 6
 	}
 	out := &Table2Result{
-		Runs:            p.Runs,
+		Runs:            len(outcomes),
 		Scheme:          SchemeName(p.GA),
 		MeanGenerations: gens.Mean(),
 		MeanTotalEvals:  totalEvals.Mean(),
@@ -183,7 +196,10 @@ func Table2(d *genotype.Dataset, p Table2Params) (*Table2Result, error) {
 		out.Rows = append(out.Rows, row)
 	}
 	out.Elapsed = time.Since(start)
-	return out, nil
+	if len(outcomes) == p.Runs {
+		return out, nil // every requested run completed; a late cancel drops nothing
+	}
+	return out, ctx.Err()
 }
 
 // RenderTable2 prints the aggregate in the paper's Table 2 layout,

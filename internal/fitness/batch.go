@@ -1,5 +1,17 @@
 package fitness
 
+import (
+	"context"
+	"errors"
+)
+
+// ErrEvaluatorClosed is the terminal condition shared by every
+// evaluation backend: the backend was closed and can never score
+// again. Backends wrap it in their own ErrClosed so callers (the GA's
+// whole-batch failure check, the facade's error mapping) can detect a
+// dead backend with errors.Is without importing the backend package.
+var ErrEvaluatorClosed = errors.New("fitness: evaluator closed")
+
 // BatchEvaluator evaluates many haplotypes at once, possibly in
 // parallel. Results are positional: Values[i] and Errs[i] belong to
 // batch[i], and Errs[i] == nil means Values[i] is valid. This is the
@@ -9,17 +21,55 @@ type BatchEvaluator interface {
 	EvaluateBatch(batch [][]int) (values []float64, errs []error)
 }
 
-// EvaluateAll evaluates a batch through ev, using its BatchEvaluator
-// fast path when available and falling back to serial evaluation
-// otherwise. Per-item failures are reported in errs without aborting
-// the rest of the batch.
+// ContextBatchEvaluator is the cancellable batch contract. A cancelled
+// batch still returns positional results, but stops dispatching new
+// work promptly: items whose evaluation never started carry the
+// context's error, items already in flight complete normally. Backends
+// that implement it (the native engine and both master/slave pools)
+// let a cancelled GA generation unblock within one in-flight
+// evaluation per worker.
+type ContextBatchEvaluator interface {
+	EvaluateBatchContext(ctx context.Context, batch [][]int) (values []float64, errs []error)
+}
+
+// EvaluateAll evaluates a batch through ev, using its batch fast path
+// when available and falling back to serial evaluation otherwise.
+// Per-item failures are reported in errs without aborting the rest of
+// the batch. It is EvaluateAllContext with a background context.
 func EvaluateAll(ev Evaluator, batch [][]int) (values []float64, errs []error) {
+	return EvaluateAllContext(context.Background(), ev, batch)
+}
+
+// EvaluateAllContext is the cancellable form of EvaluateAll. It uses
+// the evaluator's ContextBatchEvaluator fast path when available;
+// otherwise it checks ctx between items (or once up front for a plain
+// BatchEvaluator, whose batch is indivisible). Items skipped because
+// of cancellation report ctx's error positionally.
+func EvaluateAllContext(ctx context.Context, ev Evaluator, batch [][]int) (values []float64, errs []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cbe, ok := ev.(ContextBatchEvaluator); ok {
+		return cbe.EvaluateBatchContext(ctx, batch)
+	}
+	if err := ctx.Err(); err != nil {
+		values = make([]float64, len(batch))
+		errs = make([]error, len(batch))
+		for i := range errs {
+			errs[i] = err
+		}
+		return values, errs
+	}
 	if be, ok := ev.(BatchEvaluator); ok {
 		return be.EvaluateBatch(batch)
 	}
 	values = make([]float64, len(batch))
 	errs = make([]error, len(batch))
 	for i, sites := range batch {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
 		values[i], errs[i] = ev.Evaluate(sites)
 	}
 	return values, errs
@@ -55,13 +105,28 @@ func Dedupe(batch [][]int) (unique [][]int, index []int) {
 // EvaluateBatch counts every item, then delegates with the inner
 // evaluator's own batching if present.
 func (c *Counting) EvaluateBatch(batch [][]int) ([]float64, []error) {
+	return c.EvaluateBatchContext(context.Background(), batch)
+}
+
+// EvaluateBatchContext counts every item, then delegates with the
+// inner evaluator's own (context-aware) batching if present, so
+// wrapping a cancellable backend keeps its cancellation bound.
+func (c *Counting) EvaluateBatchContext(ctx context.Context, batch [][]int) ([]float64, []error) {
 	c.n.Add(int64(len(batch)))
-	return EvaluateAll(c.inner, batch)
+	return EvaluateAllContext(ctx, c.inner, batch)
 }
 
 // EvaluateBatch serves hits from the cache and forwards only the
 // misses to the inner evaluator (as one inner batch).
 func (c *Cache) EvaluateBatch(batch [][]int) ([]float64, []error) {
+	return c.EvaluateBatchContext(context.Background(), batch)
+}
+
+// EvaluateBatchContext serves hits from the cache and forwards only
+// the misses to the inner evaluator (as one inner, context-aware
+// batch), so wrapping a cancellable backend keeps its cancellation
+// bound.
+func (c *Cache) EvaluateBatchContext(ctx context.Context, batch [][]int) ([]float64, []error) {
 	values := make([]float64, len(batch))
 	errs := make([]error, len(batch))
 	var missIdx []int
@@ -80,7 +145,7 @@ func (c *Cache) EvaluateBatch(batch [][]int) ([]float64, []error) {
 	if len(missIdx) == 0 {
 		return values, errs
 	}
-	mv, me := EvaluateAll(c.inner, missSites)
+	mv, me := EvaluateAllContext(ctx, c.inner, missSites)
 	c.mu.Lock()
 	for j, i := range missIdx {
 		if me[j] != nil {

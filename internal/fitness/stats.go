@@ -3,16 +3,21 @@ package fitness
 import "time"
 
 // Report aggregates the counters of an evaluation backend. All
-// quantities are cumulative since the backend was constructed, and all
-// item counts are in units of requested scores (one haplotype scored
-// once), so the identity
+// quantities are cumulative since the backend was constructed.
+// Requests counts requested scores (one haplotype scored once);
+// CacheHits and Coalesced likewise count requests — every in-batch
+// duplicate of a cached (or coalesced) set is a hit (or coalesced)
+// in its own right — while Computed counts pipeline evaluations, of
+// which there is one per distinct novel set. The identity, up to
+// in-flight work and failed evaluations, is therefore
 //
-//	Requests = CacheHits + Computed + coalesced duplicates
+//	Requests = CacheHits + Coalesced + Computed
+//	         + in-batch duplicates of computed sets
 //
-// holds up to in-flight work: a request served from the memoization
-// layer is a CacheHit, a request that reached the EH-DIALL -> CLUMP
-// pipeline is Computed, and a request coalesced onto an identical
-// in-batch twin is neither.
+// a request served from the memoization layer is a CacheHit, a
+// request that waited on another batch's identical in-flight
+// computation is Coalesced, and of the requests that fan out to the
+// workers only the first occurrence of each set is Computed.
 type Report struct {
 	// Requests counts every score requested through Evaluate or
 	// EvaluateBatch, including duplicates and cache hits. This matches
@@ -23,6 +28,10 @@ type Report struct {
 	Computed int64
 	// CacheHits counts requests served from the memoizing cache.
 	CacheHits int64
+	// Coalesced counts requests that piggybacked on an identical
+	// computation already in flight for a concurrent batch
+	// (singleflight), so the pipeline ran once for all of them.
+	Coalesced int64
 	// CacheEntries is the current number of memoized fitness values.
 	CacheEntries int
 	// Workers is the size of the worker pool (0 for serial backends).

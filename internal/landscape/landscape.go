@@ -10,6 +10,7 @@
 package landscape
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
@@ -77,7 +78,21 @@ func (c Config) withDefaults() Config {
 
 // Enumerate evaluates every haplotype of each size in
 // [MinSize, MaxSize] and returns one summary per size, in size order.
+// It is EnumerateContext with a background context.
 func Enumerate(ev fitness.Evaluator, numSNPs int, cfg Config) ([]SizeSummary, error) {
+	return EnumerateContext(context.Background(), ev, numSNPs, cfg)
+}
+
+// EnumerateContext is the cancellable enumeration: the workers check
+// ctx between evaluations, so cancellation stops within one evaluation
+// per worker even inside a single large size. The summaries of fully
+// completed sizes are returned with ctx's error; a size cut short is
+// dropped (its statistics would describe an arbitrary prefix of the
+// rank space, not the size).
+func EnumerateContext(ctx context.Context, ev fitness.Evaluator, numSNPs int, cfg Config) ([]SizeSummary, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
 	if cfg.MinSize < 1 || cfg.MaxSize < cfg.MinSize {
 		return nil, fmt.Errorf("landscape: invalid size range [%d,%d]", cfg.MinSize, cfg.MaxSize)
@@ -87,9 +102,15 @@ func Enumerate(ev fitness.Evaluator, numSNPs int, cfg Config) ([]SizeSummary, er
 	}
 	var out []SizeSummary
 	for k := cfg.MinSize; k <= cfg.MaxSize; k++ {
-		s, err := enumerateSize(ev, numSNPs, k, cfg)
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		s, err := enumerateSize(ctx, ev, numSNPs, k, cfg)
 		if err != nil {
 			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return out, err // the size was cut short; drop it
 		}
 		out = append(out, s)
 	}
@@ -117,7 +138,7 @@ func (w *workerState) add(sites []int, f float64, topN int) {
 	}
 }
 
-func enumerateSize(ev fitness.Evaluator, numSNPs, k int, cfg Config) (SizeSummary, error) {
+func enumerateSize(ctx context.Context, ev fitness.Evaluator, numSNPs, k int, cfg Config) (SizeSummary, error) {
 	total := combin.Binomial(numSNPs, k)
 	workers := cfg.Workers
 	if big.NewInt(int64(workers)).Cmp(total) > 0 {
@@ -144,6 +165,9 @@ func enumerateSize(ev fitness.Evaluator, numSNPs, k int, cfg Config) (SizeSummar
 			combin.Unrank(start, sites, numSNPs)
 			n := count.Int64()
 			for i := int64(0); i < n; i++ {
+				if ctx.Err() != nil {
+					return
+				}
 				f, err := ev.Evaluate(sites)
 				if err != nil {
 					st.failed++

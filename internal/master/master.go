@@ -23,6 +23,7 @@
 package master
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -32,8 +33,9 @@ import (
 	"repro/internal/pvm"
 )
 
-// ErrClosed is returned when evaluating through a closed pool.
-var ErrClosed = errors.New("master: evaluator closed")
+// ErrClosed is returned when evaluating through a closed pool. It
+// wraps fitness.ErrEvaluatorClosed.
+var ErrClosed = fmt.Errorf("master: %w", fitness.ErrEvaluatorClosed)
 
 type job struct {
 	index int
@@ -95,8 +97,22 @@ func (p *Pool) slave() {
 func (p *Pool) Slaves() int { return p.slaves }
 
 // EvaluateBatch distributes the batch over the slaves and waits for
-// every result (the synchronous generation barrier).
+// every result (the synchronous generation barrier). It is
+// EvaluateBatchContext with a background context.
 func (p *Pool) EvaluateBatch(batch [][]int) ([]float64, []error) {
+	return p.EvaluateBatchContext(context.Background(), batch)
+}
+
+// EvaluateBatchContext distributes the batch over the slaves and waits
+// for every dispatched result. Cancelling ctx stops the master from
+// handing out further individuals: in-flight evaluations complete and
+// keep their values, every undispatched item reports ctx's error, and
+// the call returns — within one evaluation per slave of the
+// cancellation.
+func (p *Pool) EvaluateBatchContext(ctx context.Context, batch [][]int) ([]float64, []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	values := make([]float64, len(batch))
 	errs := make([]error, len(batch))
 	p.mu.Lock()
@@ -109,17 +125,50 @@ func (p *Pool) EvaluateBatch(batch [][]int) ([]float64, []error) {
 	}
 	// Feed jobs and collect results concurrently from the master
 	// side; the lock is held for the whole batch so batches are
-	// serialized, as in the synchronous original.
+	// serialized, as in the synchronous original. On cancellation the
+	// feeder stops dispatching and reports how many it actually sent,
+	// so the collector knows when the in-flight work has drained.
 	defer p.mu.Unlock()
-	go func() {
-		for i, sites := range batch {
-			p.jobs <- job{index: i, sites: sites}
+	if err := ctx.Err(); err != nil {
+		for i := range errs {
+			errs[i] = err
 		}
+		return values, errs
+	}
+	sent := make(chan int, 1)
+	go func() {
+		n := 0
+		for i, sites := range batch {
+			select {
+			case p.jobs <- job{index: i, sites: sites}:
+				n++
+			case <-ctx.Done():
+				sent <- n
+				return
+			}
+		}
+		sent <- n
 	}()
-	for done := 0; done < len(batch); done++ {
-		r := <-p.results
-		values[r.index] = r.value
-		errs[r.index] = r.err
+	resolved := make([]bool, len(batch))
+	total := len(batch)
+	for done := 0; done < total; {
+		select {
+		case r := <-p.results:
+			values[r.index] = r.value
+			errs[r.index] = r.err
+			resolved[r.index] = true
+			done++
+		case n := <-sent:
+			total = n
+			sent = nil // stop selecting on the drained channel
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		for i := range batch {
+			if !resolved[i] && errs[i] == nil {
+				errs[i] = err
+			}
+		}
 	}
 	return values, errs
 }
@@ -221,8 +270,20 @@ func (pe *PVMEvaluator) Slaves() int { return len(pe.slaves) }
 
 // EvaluateBatch implements the paper's dispatch: initially one
 // individual per slave, then each returning result triggers the next
-// send, until the batch is drained and all results are home.
+// send, until the batch is drained and all results are home. It is
+// EvaluateBatchContext with a background context.
 func (pe *PVMEvaluator) EvaluateBatch(batch [][]int) ([]float64, []error) {
+	return pe.EvaluateBatchContext(context.Background(), batch)
+}
+
+// EvaluateBatchContext runs the paper's dispatch under ctx. On
+// cancellation the master sends no further work: results already in
+// flight are collected (each slave holds at most one individual), and
+// every undispatched item reports ctx's error.
+func (pe *PVMEvaluator) EvaluateBatchContext(ctx context.Context, batch [][]int) ([]float64, []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	values := make([]float64, len(batch))
 	errs := make([]error, len(batch))
 	pe.mu.Lock()
@@ -230,6 +291,12 @@ func (pe *PVMEvaluator) EvaluateBatch(batch [][]int) ([]float64, []error) {
 	if pe.closed {
 		for i := range errs {
 			errs[i] = ErrClosed
+		}
+		return values, errs
+	}
+	if err := ctx.Err(); err != nil {
+		for i := range errs {
+			errs[i] = err
 		}
 		return values, errs
 	}
@@ -280,9 +347,24 @@ func (pe *PVMEvaluator) EvaluateBatch(batch [][]int) ([]float64, []error) {
 			values[index] = v
 		}
 		inFlight--
-		if next < len(batch) {
+		if next < len(batch) && ctx.Err() == nil {
 			if err := send(msg.Src); err != nil {
-				errs[next] = err
+				// The transport died: every undispatched item fails —
+				// leaving them silent would return fitness 0 as a
+				// valid evaluation.
+				for i := next; i < len(batch); i++ {
+					if errs[i] == nil {
+						errs[i] = err
+					}
+				}
+				next = len(batch)
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		for i := next; i < len(batch); i++ {
+			if errs[i] == nil {
+				errs[i] = err
 			}
 		}
 	}
@@ -312,8 +394,10 @@ func (pe *PVMEvaluator) Close() {
 
 // Interface conformance checks.
 var (
-	_ fitness.Evaluator      = (*Pool)(nil)
-	_ fitness.BatchEvaluator = (*Pool)(nil)
-	_ fitness.Evaluator      = (*PVMEvaluator)(nil)
-	_ fitness.BatchEvaluator = (*PVMEvaluator)(nil)
+	_ fitness.Evaluator             = (*Pool)(nil)
+	_ fitness.BatchEvaluator        = (*Pool)(nil)
+	_ fitness.ContextBatchEvaluator = (*Pool)(nil)
+	_ fitness.Evaluator             = (*PVMEvaluator)(nil)
+	_ fitness.BatchEvaluator        = (*PVMEvaluator)(nil)
+	_ fitness.ContextBatchEvaluator = (*PVMEvaluator)(nil)
 )

@@ -1,6 +1,8 @@
 package master
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -297,5 +299,87 @@ func BenchmarkPVMBatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pe.EvaluateBatch(batch)
+	}
+}
+
+func TestPoolBatchContextCancelUnblocks(t *testing.T) {
+	// Two slaves, each evaluation takes ~20ms; a 100-item batch would
+	// run ~1s. Cancelling after the first results must return the
+	// batch long before that, with undispatched items carrying the
+	// context error.
+	p, err := NewPool(slowEval(20*time.Millisecond, -1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	values, errs := p.EvaluateBatchContext(ctx, batchOf(100))
+	elapsed := time.Since(start)
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("cancelled batch took %s", elapsed)
+	}
+	completed, canceled := 0, 0
+	for i := range errs {
+		switch {
+		case errs[i] == nil:
+			if values[i] != float64(i+i+100) {
+				t.Fatalf("item %d: wrong value %v", i, values[i])
+			}
+			completed++
+		case errors.Is(errs[i], context.Canceled):
+			canceled++
+		default:
+			t.Fatalf("item %d: unexpected error %v", i, errs[i])
+		}
+	}
+	if canceled == 0 || completed == 0 {
+		t.Fatalf("completed %d canceled %d; want both nonzero", completed, canceled)
+	}
+	// The pool must remain usable for the next (uncancelled) batch.
+	values, errs = p.EvaluateBatch(batchOf(3))
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("post-cancel batch item %d: %v", i, errs[i])
+		}
+		if values[i] != float64(i+i+100) {
+			t.Fatalf("post-cancel batch item %d: wrong value %v", i, values[i])
+		}
+	}
+}
+
+func TestPVMBatchContextCancelUnblocks(t *testing.T) {
+	pe, err := NewPVMEvaluator(slowEval(20*time.Millisecond, -1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pe.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	values, errs := pe.EvaluateBatchContext(ctx, batchOf(100))
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("cancelled batch took %s", elapsed)
+	}
+	completed, canceled := 0, 0
+	for i := range errs {
+		switch {
+		case errs[i] == nil && values[i] == float64(i+i+100):
+			completed++
+		case errors.Is(errs[i], context.Canceled):
+			canceled++
+		default:
+			t.Fatalf("item %d: value %v err %v", i, values[i], errs[i])
+		}
+	}
+	if canceled == 0 || completed == 0 {
+		t.Fatalf("completed %d canceled %d; want both nonzero", completed, canceled)
 	}
 }

@@ -1,0 +1,164 @@
+package repro
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Job is a GA run executing in the background, started with
+// Session.Start. It streams per-generation progress, snapshots its
+// live state on demand, and can be waited on or stopped; Stop and a
+// cancelled context both yield the partial result accumulated so far.
+// This is the handle a serving layer exposes: one Job per submitted
+// study run.
+type Job struct {
+	session  *Session
+	cancel   context.CancelFunc
+	progress chan TraceEntry
+	done     chan struct{}
+	started  time.Time
+
+	mu     sync.Mutex // guards the fields below
+	latest TraceEntry
+	traced bool
+	result *GAResult
+	err    error
+}
+
+// progressBuffer is the Job progress channel's capacity. A consumer
+// that keeps up sees every generation; when the buffer fills, the
+// oldest entries are dropped so the stream conflates toward the newest
+// state and the GA never blocks on a slow consumer.
+const progressBuffer = 16
+
+// Start launches one GA run in the background and returns its Job
+// handle immediately. Configuration errors surface synchronously (the
+// run is validated before the goroutine starts); the run itself
+// terminates when it converges, hits its generation cap, or ctx is
+// cancelled. Run-level options (WithGAConfig, WithTrace) override the
+// session defaults for this job only.
+func (s *Session) Start(ctx context.Context, opts ...Option) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	j := &Job{
+		session:  s,
+		cancel:   cancel,
+		progress: make(chan TraceEntry, progressBuffer),
+		done:     make(chan struct{}),
+		started:  time.Now(),
+	}
+	ga, err := s.prepare(opts, j.publish)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	go func() {
+		defer cancel()
+		res, err := ga.RunContext(runCtx)
+		j.mu.Lock()
+		j.result = res
+		j.err = wrapRunErr(err)
+		j.mu.Unlock()
+		close(j.progress)
+		close(j.done)
+	}()
+	return j, nil
+}
+
+// publish delivers one generation's trace entry to the stream and the
+// snapshot. It never blocks the GA: when the progress buffer is full,
+// the oldest entry is dropped to make room.
+func (j *Job) publish(e TraceEntry) {
+	j.mu.Lock()
+	j.latest = e
+	j.traced = true
+	j.mu.Unlock()
+	for {
+		select {
+		case j.progress <- e:
+			return
+		default:
+		}
+		select {
+		case <-j.progress: // conflate: drop the oldest buffered entry
+		default:
+		}
+	}
+}
+
+// Progress returns the per-generation progress stream. The channel is
+// closed when the run finishes (after which Wait returns immediately).
+// Entries are conflated, never blocking: a slow consumer misses old
+// generations, not new ones.
+func (j *Job) Progress() <-chan TraceEntry { return j.progress }
+
+// Done returns a channel closed when the run has finished and its
+// result is available.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the run finishes and returns its outcome. After a
+// cancellation (context or Stop) the result is the partial outcome and
+// the error wraps ErrCanceled; both are stable across repeated calls.
+func (j *Job) Wait() (*GAResult, error) {
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Stop cancels the run and waits for it to wind down, returning the
+// partial result accumulated up to the last completed generation
+// together with an error wrapping ErrCanceled. Stopping a finished job
+// just returns its outcome.
+func (j *Job) Stop() (*GAResult, error) {
+	j.cancel()
+	return j.Wait()
+}
+
+// JobReport is a live snapshot of a running (or finished) job: the
+// latest generation's trace, wall-clock elapsed time, and — when the
+// session's backend tracks counters — the evaluation engine's report.
+type JobReport struct {
+	// Running is false once the result is available.
+	Running bool
+	// Generation, Evaluations, BestBySize, Stagnation mirror the
+	// latest TraceEntry; they are zero before the first generation
+	// completes.
+	Generation  int
+	Evaluations int64
+	BestBySize  map[int]float64
+	Stagnation  int
+	// Elapsed is the wall-clock time since Start.
+	Elapsed time.Duration
+	// Engine carries the backend counters, nil when untracked.
+	Engine *EngineReport
+}
+
+// Report snapshots the job's live state. It is safe to call at any
+// time from any goroutine — the handle an HTTP status endpoint polls.
+func (j *Job) Report() JobReport {
+	rep := JobReport{Elapsed: time.Since(j.started)}
+	select {
+	case <-j.done:
+	default:
+		rep.Running = true
+	}
+	j.mu.Lock()
+	if j.traced {
+		rep.Generation = j.latest.Generation
+		rep.Evaluations = j.latest.Evaluations
+		rep.Stagnation = j.latest.Stagnation
+		rep.BestBySize = make(map[int]float64, len(j.latest.BestBySize))
+		for s, v := range j.latest.BestBySize {
+			rep.BestBySize[s] = v
+		}
+	}
+	j.mu.Unlock()
+	if er, ok := j.session.Report(); ok {
+		rep.Engine = &er
+	}
+	return rep
+}

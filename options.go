@@ -1,0 +1,144 @@
+package repro
+
+import "fmt"
+
+// DefaultStatistic is the fitness statistic used when WithStatistic is
+// not given: T1, the paper's default. The Statistic zero value never
+// selects a statistic (the four constants start at 1), so "unset" and
+// "explicitly chosen" are always distinguishable.
+const DefaultStatistic = T1
+
+// Option configures a Session or a single run. The backend-shaping
+// options — WithStatistic, WithBackend, WithWorkers, WithEvaluator —
+// are session-level: they are accepted by NewSession only, because
+// the session owns one evaluation backend (and its memoizing cache)
+// for its whole lifetime. WithGAConfig and WithTrace are accepted at
+// both levels; a run-level value overrides the session default for
+// that run only.
+type Option func(*settings) error
+
+// settings is the merged option state. Each field carries a set flag
+// so defaults stay explicit and level checks are possible.
+type settings struct {
+	stat       Statistic
+	statSet    bool
+	backend    Backend
+	backendSet bool
+	workers    int
+	workersSet bool
+	eval       Evaluator
+	evalSet    bool
+	gaCfg      GAConfig
+	gaSet      bool
+	trace      func(TraceEntry)
+	traceSet   bool
+}
+
+func (s *settings) apply(opts []Option) error {
+	for _, o := range opts {
+		if o == nil {
+			return fmt.Errorf("%w: nil option", ErrBadConfig)
+		}
+		if err := o(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sessionOnly reports an error if any session-level option was given
+// (used to reject them at run level).
+func (s *settings) sessionOnly() error {
+	if s.statSet || s.backendSet || s.workersSet || s.evalSet {
+		return fmt.Errorf("%w: WithStatistic, WithBackend, WithWorkers and WithEvaluator are session-level options; create a new Session to change the evaluation backend", ErrBadConfig)
+	}
+	return nil
+}
+
+// WithStatistic selects the CLUMP statistic used as fitness. Only the
+// four defined statistics are valid; in particular the Statistic zero
+// value is rejected rather than silently mapped to the default, so a
+// run is never configured by accident. Omit the option to get
+// DefaultStatistic (T1).
+func WithStatistic(stat Statistic) Option {
+	return func(s *settings) error {
+		switch stat {
+		case T1, T2, T3, T4:
+		default:
+			return fmt.Errorf("%w: unknown statistic %d (omit WithStatistic for the default, T1)", ErrBadConfig, stat)
+		}
+		s.stat = stat
+		s.statSet = true
+		return nil
+	}
+}
+
+// WithBackend selects the parallel evaluation backend (default
+// BackendNative). A fixed GA seed produces the identical result under
+// every backend; they differ only in speed.
+func WithBackend(b Backend) Option {
+	return func(s *settings) error {
+		switch b {
+		case BackendNative, BackendPool, BackendPVM:
+		default:
+			return fmt.Errorf("%w: unknown backend %d", ErrBadConfig, b)
+		}
+		s.backend = b
+		s.backendSet = true
+		return nil
+	}
+}
+
+// WithWorkers sizes the evaluation worker pool (0 = one per CPU).
+func WithWorkers(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("%w: negative worker count %d", ErrBadConfig, n)
+		}
+		s.workers = n
+		s.workersSet = true
+		return nil
+	}
+}
+
+// WithEvaluator supplies a caller-owned evaluator instead of having
+// the session construct a backend — for example a NativeEngine shared
+// across sessions, or a custom decorated pipeline. The session does
+// not close it, and WithBackend/WithWorkers do not combine with it;
+// WithStatistic may accompany it purely as a declaration of what the
+// evaluator computes (surfaced by Session.Statistic).
+func WithEvaluator(ev Evaluator) Option {
+	return func(s *settings) error {
+		if ev == nil {
+			return fmt.Errorf("%w: nil evaluator", ErrBadConfig)
+		}
+		s.eval = ev
+		s.evalSet = true
+		return nil
+	}
+}
+
+// WithGAConfig sets the GA parameters (zero fields take the paper's
+// §5.2.1 defaults). At session level it becomes the default for every
+// run; at run level it replaces the session default for that run.
+func WithGAConfig(cfg GAConfig) Option {
+	return func(s *settings) error {
+		s.gaCfg = cfg
+		s.gaSet = true
+		return nil
+	}
+}
+
+// WithTrace registers a per-generation observer, called synchronously
+// from the GA loop after every generation. For streamed, non-blocking
+// consumption prefer Session.Start and the Job's Progress channel; a
+// trace function is the right tool for cheap inline bookkeeping (and
+// is what the deprecated GAConfig.OnGeneration callback maps to). A
+// nil fn clears a session-level trace for one run.
+func WithTrace(fn func(TraceEntry)) Option {
+	return func(s *settings) error {
+		s.trace = fn
+		s.traceSet = true
+		return nil
+	}
+}

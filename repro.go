@@ -13,23 +13,42 @@
 // experiments.
 //
 // This package is the public facade: it re-exports the user-facing
-// types of the internal packages and provides one-call entry points
-// for the common workflows. The building blocks live in internal/
-// (genotype model, synthetic population generator, linkage
-// disequilibrium, EH-DIALL EM estimator, CLUMP statistics, fitness
-// pipeline, the GA itself, master/slave evaluation, landscape
-// analysis, baselines and the experiment harness).
+// types of the internal packages and provides the Session API for the
+// common workflows. The building blocks live in internal/ (genotype
+// model, synthetic population generator, linkage disequilibrium,
+// EH-DIALL EM estimator, CLUMP statistics, fitness pipeline, the GA
+// itself, master/slave evaluation, landscape analysis, baselines and
+// the experiment harness).
 //
-// Quick start:
+// Quick start — a Session owns the dataset plus its evaluation
+// backend, so the memoizing fitness cache persists across runs:
 //
 //	data, _ := repro.Paper51Dataset(1)
-//	result, _ := repro.Run(data, repro.GAConfig{Seed: 1}, repro.RunOptions{})
+//	session, _ := repro.NewSession(data)
+//	defer session.Close()
+//	result, _ := session.Run(ctx, repro.WithGAConfig(repro.GAConfig{Seed: 1}))
 //	for size, best := range result.BestBySize {
 //	    fmt.Printf("size %d: %s\n", size, best)
 //	}
+//
+// Runs honor ctx end to end: cancellation or a deadline stops the GA
+// within one generation and returns the partial result together with
+// an error wrapping ErrCanceled. For a background run with streaming
+// progress, use Session.Start and the returned Job:
+//
+//	job, _ := session.Start(ctx)
+//	for entry := range job.Progress() {
+//	    fmt.Printf("gen %d: %v\n", entry.Generation, entry.BestBySize)
+//	}
+//	result, err := job.Wait() // or job.Stop() for a partial result
+//
+// The pre-Session entry points (Run, RunWith, RunOptions) remain as
+// deprecated thin shims over Sessions and produce bit-identical
+// results.
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -214,9 +233,14 @@ func NewBackend(d *Dataset, stat Statistic, backend Backend, workers int) (Paral
 	return nil, fmt.Errorf("repro: unknown backend %d", backend)
 }
 
-// RunOptions tunes the one-call Run entry point.
+// RunOptions tunes the deprecated one-call Run entry point.
+//
+// Deprecated: use NewSession with functional options (WithStatistic,
+// WithBackend, WithWorkers) instead. RunOptions cannot distinguish an
+// unset Statistic from an explicit zero value — the options API can.
 type RunOptions struct {
-	// Statistic selects the fitness (default T1).
+	// Statistic selects the fitness (the zero value means
+	// DefaultStatistic, T1).
 	Statistic Statistic
 	// Slaves sizes the evaluation worker pool (0 = one per CPU).
 	Slaves int
@@ -230,27 +254,45 @@ type RunOptions struct {
 // the evaluation pipeline, starts the selected evaluation backend
 // (the native engine by default), runs the multipopulation adaptive
 // GA and returns its per-size best haplotypes.
+//
+// Deprecated: use NewSession and Session.Run. A Session keeps the
+// evaluation backend — and its memoizing fitness cache — alive across
+// runs, and its runs are cancellable through a context. Run is a thin
+// shim over a throwaway single-run Session and produces bit-identical
+// results.
 func Run(d *Dataset, cfg GAConfig, opts RunOptions) (*GAResult, error) {
 	stat := opts.Statistic
 	if stat == 0 {
-		stat = T1
+		stat = DefaultStatistic // zero value always meant "unset" here
 	}
-	pool, err := NewBackend(d, stat, opts.Backend, opts.Slaves)
+	slaves := opts.Slaves
+	if slaves < 0 {
+		slaves = 0 // the pre-Session backends treated any n <= 0 as one per CPU
+	}
+	s, err := NewSession(d,
+		WithStatistic(stat),
+		WithBackend(opts.Backend),
+		WithWorkers(slaves))
 	if err != nil {
 		return nil, err
 	}
-	defer pool.Close()
-	return RunWith(pool, d.NumSNPs(), cfg)
+	defer s.Close()
+	return s.Run(context.Background(), WithGAConfig(cfg))
 }
 
 // RunWith executes the GA over a caller-supplied evaluator — for
 // example a NativeEngine whose Report the caller wants to inspect
 // afterwards, or a custom decorated pipeline. The evaluator is not
 // closed.
+//
+// Deprecated: use NewSession with WithEvaluator and Session.Run; the
+// session form adds context cancellation and background Jobs over the
+// same evaluator. RunWith is a thin shim over a single-run Session and
+// produces bit-identical results.
 func RunWith(ev Evaluator, numSNPs int, cfg GAConfig) (*GAResult, error) {
-	ga, err := core.New(ev, numSNPs, cfg)
-	if err != nil {
-		return nil, err
+	if ev == nil {
+		return nil, fmt.Errorf("%w: nil evaluator", ErrBadConfig)
 	}
-	return ga.Run()
+	s := &Session{numSNPs: numSNPs, stat: DefaultStatistic, eval: ev}
+	return s.Run(context.Background(), WithGAConfig(cfg))
 }
