@@ -1,0 +1,99 @@
+// Command ldserve runs the versioned HTTP service over the repro
+// Session/Job API: dataset upload, background GA jobs with streamed
+// (SSE) progress, and evaluation-engine statistics. Many users share
+// one process — and one memoizing fitness cache per dataset+backend.
+//
+// SIGINT/SIGTERM drain gracefully: every running job is cancelled
+// through its context (winding down within one generation), new
+// mutating requests get 503, and reads stay up for -drain so clients
+// can fetch the partial results of their cancelled jobs before the
+// listener closes. A second signal terminates immediately.
+//
+// Usage:
+//
+//	ldserve -addr :8080
+//	ldserve -addr 127.0.0.1:9000 -max-jobs 2 -session-ttl 10m -drain 30s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		drain      = flag.Duration("drain", 15*time.Second, "how long reads stay available after SIGINT before the listener closes")
+		sessionTTL = flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle this long (with no running job)")
+		datasetTTL = flag.Duration("dataset-ttl", time.Hour, "evict datasets unreferenced this long (releases their fitness caches)")
+		maxJobs    = flag.Int("max-jobs", 4, "max concurrently running jobs per session (excess gets 429)")
+		sweep      = flag.Duration("sweep", time.Minute, "idle-eviction janitor period")
+	)
+	flag.Parse()
+
+	reg := serve.NewRegistry(serve.RegistryConfig{
+		SessionTTL:        *sessionTTL,
+		DatasetTTL:        *datasetTTL,
+		MaxJobsPerSession: *maxJobs,
+		SweepInterval:     *sweep,
+	})
+	hs := &http.Server{Addr: *addr, Handler: serve.NewServer(reg)}
+
+	// First SIGINT/SIGTERM starts the drain; after it the default
+	// handling is restored, so a second signal kills the process.
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("ldserve: serving /%s API on %s (max %d jobs/session, session ttl %s, dataset ttl %s)",
+		serve.APIVersion, *addr, *maxJobs, *sessionTTL, *datasetTTL)
+
+	select {
+	case err := <-errc:
+		reg.Close()
+		fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Drain: cancel every running job via its context (partial
+	// results stay fetchable), reject new work, keep serving reads.
+	// The read window only matters when jobs were actually cancelled;
+	// an idle server shuts down immediately.
+	hadJobs := reg.RunningJobs() > 0
+	reg.BeginDrain()
+	if hadJobs {
+		log.Printf("ldserve: draining — jobs cancelled, reads stay up for %s (Ctrl-C again to exit now)", *drain)
+		deadline := time.Now().Add(*drain)
+		for reg.RunningJobs() > 0 && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Millisecond)
+		}
+		if rest := time.Until(deadline); rest > 0 {
+			time.Sleep(rest) // clients fetch their partial results here
+		}
+	} else {
+		log.Printf("ldserve: no running jobs — shutting down")
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("ldserve: shutdown: %v", err)
+	}
+	reg.Close()
+	log.Printf("ldserve: stopped")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ldserve: "+format+"\n", args...)
+	os.Exit(1)
+}

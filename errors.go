@@ -33,6 +33,13 @@ var (
 	// Session, and wrapped into the error of a run whose backend was
 	// closed underneath it (Session.Close while a Job was running).
 	ErrSessionClosed = errors.New("repro: session closed")
+
+	// ErrSessionBusy is wrapped into the error of Session.Start when
+	// the session was built with WithJobLimit and that many jobs are
+	// already running. Concurrent Start calls are otherwise safe and
+	// unbounded: jobs share the session's backend (and its memoizing
+	// cache). A serving layer translates this sentinel to HTTP 429.
+	ErrSessionBusy = errors.New("repro: session busy")
 )
 
 // wrapRunErr translates a GA run error into the public error

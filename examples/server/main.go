@@ -1,0 +1,126 @@
+// Server example: start the ldserve HTTP service in-process on a
+// loopback port, then drive the full workflow through the typed Go
+// client — upload the paper's 51-SNP synthetic study, open a session,
+// run a GA job while printing the streamed per-generation events, and
+// finish with the engine statistics. A second job on the same session
+// reuses the warmed fitness cache, which the stats make visible.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sort"
+
+	"repro"
+	"repro/serve"
+)
+
+func main() {
+	// The service: a registry (lifecycles, shared backends) behind
+	// the versioned HTTP handler, on an ephemeral loopback port.
+	reg := serve.NewRegistry(serve.RegistryConfig{})
+	defer reg.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: serve.NewServer(reg)}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("ldserve listening on %s\n\n", base)
+	client := serve.NewClient(base, nil)
+	ctx := context.Background()
+
+	// 1. Upload a dataset — here the built-in 51-SNP preset; "table"
+	// and "ped" uploads carry the file content instead. The id is the
+	// dataset fingerprint: identical content registers once.
+	ds, err := client.CreateDataset(ctx, serve.DatasetRequest{
+		Format: serve.FormatPreset, Preset: 51, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d SNPs, %d individuals (%d affected / %d unaffected / %d unknown)\n",
+		ds.ID, ds.NumSNPs, ds.NumIndividuals, ds.Affected, ds.Unaffected, ds.Unknown)
+	fmt.Printf("HWE QC (%s group): %d/%d SNPs fail at alpha %.2f, worst %s (p=%.3g)\n\n",
+		ds.HWE.Group, ds.HWE.Failing, ds.HWE.Tested, ds.HWE.Alpha, ds.HWE.MinPSNP, ds.HWE.MinP)
+
+	// 2. Open a session: it owns the GA-facing view of one evaluation
+	// backend; the backend itself (and its memoizing fitness cache)
+	// is shared by every session on this dataset.
+	sess, err := client.CreateSession(ctx, serve.SessionRequest{DatasetID: ds.ID})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session %s: backend %s, %d workers, statistic %s\n\n",
+		sess.ID, sess.Backend, sess.Workers, sess.Statistic)
+
+	// 3. Run a job and stream its progress. A small configuration
+	// keeps the example quick; zero fields take the paper's defaults.
+	cfg := repro.GAConfig{
+		MinSize: 2, MaxSize: 4, PopulationSize: 60,
+		StagnationLimit: 30, ImmigrantStagnation: 10, Seed: 1,
+	}
+	final := runJob(ctx, client, sess.ID, cfg)
+
+	// 4. Engine statistics — and a second job on the warmed cache.
+	printStats(ctx, client, sess.ID, "after the first job")
+	cfg.Seed = 2
+	runJob(ctx, client, sess.ID, cfg)
+	printStats(ctx, client, sess.ID, "after a second job on the same session")
+
+	fmt.Println("\nbest haplotypes of the first job:")
+	sizes := make([]int, 0, len(final.Result.BestBySize))
+	for s := range final.Result.BestBySize {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	for _, s := range sizes {
+		fmt.Printf("  size %d: %s\n", s, final.Result.BestBySize[s])
+	}
+}
+
+// runJob submits one GA run and prints the streamed generations.
+func runJob(ctx context.Context, client *serve.Client, sessionID string, cfg repro.GAConfig) *serve.JobInfo {
+	job, err := client.StartJob(ctx, sessionID, serve.JobRequest{Config: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job %s (seed %d) started; streaming events:\n", job.ID, cfg.Seed)
+	final, err := client.StreamEvents(ctx, job.ID, func(ev serve.Event) error {
+		if ev.Type == serve.EventGeneration && ev.Entry.Generation%10 == 0 {
+			fmt.Printf("  gen %3d  evals %6d  stagnation %2d  best %v\n",
+				ev.Entry.Generation, ev.Entry.Evaluations, ev.Entry.Stagnation, ev.Entry.BestBySize)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if final == nil || final.Result == nil {
+		log.Fatalf("job %s produced no result", job.ID)
+	}
+	fmt.Printf("job %s %s: %d generations, %d evaluations\n\n",
+		final.ID, final.State, final.Result.Generations, final.Result.TotalEvaluations)
+	return final
+}
+
+// printStats fetches and prints the shared engine counters.
+func printStats(ctx context.Context, client *serve.Client, sessionID, when string) {
+	st, err := client.Stats(ctx, sessionID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if st.Engine == nil {
+		fmt.Printf("stats %s: backend tracks no counters\n", when)
+		return
+	}
+	fmt.Printf("stats %s: %d requests, %d computed, %d cache hits (rate %.1f%%), %d coalesced, %d entries\n",
+		when, st.Engine.Requests, st.Engine.Computed, st.Engine.CacheHits,
+		100*st.HitRate, st.Engine.Coalesced, st.Engine.CacheEntries)
+}

@@ -1,0 +1,66 @@
+package cli
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ParseBackend maps a backend name ("native", "pool", "pvm") to the
+// facade constant. The names are shared by the CLI flags and the
+// serving layer's wire format.
+func ParseBackend(name string) (repro.Backend, error) {
+	switch name {
+	case "native":
+		return repro.BackendNative, nil
+	case "pool":
+		return repro.BackendPool, nil
+	case "pvm":
+		return repro.BackendPVM, nil
+	}
+	return 0, fmt.Errorf("unknown backend %q (want native, pool or pvm)", name)
+}
+
+// BackendName is the inverse of ParseBackend.
+func BackendName(b repro.Backend) string {
+	switch b {
+	case repro.BackendNative:
+		return "native"
+	case repro.BackendPool:
+		return "pool"
+	case repro.BackendPVM:
+		return "pvm"
+	}
+	return fmt.Sprintf("backend(%d)", b)
+}
+
+// ParseStatistic maps a CLUMP statistic name ("T1".."T4", case
+// insensitive in the first letter) to the facade constant.
+func ParseStatistic(name string) (repro.Statistic, error) {
+	switch name {
+	case "T1", "t1":
+		return repro.T1, nil
+	case "T2", "t2":
+		return repro.T2, nil
+	case "T3", "t3":
+		return repro.T3, nil
+	case "T4", "t4":
+		return repro.T4, nil
+	}
+	return 0, fmt.Errorf("unknown statistic %q (want T1, T2, T3 or T4)", name)
+}
+
+// StatisticName is the inverse of ParseStatistic.
+func StatisticName(s repro.Statistic) string {
+	switch s {
+	case repro.T1:
+		return "T1"
+	case repro.T2:
+		return "T2"
+	case repro.T3:
+		return "T3"
+	case repro.T4:
+		return "T4"
+	}
+	return fmt.Sprintf("statistic(%d)", s)
+}

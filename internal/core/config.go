@@ -8,57 +8,61 @@ import (
 )
 
 // Config holds the GA parameters. Defaults (applied by withDefaults)
-// reproduce the paper's §5.2.1 experimental settings.
+// reproduce the paper's §5.2.1 experimental settings. The json field
+// names are part of the public wire format (the serving layer accepts
+// a Config as the job submission body) and are stable; the two
+// function-valued fields are process-local and never marshaled.
 type Config struct {
 	// MinSize and MaxSize bound haplotype sizes; one subpopulation
 	// exists per size in [MinSize, MaxSize]. Paper defaults: 2 and 6
 	// ("Biologists choose 6 for this size as a first experiment").
-	MinSize, MaxSize int
+	MinSize int `json:"min_size,omitempty"`
+	MaxSize int `json:"max_size,omitempty"`
 
 	// PopulationSize is the total number of individuals across all
 	// subpopulations (paper: 150). Subpopulation capacities grow with
 	// haplotype size following the growth of the per-size search
 	// space (§4.2): capacity_s ∝ log C(numSNPs, s).
-	PopulationSize int
+	PopulationSize int `json:"population_size,omitempty"`
 
 	// PairsPerGeneration is how many parent pairs are processed each
 	// generation (two children per pair). Default: PopulationSize/2.
-	PairsPerGeneration int
+	PairsPerGeneration int `json:"pairs_per_generation,omitempty"`
 
 	// StagnationLimit stops the run after this many generations
 	// without any subpopulation best improving (paper: 100).
-	StagnationLimit int
+	StagnationLimit int `json:"stagnation_limit,omitempty"`
 
 	// ImmigrantStagnation triggers the random immigrant mechanism
 	// after this many stagnant generations (paper: 20). Must be
 	// smaller than StagnationLimit to ever fire.
-	ImmigrantStagnation int
+	ImmigrantStagnation int `json:"immigrant_stagnation,omitempty"`
 
 	// MaxGenerations is a hard safety cap (default 100000).
-	MaxGenerations int
+	MaxGenerations int `json:"max_generations,omitempty"`
 
 	// GlobalMutationRate is the total probability that a child
 	// undergoes some mutation (paper: 0.9); the adaptive controller
 	// splits it across the three operators.
-	GlobalMutationRate float64
+	GlobalMutationRate float64 `json:"global_mutation_rate,omitempty"`
 
 	// GlobalCrossoverRate is the total probability that a selected
 	// pair undergoes some crossover (default 0.8); the adaptive
 	// controller splits it across the two operators.
-	GlobalCrossoverRate float64
+	GlobalCrossoverRate float64 `json:"global_crossover_rate,omitempty"`
 
 	// MinOperatorRate is the floor δ every operator keeps regardless
 	// of profit (default 0.05), so no operator starves permanently.
-	MinOperatorRate float64
+	MinOperatorRate float64 `json:"min_operator_rate,omitempty"`
 
 	// SNPMutationProbes is ν, the number of parallel SNP-replacement
 	// probes evaluated per SNP mutation, of which the best is kept
 	// (§4.3.1 "we use this mutation several times in parallel and
 	// keep the best"; default 4).
-	SNPMutationProbes int
+	SNPMutationProbes int `json:"snp_mutation_probes,omitempty"`
 
 	// TournamentSize controls parent selection pressure (default 2).
-	TournamentSize int
+	TournamentSize int `json:"tournament_size,omitempty"`
 
 	// Seed drives all GA randomness; runs are fully deterministic
 	// given (Seed, Config, evaluator). Because evaluation results are
@@ -66,23 +70,24 @@ type Config struct {
 	// trajectory is also independent of the evaluation backend: the
 	// native engine, the goroutine pool and the PVM simulation all
 	// reproduce the same run bit for bit.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 
 	// Constraint, when non-nil, rejects candidate haplotypes before
 	// evaluation (the paper's §2.3 pairwise feasibility conditions).
-	Constraint func(sites []int) bool
+	// Not marshaled: a wire client cannot submit code.
+	Constraint func(sites []int) bool `json:"-"`
 
 	// Ablation switches (§5.2 tested the GA "without and with" each
 	// advanced mechanism).
-	DisableAdaptiveRates     bool
-	DisableRandomImmigrants  bool
-	DisableSizeMutations     bool // no reduction/augmentation mutation
-	DisableInterPopCrossover bool
+	DisableAdaptiveRates     bool `json:"disable_adaptive_rates,omitempty"`
+	DisableRandomImmigrants  bool `json:"disable_random_immigrants,omitempty"`
+	DisableSizeMutations     bool `json:"disable_size_mutations,omitempty"` // no reduction/augmentation mutation
+	DisableInterPopCrossover bool `json:"disable_inter_pop_crossover,omitempty"`
 
 	// OnGeneration, when non-nil, receives a trace entry after every
 	// generation (used by the experiment harness to plot adaptive
-	// rate trajectories and convergence).
-	OnGeneration func(TraceEntry)
+	// rate trajectories and convergence). Not marshaled.
+	OnGeneration func(TraceEntry) `json:"-"`
 }
 
 // withDefaults fills unset fields with the paper's values.

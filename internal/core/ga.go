@@ -10,47 +10,51 @@ import (
 )
 
 // TraceEntry is the per-generation snapshot delivered to
-// Config.OnGeneration.
+// Config.OnGeneration. The json field names are part of the public
+// wire format (the serving layer streams entries verbatim) and are
+// stable.
 type TraceEntry struct {
-	Generation  int
-	Evaluations int64
+	Generation  int   `json:"generation"`
+	Evaluations int64 `json:"evaluations"`
 	// BestBySize maps haplotype size to the current best fitness.
-	BestBySize map[int]float64
+	BestBySize map[int]float64 `json:"best_by_size"`
 	// MutationRates are the current adaptive rates of
 	// (snp, reduction, augmentation).
-	MutationRates []float64
+	MutationRates []float64 `json:"mutation_rates"`
 	// CrossoverRates are the current adaptive rates of (intra, inter).
-	CrossoverRates []float64
+	CrossoverRates []float64 `json:"crossover_rates"`
 	// Stagnation is the number of generations since any
 	// subpopulation best improved.
-	Stagnation int
+	Stagnation int `json:"stagnation"`
 	// Immigrants is the number of random immigrants injected at the
 	// end of this generation (0 when the mechanism did not fire).
-	Immigrants int
+	Immigrants int `json:"immigrants"`
 }
 
-// Result summarizes a finished run.
+// Result summarizes a finished run. The json field names are part of
+// the public wire format (the serving layer returns results verbatim)
+// and are stable.
 type Result struct {
 	// BestBySize maps each haplotype size to the best haplotype its
 	// subpopulation found. Fitness values of different sizes are not
 	// comparable (§4.2), so no single global best is declared.
-	BestBySize map[int]*Haplotype
+	BestBySize map[int]*Haplotype `json:"best_by_size"`
 	// EvalsAtBest maps each size to the total evaluation count at
 	// the moment its best haplotype was first found — the paper's
 	// Table 2 cost metric.
-	EvalsAtBest map[int]int64
+	EvalsAtBest map[int]int64 `json:"evals_at_best"`
 	// TotalEvaluations counts every fitness evaluation of the run.
-	TotalEvaluations int64
+	TotalEvaluations int64 `json:"total_evaluations"`
 	// Generations is the number of generations executed.
-	Generations int
+	Generations int `json:"generations"`
 	// Converged is true when the run stopped by the stagnation rule
 	// rather than by the MaxGenerations safety cap.
-	Converged bool
+	Converged bool `json:"converged"`
 	// MutationRates and CrossoverRates are the final adaptive rates.
-	MutationRates  []float64
-	CrossoverRates []float64
+	MutationRates  []float64 `json:"mutation_rates"`
+	CrossoverRates []float64 `json:"crossover_rates"`
 	// Immigrants is the total number of random immigrants injected.
-	Immigrants int64
+	Immigrants int64 `json:"immigrants"`
 }
 
 // GA is the multipopulation adaptive genetic algorithm. Construct

@@ -29,12 +29,12 @@ import (
 // value.
 type Haplotype struct {
 	// Sites are strictly increasing SNP column indices.
-	Sites []int
+	Sites []int `json:"sites"`
 	// Fitness is the evaluation pipeline's score; valid only when
 	// Evaluated is true.
-	Fitness float64
+	Fitness float64 `json:"fitness"`
 	// Evaluated records whether Fitness has been computed.
-	Evaluated bool
+	Evaluated bool `json:"evaluated"`
 }
 
 // NewHaplotype builds an evaluated haplotype from sites that must

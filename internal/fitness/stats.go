@@ -18,30 +18,33 @@ import "time"
 // request that waited on another batch's identical in-flight
 // computation is Coalesced, and of the requests that fan out to the
 // workers only the first occurrence of each set is Computed.
+// The json field names are part of the public wire format (the
+// serving layer's stats endpoint returns a Report verbatim) and are
+// stable; Uptime is encoded in nanoseconds under "uptime_ns".
 type Report struct {
 	// Requests counts every score requested through Evaluate or
 	// EvaluateBatch, including duplicates and cache hits. This matches
 	// the paper's "number of evaluations" cost metric as seen by the
 	// GA.
-	Requests int64
+	Requests int64 `json:"requests"`
 	// Computed counts the pipeline evaluations actually performed.
-	Computed int64
+	Computed int64 `json:"computed"`
 	// CacheHits counts requests served from the memoizing cache.
-	CacheHits int64
+	CacheHits int64 `json:"cache_hits"`
 	// Coalesced counts requests that piggybacked on an identical
 	// computation already in flight for a concurrent batch
 	// (singleflight), so the pipeline ran once for all of them.
-	Coalesced int64
+	Coalesced int64 `json:"coalesced"`
 	// CacheEntries is the current number of memoized fitness values.
-	CacheEntries int
+	CacheEntries int `json:"cache_entries"`
 	// Workers is the size of the worker pool (0 for serial backends).
-	Workers int
+	Workers int `json:"workers"`
 	// PerWorker splits Computed by the worker that performed it; its
 	// length is Workers. A heavily skewed split indicates a
 	// load-balancing problem.
-	PerWorker []int64
+	PerWorker []int64 `json:"per_worker"`
 	// Uptime is the time since the backend was constructed.
-	Uptime time.Duration
+	Uptime time.Duration `json:"uptime_ns"`
 }
 
 // HitRate returns the fraction of requests served from the cache, in

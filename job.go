@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -38,9 +39,17 @@ const progressBuffer = 16
 // terminates when it converges, hits its generation cap, or ctx is
 // cancelled. Run-level options (WithGAConfig, WithTrace) override the
 // session defaults for this job only.
+//
+// Concurrent Start calls are safe: the jobs run simultaneously and
+// share the session's backend (and its memoizing cache). A session
+// built with WithJobLimit instead rejects Start with an error
+// wrapping ErrSessionBusy while that many jobs are still running.
 func (s *Session) Start(ctx context.Context, opts ...Option) (*Job, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if err := s.reserveJob(); err != nil {
+		return nil, err
 	}
 	runCtx, cancel := context.WithCancel(ctx)
 	j := &Job{
@@ -53,6 +62,7 @@ func (s *Session) Start(ctx context.Context, opts ...Option) (*Job, error) {
 	ga, err := s.prepare(opts, j.publish)
 	if err != nil {
 		cancel()
+		s.releaseJob()
 		return nil, err
 	}
 	go func() {
@@ -62,10 +72,37 @@ func (s *Session) Start(ctx context.Context, opts ...Option) (*Job, error) {
 		j.result = res
 		j.err = wrapRunErr(err)
 		j.mu.Unlock()
-		close(j.progress)
+		s.releaseJob()
+		// done closes first: a consumer that drains Progress to its
+		// close must then observe a finished job (Report not Running,
+		// Wait immediate), as the Progress contract promises.
 		close(j.done)
+		close(j.progress)
 	}()
 	return j, nil
+}
+
+// reserveJob claims one background job slot, enforcing the session's
+// WithJobLimit cap atomically so racing Start calls can never
+// overshoot it.
+func (s *Session) reserveJob() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	if s.jobLimit > 0 && s.activeJobs >= s.jobLimit {
+		return fmt.Errorf("%w: %d jobs already running (limit %d)", ErrSessionBusy, s.activeJobs, s.jobLimit)
+	}
+	s.activeJobs++
+	return nil
+}
+
+// releaseJob returns a slot claimed by reserveJob.
+func (s *Session) releaseJob() {
+	s.mu.Lock()
+	s.activeJobs--
+	s.mu.Unlock()
 }
 
 // publish delivers one generation's trace entry to the stream and the
@@ -121,20 +158,24 @@ func (j *Job) Stop() (*GAResult, error) {
 // JobReport is a live snapshot of a running (or finished) job: the
 // latest generation's trace, wall-clock elapsed time, and — when the
 // session's backend tracks counters — the evaluation engine's report.
+// The json field names are part of the public wire format (the
+// serving layer's job status endpoint returns a JobReport verbatim)
+// and are stable; Elapsed is encoded in nanoseconds under
+// "elapsed_ns".
 type JobReport struct {
 	// Running is false once the result is available.
-	Running bool
+	Running bool `json:"running"`
 	// Generation, Evaluations, BestBySize, Stagnation mirror the
 	// latest TraceEntry; they are zero before the first generation
 	// completes.
-	Generation  int
-	Evaluations int64
-	BestBySize  map[int]float64
-	Stagnation  int
+	Generation  int             `json:"generation"`
+	Evaluations int64           `json:"evaluations"`
+	BestBySize  map[int]float64 `json:"best_by_size"`
+	Stagnation  int             `json:"stagnation"`
 	// Elapsed is the wall-clock time since Start.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
 	// Engine carries the backend counters, nil when untracked.
-	Engine *EngineReport
+	Engine *EngineReport `json:"engine,omitempty"`
 }
 
 // Report snapshots the job's live state. It is safe to call at any

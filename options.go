@@ -20,18 +20,20 @@ type Option func(*settings) error
 // settings is the merged option state. Each field carries a set flag
 // so defaults stay explicit and level checks are possible.
 type settings struct {
-	stat       Statistic
-	statSet    bool
-	backend    Backend
-	backendSet bool
-	workers    int
-	workersSet bool
-	eval       Evaluator
-	evalSet    bool
-	gaCfg      GAConfig
-	gaSet      bool
-	trace      func(TraceEntry)
-	traceSet   bool
+	stat        Statistic
+	statSet     bool
+	backend     Backend
+	backendSet  bool
+	workers     int
+	workersSet  bool
+	eval        Evaluator
+	evalSet     bool
+	jobLimit    int
+	jobLimitSet bool
+	gaCfg       GAConfig
+	gaSet       bool
+	trace       func(TraceEntry)
+	traceSet    bool
 }
 
 func (s *settings) apply(opts []Option) error {
@@ -49,8 +51,8 @@ func (s *settings) apply(opts []Option) error {
 // sessionOnly reports an error if any session-level option was given
 // (used to reject them at run level).
 func (s *settings) sessionOnly() error {
-	if s.statSet || s.backendSet || s.workersSet || s.evalSet {
-		return fmt.Errorf("%w: WithStatistic, WithBackend, WithWorkers and WithEvaluator are session-level options; create a new Session to change the evaluation backend", ErrBadConfig)
+	if s.statSet || s.backendSet || s.workersSet || s.evalSet || s.jobLimitSet {
+		return fmt.Errorf("%w: WithStatistic, WithBackend, WithWorkers, WithEvaluator and WithJobLimit are session-level options; create a new Session to change the evaluation backend", ErrBadConfig)
 	}
 	return nil
 }
@@ -114,6 +116,23 @@ func WithEvaluator(ev Evaluator) Option {
 		}
 		s.eval = ev
 		s.evalSet = true
+		return nil
+	}
+}
+
+// WithJobLimit caps the number of background jobs (Session.Start)
+// running concurrently on the session; further Start calls fail with
+// an error wrapping ErrSessionBusy until a running job finishes. The
+// default (0) is no cap: concurrent jobs are safe and share the
+// session's backend. Synchronous Session.Run calls are not counted —
+// the limit exists for serving layers, which only Start.
+func WithJobLimit(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("%w: negative job limit %d", ErrBadConfig, n)
+		}
+		s.jobLimit = n
+		s.jobLimitSet = true
 		return nil
 	}
 }

@@ -140,6 +140,14 @@ func GenerateDataset(cfg GeneratorConfig) (*Dataset, error) {
 // ReadDataset parses a dataset from its text table format.
 func ReadDataset(r io.Reader) (*Dataset, error) { return genotype.Read(r) }
 
+// ReadPEDDataset parses a LINKAGE-style pedigree file ("pre-makeped"
+// layout, the format the original EH-DIALL tool chain consumed) with
+// numSNPs markers. LINKAGE files do not carry the marker count, so it
+// must be supplied.
+func ReadPEDDataset(r io.Reader, numSNPs int) (*Dataset, error) {
+	return genotype.ReadPED(r, numSNPs)
+}
+
 // ReadDatasetFile parses a dataset file.
 func ReadDatasetFile(path string) (*Dataset, error) { return genotype.ReadFile(path) }
 

@@ -1,0 +1,223 @@
+// Package serve exposes the repro Session/Job API as a versioned HTTP
+// service: dataset upload, session creation, background GA jobs with
+// a streamed (SSE) progress feed, and evaluation-engine statistics.
+//
+// The wire surface is versioned under the /v1 path prefix:
+//
+//	POST   /v1/datasets            upload a dataset (table/ped/preset) → DatasetInfo
+//	GET    /v1/datasets/{id}       dataset dimensions and HWE summary
+//	POST   /v1/sessions            dataset id + backend options → SessionInfo
+//	GET    /v1/sessions/{id}       session configuration and live job count
+//	GET    /v1/sessions/{id}/stats evaluation backend counters (cache hits, coalesced)
+//	POST   /v1/sessions/{id}/jobs  GA config → background job (Session.Start)
+//	GET    /v1/jobs/{id}           job state, best-so-far, final result
+//	GET    /v1/jobs/{id}/events    SSE stream of per-generation TraceEntry
+//	DELETE /v1/jobs/{id}           cancel (Job.Stop) → partial result
+//
+// Server is the http.Handler, Registry the shared state behind it
+// (lifecycles, idle eviction, per-session job limits, one memoizing
+// evaluation backend per dataset+backend), and Client a typed Go
+// client for every endpoint. Wire payloads reuse the facade types
+// verbatim — repro.GAConfig in, repro.GAResult / repro.TraceEntry /
+// repro.JobReport / repro.EngineReport out — whose json field names
+// are stable by contract.
+package serve
+
+import (
+	"errors"
+
+	"repro"
+	"repro/internal/cli"
+)
+
+// APIVersion is the wire version prefix every route carries.
+const APIVersion = "v1"
+
+// Dataset upload formats accepted by POST /v1/datasets.
+const (
+	// FormatTable is the repository's native text table (the ldgen
+	// output format): header with SNP names, one row per individual.
+	FormatTable = "table"
+	// FormatPED is the LINKAGE "pre-makeped" pedigree layout the
+	// original EH-DIALL tool chain consumed; requires NumSNPs.
+	FormatPED = "ped"
+	// FormatPreset instantiates a built-in synthetic study (51 or
+	// 249 SNPs, the paper's two shapes) from Preset and Seed.
+	FormatPreset = "preset"
+)
+
+// DatasetRequest is the body of POST /v1/datasets.
+type DatasetRequest struct {
+	// Format is one of FormatTable, FormatPED, FormatPreset.
+	Format string `json:"format"`
+	// Content is the file payload for table and ped uploads.
+	Content string `json:"content,omitempty"`
+	// NumSNPs is the marker count of a ped upload (LINKAGE files do
+	// not carry it).
+	NumSNPs int `json:"num_snps,omitempty"`
+	// Preset selects the synthetic study shape: 51 or 249.
+	Preset int `json:"preset,omitempty"`
+	// Seed drives the synthetic generator (preset uploads only).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// HWESummary condenses the per-SNP Hardy-Weinberg QC of an uploaded
+// dataset: how many markers fail the test at Alpha, and the worst
+// offender. The test runs on the unaffected group when the dataset
+// has one (the case/control convention), otherwise on everyone.
+type HWESummary struct {
+	Group   string  `json:"group"` // "unaffected" or "all"
+	Alpha   float64 `json:"alpha"`
+	Tested  int     `json:"tested"`
+	Failing int     `json:"failing"`
+	MinP    float64 `json:"min_p"`
+	MinPSNP string  `json:"min_p_snp,omitempty"`
+}
+
+// DatasetInfo describes a registered dataset. ID is derived from the
+// dataset fingerprint (genotype.Dataset.Fingerprint), so uploading
+// identical content twice yields the same id — and shares the same
+// memoized fitness cache.
+type DatasetInfo struct {
+	ID             string     `json:"id"`
+	NumSNPs        int        `json:"num_snps"`
+	NumIndividuals int        `json:"num_individuals"`
+	Affected       int        `json:"affected"`
+	Unaffected     int        `json:"unaffected"`
+	Unknown        int        `json:"unknown"`
+	HWE            HWESummary `json:"hwe"`
+}
+
+// SessionRequest is the body of POST /v1/sessions.
+type SessionRequest struct {
+	DatasetID string `json:"dataset_id"`
+	// Backend is "native" (default), "pool" or "pvm".
+	Backend string `json:"backend,omitempty"`
+	// Workers sizes the evaluation pool (0 = one per CPU).
+	Workers int `json:"workers,omitempty"`
+	// Statistic is the CLUMP fitness: "T1" (default) … "T4".
+	Statistic string `json:"statistic,omitempty"`
+}
+
+// SessionInfo describes a live session.
+type SessionInfo struct {
+	ID        string `json:"id"`
+	DatasetID string `json:"dataset_id"`
+	Backend   string `json:"backend"`
+	Workers   int    `json:"workers"`
+	Statistic string `json:"statistic"`
+	// MaxJobs is the per-session concurrent job cap; Start beyond it
+	// returns 429.
+	MaxJobs int `json:"max_jobs"`
+	// ActiveJobs is the number of jobs currently running.
+	ActiveJobs int `json:"active_jobs"`
+}
+
+// JobRequest is the body of POST /v1/sessions/{id}/jobs. Config zero
+// fields take the paper's §5.2.1 defaults; the function-valued Config
+// fields do not exist on the wire.
+type JobRequest struct {
+	Config repro.GAConfig `json:"config"`
+}
+
+// Job states reported by JobInfo.State.
+const (
+	JobRunning  = "running"
+	JobDone     = "done"     // finished normally; Result is final
+	JobCanceled = "canceled" // stopped via DELETE or drain; Result is partial
+	JobFailed   = "failed"   // terminated with a non-cancellation error
+)
+
+// JobInfo is the job status document of GET /v1/jobs/{id}: the live
+// report while running, plus the result once the run has ended.
+type JobInfo struct {
+	ID        string `json:"id"`
+	SessionID string `json:"session_id"`
+	State     string `json:"state"`
+	// Report is the live snapshot (Job.Report): latest generation,
+	// best-so-far, elapsed time, engine counters.
+	Report repro.JobReport `json:"report"`
+	// Result is set once State is not "running". For "canceled" it is
+	// the partial outcome accumulated before the stop.
+	Result *repro.GAResult `json:"result,omitempty"`
+	// Error is the terminal error text for "canceled" and "failed".
+	Error string `json:"error,omitempty"`
+}
+
+// SessionStats is the body of GET /v1/sessions/{id}/stats. Engine is
+// null when the session's backend does not track counters (the
+// master/slave fidelity backends); the derived ratios are 0 then.
+// Backends are shared per dataset+backend+statistic+workers, so the
+// counters aggregate over every session on the same study — cache
+// hits from one user's run accelerate the next user's.
+type SessionStats struct {
+	SessionID  string              `json:"session_id"`
+	Engine     *repro.EngineReport `json:"engine"`
+	HitRate    float64             `json:"hit_rate"`
+	Throughput float64             `json:"throughput"`
+}
+
+// SSE event names on GET /v1/jobs/{id}/events.
+const (
+	// EventGeneration carries one repro.TraceEntry. The stream is
+	// conflated exactly like Job.Progress: a slow client misses old
+	// generations, never blocks the GA or other clients.
+	EventGeneration = "generation"
+	// EventDone carries the final JobInfo and ends the stream.
+	EventDone = "done"
+)
+
+// Event is one server-sent event as surfaced by Client.StreamEvents.
+type Event struct {
+	Type  string            // EventGeneration or EventDone
+	Entry *repro.TraceEntry // set for EventGeneration
+	Job   *JobInfo          // set for EventDone
+}
+
+// ErrorBody is the JSON error envelope every non-2xx response uses.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is the code + message payload of ErrorBody. Code is a
+// stable machine-readable string; Message is human-readable detail.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Stable error codes of ErrorDetail.Code.
+const (
+	CodeBadRequest = "bad_request"
+	CodeNotFound   = "not_found"
+	CodeBusy       = "busy"     // per-session job limit reached
+	CodeDraining   = "draining" // server is shutting down; reads still work
+	CodeInternal   = "internal"
+)
+
+// Registry sentinels, mapped to HTTP statuses by the server and back
+// to errors by the client (via APIError.Is).
+var (
+	// ErrNotFound: the dataset/session/job id is not registered (or
+	// was evicted).
+	ErrNotFound = errors.New("serve: not found")
+	// ErrDraining: the server is draining; mutating requests are
+	// rejected, reads and event streams still served.
+	ErrDraining = errors.New("serve: draining")
+)
+
+// parseBackend and friends share the CLI's name mapping so the wire
+// and the flags can never drift apart.
+func parseBackend(name string) (repro.Backend, error) {
+	if name == "" {
+		return repro.BackendNative, nil
+	}
+	return cli.ParseBackend(name)
+}
+
+func parseStatistic(name string) (repro.Statistic, error) {
+	if name == "" {
+		return repro.DefaultStatistic, nil
+	}
+	return cli.ParseStatistic(name)
+}

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro"
+)
+
+// Client is a typed Go client for the /v1 API; it exercises every
+// endpoint the Server exposes. Methods return *APIError for non-2xx
+// responses, which maps back onto the error vocabulary via errors.Is
+// (ErrNotFound, repro.ErrSessionBusy, ErrDraining, repro.ErrBadConfig).
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for the server at baseURL (for example
+// "http://127.0.0.1:8080"). A nil httpClient uses
+// http.DefaultClient; streaming callers should supply a client
+// without a global timeout (SSE connections outlive any fixed one).
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// APIError is a non-2xx response: the HTTP status plus the server's
+// stable error code and message.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+// Error renders the status, code and message.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: HTTP %d (%s): %s", e.Status, e.Code, e.Message)
+}
+
+// Is maps the wire error codes back onto the package sentinels, so
+// errors.Is(err, serve.ErrNotFound) works across the HTTP boundary.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrNotFound:
+		return e.Code == CodeNotFound
+	case ErrDraining:
+		return e.Code == CodeDraining
+	case repro.ErrSessionBusy:
+		return e.Code == CodeBusy
+	case repro.ErrBadConfig, repro.ErrBadDataset:
+		return e.Code == CodeBadRequest
+	}
+	return false
+}
+
+// do sends one JSON request and decodes the response into out.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	apiErr := &APIError{Status: resp.StatusCode, Code: CodeInternal}
+	var body ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err == nil && body.Error.Code != "" {
+		apiErr.Code = body.Error.Code
+		apiErr.Message = body.Error.Message
+	}
+	return apiErr
+}
+
+// CreateDataset uploads (or synthesizes) a dataset; identical content
+// registers once and returns the same fingerprint-derived id.
+func (c *Client) CreateDataset(ctx context.Context, req DatasetRequest) (DatasetInfo, error) {
+	var info DatasetInfo
+	err := c.do(ctx, http.MethodPost, "/v1/datasets", req, &info)
+	return info, err
+}
+
+// Dataset fetches a registered dataset's description.
+func (c *Client) Dataset(ctx context.Context, id string) (DatasetInfo, error) {
+	var info DatasetInfo
+	err := c.do(ctx, http.MethodGet, "/v1/datasets/"+id, nil, &info)
+	return info, err
+}
+
+// CreateSession opens a session over a registered dataset.
+func (c *Client) CreateSession(ctx context.Context, req SessionRequest) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &info)
+	return info, err
+}
+
+// Session fetches a session's description.
+func (c *Client) Session(ctx context.Context, id string) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id, nil, &info)
+	return info, err
+}
+
+// Stats fetches the session's evaluation backend counters.
+func (c *Client) Stats(ctx context.Context, sessionID string) (SessionStats, error) {
+	var st SessionStats
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+sessionID+"/stats", nil, &st)
+	return st, err
+}
+
+// StartJob submits one background GA run on the session.
+func (c *Client) StartJob(ctx context.Context, sessionID string, req JobRequest) (JobInfo, error) {
+	var ji JobInfo
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+sessionID+"/jobs", req, &ji)
+	return ji, err
+}
+
+// Job fetches a job's live status (and, once finished, its result).
+func (c *Client) Job(ctx context.Context, id string) (JobInfo, error) {
+	var ji JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &ji)
+	return ji, err
+}
+
+// StopJob cancels a running job and returns its partial result.
+func (c *Client) StopJob(ctx context.Context, id string) (JobInfo, error) {
+	var ji JobInfo
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &ji)
+	return ji, err
+}
+
+// StreamEvents consumes the job's SSE progress stream, invoking fn
+// for every event until the stream ends, fn returns an error, or ctx
+// is cancelled. It returns the final JobInfo from the terminating
+// "done" event (nil JobInfo fields only if the stream ended without
+// one). The stream is conflated server-side: a slow fn misses old
+// generations, never stalls the GA.
+func (c *Client) StreamEvents(ctx context.Context, jobID string, fn func(Event) error) (*JobInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return nil, decodeError(resp)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var event string
+	var data bytes.Buffer
+	flush := func() (done *JobInfo, err error) {
+		if event == "" && data.Len() == 0 {
+			return nil, nil
+		}
+		ev := Event{Type: event}
+		switch event {
+		case EventGeneration:
+			var entry repro.TraceEntry
+			if err := json.Unmarshal(data.Bytes(), &entry); err != nil {
+				return nil, fmt.Errorf("serve: bad %s event: %w", event, err)
+			}
+			ev.Entry = &entry
+		case EventDone:
+			var ji JobInfo
+			if err := json.Unmarshal(data.Bytes(), &ji); err != nil {
+				return nil, fmt.Errorf("serve: bad %s event: %w", event, err)
+			}
+			ev.Job = &ji
+			done = &ji
+		}
+		event = ""
+		data.Reset()
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return done, err
+			}
+		}
+		return done, nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			done, err := flush()
+			if err != nil || done != nil {
+				return done, err
+			}
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		case strings.HasPrefix(line, ":"), strings.HasPrefix(line, "id:"):
+			// comments and event ids carry no payload
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, context.Canceled) {
+		return nil, err
+	}
+	return nil, nil
+}

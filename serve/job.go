@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro"
+)
+
+// jobEntry is the registry's record of one background run: the Job
+// handle, its cancel function (DELETE and drain both go through the
+// context path), and the progress fan-out state.
+type jobEntry struct {
+	id        string
+	sessionID string
+	job       *repro.Job
+	cancel    context.CancelFunc
+
+	mu        sync.Mutex
+	subs      map[chan repro.TraceEntry]struct{}
+	latest    repro.TraceEntry
+	hasLatest bool
+	finished  bool
+}
+
+// subscriberBuffer is each SSE subscriber's channel capacity. Like
+// Job.Progress, a full buffer conflates: the oldest entry is dropped
+// so a slow client misses old generations and never blocks anything.
+const subscriberBuffer = 16
+
+// pump drains the job's single Progress stream and fans each entry
+// out to every subscriber with per-subscriber conflation. It owns the
+// subscriber channels' close. Runs as one goroutine per job; exits
+// (and releases the registry's job WaitGroup count) when the run
+// ends.
+func (je *jobEntry) pump(r *Registry) {
+	defer r.jobsWG.Done()
+	for e := range je.job.Progress() {
+		je.mu.Lock()
+		je.latest = e
+		je.hasLatest = true
+		for ch := range je.subs {
+			conflatedSend(ch, e)
+		}
+		je.mu.Unlock()
+	}
+	je.mu.Lock()
+	je.finished = true
+	for ch := range je.subs {
+		close(ch)
+	}
+	je.subs = nil
+	je.mu.Unlock()
+	// The run's end is session activity: the idle-eviction clock must
+	// start from here, not from the request that launched the job.
+	r.touchSession(je.sessionID)
+}
+
+// hasSubscribers reports whether any progress stream is attached.
+func (je *jobEntry) hasSubscribers() bool {
+	je.mu.Lock()
+	defer je.mu.Unlock()
+	return len(je.subs) > 0
+}
+
+// conflatedSend delivers e to ch without ever blocking: when the
+// buffer is full the oldest entry is dropped to make room, exactly
+// like Job.publish.
+func conflatedSend(ch chan repro.TraceEntry, e repro.TraceEntry) {
+	for {
+		select {
+		case ch <- e:
+			return
+		default:
+		}
+		select {
+		case <-ch: // conflate: drop the oldest buffered entry
+		default:
+		}
+	}
+}
+
+// subscribe registers a new conflated progress channel, pre-seeded
+// with the latest entry so a late joiner sees current state at once.
+// For a finished job it returns an already-closed channel. off
+// detaches (idempotent; pump may concurrently close the channel).
+func (je *jobEntry) subscribe() (<-chan repro.TraceEntry, func(), error) {
+	ch := make(chan repro.TraceEntry, subscriberBuffer)
+	je.mu.Lock()
+	defer je.mu.Unlock()
+	if je.finished {
+		close(ch)
+		return ch, func() {}, nil
+	}
+	if je.hasLatest {
+		ch <- je.latest
+	}
+	if je.subs == nil {
+		je.subs = make(map[chan repro.TraceEntry]struct{})
+	}
+	je.subs[ch] = struct{}{}
+	off := func() {
+		je.mu.Lock()
+		defer je.mu.Unlock()
+		if _, ok := je.subs[ch]; ok {
+			delete(je.subs, ch)
+			close(ch)
+		}
+	}
+	return ch, off, nil
+}
+
+// info assembles the job's wire status from the live Job handle.
+func (je *jobEntry) info() JobInfo {
+	ji := JobInfo{
+		ID:        je.id,
+		SessionID: je.sessionID,
+		State:     JobRunning,
+		Report:    je.job.Report(),
+	}
+	select {
+	case <-je.job.Done():
+	default:
+		return ji
+	}
+	res, err := je.job.Wait() // done: returns immediately
+	ji.Result = res
+	switch {
+	case err == nil:
+		ji.State = JobDone
+	case errors.Is(err, repro.ErrCanceled):
+		ji.State = JobCanceled
+		ji.Error = err.Error()
+	default:
+		ji.State = JobFailed
+		ji.Error = err.Error()
+	}
+	return ji
+}

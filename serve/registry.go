@@ -1,0 +1,620 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/cli"
+)
+
+// RegistryConfig tunes the lifecycle policies of a Registry. The zero
+// value gets production defaults.
+type RegistryConfig struct {
+	// SessionTTL evicts a session (closing it and discarding its job
+	// records) after this long without any request touching it, once
+	// no job is running. Default 30m.
+	SessionTTL time.Duration
+	// DatasetTTL evicts a dataset — and closes its shared evaluation
+	// backends, releasing the memoized fitness caches — after this
+	// long without a session referencing it. Default 1h.
+	DatasetTTL time.Duration
+	// MaxJobsPerSession caps concurrently running jobs per session
+	// (repro.WithJobLimit); exceeding it yields HTTP 429. Default 4.
+	MaxJobsPerSession int
+	// SweepInterval is the janitor period for idle eviction. Default
+	// 1m; negative disables the janitor (tests call Sweep directly).
+	SweepInterval time.Duration
+}
+
+func (c RegistryConfig) withDefaults() RegistryConfig {
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 30 * time.Minute
+	}
+	if c.DatasetTTL == 0 {
+		c.DatasetTTL = time.Hour
+	}
+	if c.MaxJobsPerSession == 0 {
+		c.MaxJobsPerSession = 4
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = time.Minute
+	}
+	return c
+}
+
+// Registry owns every dataset, session and job lifecycle behind the
+// HTTP surface, so many users share one process. Datasets are
+// deduplicated by fingerprint, and each (dataset, backend, statistic,
+// workers) combination owns exactly one evaluation backend shared by
+// every session that selects it — one memoizing fitness cache per
+// dataset+backend, warmed by all users together. All methods are safe
+// for concurrent use.
+type Registry struct {
+	cfg RegistryConfig
+
+	mu       sync.Mutex
+	datasets map[string]*datasetEntry
+	sessions map[string]*sessionEntry
+	jobs     map[string]*jobEntry
+	sessSeq  int
+	jobSeq   int
+	draining bool
+	closed   bool
+
+	jobsWG     sync.WaitGroup // one count per unfinished job
+	janitorEnd chan struct{}
+}
+
+type backendKey struct {
+	backend repro.Backend
+	stat    repro.Statistic
+	workers int
+}
+
+type datasetEntry struct {
+	id       string
+	data     *repro.Dataset
+	info     DatasetInfo
+	backends map[backendKey]repro.ParallelEvaluator
+	sessions int // live sessions referencing this dataset
+	lastUsed time.Time
+}
+
+type sessionEntry struct {
+	id        string
+	datasetID string
+	sess      *repro.Session
+	backend   string
+	statistic string
+	maxJobs   int
+	jobIDs    []string
+	lastUsed  time.Time
+}
+
+// NewRegistry builds a registry and, unless cfg.SweepInterval is
+// negative, starts its idle-eviction janitor. Close releases
+// everything.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	r := &Registry{
+		cfg:      cfg.withDefaults(),
+		datasets: make(map[string]*datasetEntry),
+		sessions: make(map[string]*sessionEntry),
+		jobs:     make(map[string]*jobEntry),
+	}
+	if r.cfg.SweepInterval > 0 {
+		r.janitorEnd = make(chan struct{})
+		go r.janitor(r.janitorEnd)
+	}
+	return r
+}
+
+// janitor receives its end channel as an argument so it never reads
+// the mutable field Close writes.
+func (r *Registry) janitor(end <-chan struct{}) {
+	t := time.NewTicker(r.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.Sweep(time.Now())
+		case <-end:
+			return
+		}
+	}
+}
+
+// AddDataset registers the uploaded (or synthesized) dataset and
+// returns its description. The id is derived from the dataset
+// fingerprint, so identical content registers once: a re-upload
+// returns the existing entry and shares its warmed fitness caches.
+func (r *Registry) AddDataset(req DatasetRequest) (DatasetInfo, error) {
+	r.mu.Lock()
+	err := r.usable()
+	r.mu.Unlock()
+	if err != nil {
+		return DatasetInfo{}, err // draining: don't even parse
+	}
+	data, err := buildDataset(req)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	id := datasetID(data)
+	r.mu.Lock()
+	if e, ok := r.datasets[id]; ok {
+		e.lastUsed = time.Now()
+		info := e.info
+		r.mu.Unlock()
+		return info, nil // duplicate: skip the HWE scan entirely
+	}
+	r.mu.Unlock()
+
+	// The per-SNP HWE QC scan runs outside the registry lock.
+	info := describeDataset(id, data)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.usable(); err != nil {
+		return DatasetInfo{}, err
+	}
+	if e, ok := r.datasets[id]; ok { // concurrent identical upload won
+		e.lastUsed = time.Now()
+		return e.info, nil
+	}
+	r.datasets[id] = &datasetEntry{
+		id:       id,
+		data:     data,
+		info:     info,
+		backends: make(map[backendKey]repro.ParallelEvaluator),
+		lastUsed: time.Now(),
+	}
+	return info, nil
+}
+
+// Dataset returns the description of a registered dataset.
+func (r *Registry) Dataset(id string) (DatasetInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.datasets[id]
+	if !ok {
+		return DatasetInfo{}, fmt.Errorf("%w: dataset %q", ErrNotFound, id)
+	}
+	e.lastUsed = time.Now()
+	return e.info, nil
+}
+
+// CreateSession builds a session over a registered dataset. The
+// session borrows the registry's shared evaluation backend for its
+// (dataset, backend, statistic, workers) combination — creating it on
+// first use — so its memoized fitness survives the session and serves
+// every other session on the same study.
+func (r *Registry) CreateSession(req SessionRequest) (SessionInfo, error) {
+	be, err := parseBackend(req.Backend)
+	if err != nil {
+		return SessionInfo{}, fmt.Errorf("%w: %v", repro.ErrBadConfig, err)
+	}
+	stat, err := parseStatistic(req.Statistic)
+	if err != nil {
+		return SessionInfo{}, fmt.Errorf("%w: %v", repro.ErrBadConfig, err)
+	}
+	if req.Workers < 0 {
+		return SessionInfo{}, fmt.Errorf("%w: negative worker count %d", repro.ErrBadConfig, req.Workers)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.usable(); err != nil {
+		return SessionInfo{}, err
+	}
+	de, ok := r.datasets[req.DatasetID]
+	if !ok {
+		return SessionInfo{}, fmt.Errorf("%w: dataset %q", ErrNotFound, req.DatasetID)
+	}
+	key := backendKey{backend: be, stat: stat, workers: req.Workers}
+	ev, ok := de.backends[key]
+	if !ok {
+		ev, err = repro.NewBackend(de.data, stat, be, req.Workers)
+		if err != nil {
+			return SessionInfo{}, err
+		}
+		de.backends[key] = ev
+	}
+	sess, err := repro.NewSession(de.data,
+		repro.WithEvaluator(ev),
+		repro.WithStatistic(stat),
+		repro.WithJobLimit(r.cfg.MaxJobsPerSession))
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	r.sessSeq++
+	se := &sessionEntry{
+		id:        fmt.Sprintf("s-%d", r.sessSeq),
+		datasetID: de.id,
+		sess:      sess,
+		backend:   cli.BackendName(be),
+		statistic: cli.StatisticName(stat),
+		maxJobs:   r.cfg.MaxJobsPerSession,
+		lastUsed:  time.Now(),
+	}
+	r.sessions[se.id] = se
+	de.sessions++
+	de.lastUsed = se.lastUsed
+	return r.sessionInfoLocked(se), nil
+}
+
+func (r *Registry) sessionInfoLocked(se *sessionEntry) SessionInfo {
+	return SessionInfo{
+		ID:         se.id,
+		DatasetID:  se.datasetID,
+		Backend:    se.backend,
+		Workers:    se.sess.Workers(),
+		Statistic:  se.statistic,
+		MaxJobs:    se.maxJobs,
+		ActiveJobs: se.sess.ActiveJobs(),
+	}
+}
+
+func (r *Registry) session(id string) (*sessionEntry, error) {
+	se, ok := r.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: session %q", ErrNotFound, id)
+	}
+	se.lastUsed = time.Now()
+	return se, nil
+}
+
+// Session returns a live session's description.
+func (r *Registry) Session(id string) (SessionInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	se, err := r.session(id)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	return r.sessionInfoLocked(se), nil
+}
+
+// Stats returns the session's evaluation backend counters. Because
+// backends are shared per dataset+backend, the counters aggregate
+// every session's traffic on the same study.
+func (r *Registry) Stats(id string) (SessionStats, error) {
+	r.mu.Lock()
+	se, err := r.session(id)
+	r.mu.Unlock()
+	if err != nil {
+		return SessionStats{}, err
+	}
+	st := SessionStats{SessionID: id}
+	if rep, ok := se.sess.Report(); ok {
+		st.Engine = &rep
+		st.HitRate = rep.HitRate()
+		st.Throughput = rep.Throughput()
+	}
+	return st, nil
+}
+
+// StartJob launches one background GA run on the session via
+// Session.Start. The per-session job limit is enforced by the session
+// itself (repro.ErrSessionBusy → HTTP 429).
+func (r *Registry) StartJob(sessionID string, req JobRequest) (JobInfo, error) {
+	r.mu.Lock()
+	if err := r.usable(); err != nil {
+		r.mu.Unlock()
+		return JobInfo{}, err
+	}
+	se, err := r.session(sessionID)
+	if err != nil {
+		r.mu.Unlock()
+		return JobInfo{}, err
+	}
+	r.jobSeq++
+	id := fmt.Sprintf("j-%d", r.jobSeq)
+	r.mu.Unlock()
+
+	// Start outside the registry lock: it validates the config and
+	// may briefly contend on the session's own lock.
+	ctx, cancel := context.WithCancel(context.Background())
+	job, err := se.sess.Start(ctx, repro.WithGAConfig(req.Config))
+	if err != nil {
+		cancel()
+		return JobInfo{}, err
+	}
+	je := &jobEntry{
+		id:        id,
+		sessionID: sessionID,
+		job:       job,
+		cancel:    cancel,
+	}
+	r.mu.Lock()
+	// Re-check after re-acquiring the lock: a drain (or Close) that
+	// began while Start ran has already snapshotted r.jobs — and
+	// Close may already be waiting on jobsWG — so this job must not
+	// register; stop it and reject.
+	if err := r.usable(); err != nil {
+		r.mu.Unlock()
+		job.Stop()
+		return JobInfo{}, err
+	}
+	r.jobs[id] = je
+	se.jobIDs = append(se.jobIDs, id)
+	r.jobsWG.Add(1)
+	r.mu.Unlock()
+	go je.pump(r)
+	return je.info(), nil
+}
+
+func (r *Registry) jobEntry(id string) (*jobEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	je, ok := r.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	if se, ok := r.sessions[je.sessionID]; ok {
+		se.lastUsed = time.Now()
+	}
+	return je, nil
+}
+
+// Job returns a job's live status (and, once finished, its result).
+func (r *Registry) Job(id string) (JobInfo, error) {
+	je, err := r.jobEntry(id)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	return je.info(), nil
+}
+
+// StopJob cancels a running job and waits for it to wind down,
+// returning the partial result. Stopping a finished job returns its
+// outcome unchanged.
+func (r *Registry) StopJob(id string) (JobInfo, error) {
+	je, err := r.jobEntry(id)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	je.job.Stop()
+	return je.info(), nil
+}
+
+// Subscribe attaches a conflated progress stream to a job: the
+// returned channel delivers TraceEntries with the same semantics as
+// Job.Progress (a slow reader misses old generations, never blocks
+// the GA or other subscribers) and is closed when the run ends. The
+// latest entry, if any, is delivered first, so a late subscriber sees
+// the current state immediately. Call off to detach.
+func (r *Registry) Subscribe(jobID string) (ch <-chan repro.TraceEntry, off func(), err error) {
+	je, err := r.jobEntry(jobID)
+	if err != nil {
+		return nil, nil, err
+	}
+	ch, detach, err := je.subscribe()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Detaching counts as session activity, so the idle-eviction
+	// clock restarts when a long stream ends (Sweep also skips
+	// sessions with live subscribers — see hasSubscribers).
+	return ch, func() {
+		detach()
+		r.touchSession(je.sessionID)
+	}, nil
+}
+
+// touchSession refreshes the session's idle-eviction clock.
+func (r *Registry) touchSession(id string) {
+	r.mu.Lock()
+	if se, ok := r.sessions[id]; ok {
+		se.lastUsed = time.Now()
+	}
+	r.mu.Unlock()
+}
+
+// BeginDrain puts the registry in drain mode: every running job is
+// cancelled through its context (winding down within one generation
+// and keeping its partial result fetchable), and mutating calls —
+// AddDataset, CreateSession, StartJob — are rejected with ErrDraining.
+// Reads and event streams keep working so clients can collect what
+// their cancelled jobs produced.
+func (r *Registry) BeginDrain() {
+	r.mu.Lock()
+	r.draining = true
+	entries := make([]*jobEntry, 0, len(r.jobs))
+	for _, je := range r.jobs {
+		entries = append(entries, je)
+	}
+	r.mu.Unlock()
+	for _, je := range entries {
+		je.cancel()
+	}
+}
+
+// RunningJobs counts the jobs that have not finished yet.
+func (r *Registry) RunningJobs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, je := range r.jobs {
+		select {
+		case <-je.job.Done():
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Registry) usable() error {
+	if r.closed {
+		return fmt.Errorf("%w: registry closed", ErrDraining)
+	}
+	if r.draining {
+		return ErrDraining
+	}
+	return nil
+}
+
+// Sweep applies the idle-eviction policy as of now: sessions idle
+// longer than SessionTTL with no running job are closed (their job
+// records go with them), and datasets no session references for
+// longer than DatasetTTL are dropped, closing their shared backends
+// and releasing the memoized caches. The janitor calls this
+// periodically; tests may call it directly with a synthetic clock.
+func (r *Registry) Sweep(now time.Time) (evictedSessions, evictedDatasets int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, se := range r.sessions {
+		if now.Sub(se.lastUsed) <= r.cfg.SessionTTL || se.sess.ActiveJobs() > 0 {
+			continue
+		}
+		if r.sessionStreamedLocked(se) {
+			continue // a live event stream pins the session
+		}
+		r.dropSessionLocked(id, se, now)
+		evictedSessions++
+	}
+	for id, de := range r.datasets {
+		if de.sessions > 0 || now.Sub(de.lastUsed) <= r.cfg.DatasetTTL {
+			continue
+		}
+		for _, ev := range de.backends {
+			ev.Close()
+		}
+		delete(r.datasets, id)
+		evictedDatasets++
+	}
+	return evictedSessions, evictedDatasets
+}
+
+// sessionStreamedLocked reports whether any of the session's jobs has
+// a live progress subscriber.
+func (r *Registry) sessionStreamedLocked(se *sessionEntry) bool {
+	for _, jid := range se.jobIDs {
+		if je, ok := r.jobs[jid]; ok && je.hasSubscribers() {
+			return true
+		}
+	}
+	return false
+}
+
+// dropSessionLocked closes one session and forgets its job records.
+func (r *Registry) dropSessionLocked(id string, se *sessionEntry, now time.Time) {
+	se.sess.Close()
+	for _, jid := range se.jobIDs {
+		delete(r.jobs, jid)
+	}
+	delete(r.sessions, id)
+	if de, ok := r.datasets[se.datasetID]; ok {
+		de.sessions--
+		if de.lastUsed.Before(now) {
+			de.lastUsed = now // dataset TTL counts from the last session's end
+		}
+	}
+}
+
+// Close drains the registry, waits for every job to wind down, and
+// releases all sessions and backends. It is idempotent.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	if r.janitorEnd != nil {
+		close(r.janitorEnd) // r.closed guards against a double close
+	}
+	r.mu.Unlock()
+
+	r.BeginDrain()
+	r.jobsWG.Wait()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, se := range r.sessions {
+		se.sess.Close()
+	}
+	r.sessions = map[string]*sessionEntry{}
+	r.jobs = map[string]*jobEntry{}
+	for _, de := range r.datasets {
+		for _, ev := range de.backends {
+			ev.Close()
+		}
+	}
+	r.datasets = map[string]*datasetEntry{}
+}
+
+// buildDataset materializes the uploaded dataset. All failures wrap
+// repro.ErrBadDataset or repro.ErrBadConfig (→ HTTP 400).
+func buildDataset(req DatasetRequest) (*repro.Dataset, error) {
+	switch req.Format {
+	case FormatTable:
+		d, err := repro.ReadDataset(strings.NewReader(req.Content))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", repro.ErrBadDataset, err)
+		}
+		return d, nil
+	case FormatPED:
+		if req.NumSNPs < 1 {
+			return nil, fmt.Errorf("%w: ped uploads require num_snps (LINKAGE files do not carry the marker count)", repro.ErrBadConfig)
+		}
+		d, err := repro.ReadPEDDataset(strings.NewReader(req.Content), req.NumSNPs)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", repro.ErrBadDataset, err)
+		}
+		return d, nil
+	case FormatPreset:
+		switch req.Preset {
+		case 51:
+			return repro.Paper51Dataset(req.Seed)
+		case 249:
+			return repro.Paper249Dataset(req.Seed)
+		}
+		return nil, fmt.Errorf("%w: unknown preset %d (want 51 or 249)", repro.ErrBadConfig, req.Preset)
+	}
+	return nil, fmt.Errorf("%w: unknown dataset format %q (want %s, %s or %s)",
+		repro.ErrBadConfig, req.Format, FormatTable, FormatPED, FormatPreset)
+}
+
+// datasetID derives the registry id from the dataset fingerprint.
+func datasetID(d *repro.Dataset) string {
+	return fmt.Sprintf("ds-%016x", d.Fingerprint())
+}
+
+// describeDataset computes the upload response: dimensions, status
+// counts, and the per-SNP Hardy-Weinberg QC summary.
+func describeDataset(id string, d *repro.Dataset) DatasetInfo {
+	a, u, q := d.CountByStatus()
+	info := DatasetInfo{
+		ID:             id,
+		NumSNPs:        d.NumSNPs(),
+		NumIndividuals: d.NumIndividuals(),
+		Affected:       a,
+		Unaffected:     u,
+		Unknown:        q,
+	}
+	const alpha = 0.05
+	hwe := HWESummary{Group: "unaffected", Alpha: alpha, MinP: 1}
+	rows := d.ByStatus(repro.Unaffected)
+	if len(rows) == 0 {
+		hwe.Group = "all"
+		rows = nil // HWETest treats nil as everyone
+	}
+	for j := 0; j < d.NumSNPs(); j++ {
+		res, err := d.HWETest(j, rows)
+		if err != nil {
+			continue // untyped SNP in this group: not testable
+		}
+		hwe.Tested++
+		if res.PValue < alpha {
+			hwe.Failing++
+		}
+		if res.PValue < hwe.MinP {
+			hwe.MinP = res.PValue
+			hwe.MinPSNP = d.SNPs[j].Name
+		}
+	}
+	info.HWE = hwe
+	return info
+}

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro"
+)
+
+// Server is the HTTP front of a Registry: it decodes the /v1 wire
+// types, translates registry errors to statuses, and streams job
+// progress as server-sent events. It is an http.Handler; mount it at
+// the root of an http.Server (the /v1 prefix is part of its routes).
+type Server struct {
+	reg *Registry
+	mux *http.ServeMux
+}
+
+// NewServer builds the handler over the registry. The registry's
+// lifecycle stays with the caller (Close it after the http.Server
+// shuts down).
+func NewServer(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/datasets", s.postDataset)
+	s.mux.HandleFunc("GET /v1/datasets/{id}", s.getDataset)
+	s.mux.HandleFunc("POST /v1/sessions", s.postSession)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.getSession)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/stats", s.getStats)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/jobs", s.postJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.deleteJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.getEvents)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	return s
+}
+
+// ServeHTTP dispatches to the versioned routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Registry returns the registry behind the server (for drain and
+// lifecycle control by the embedding process).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// writeJSON encodes v with status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v) // a failed write means the client is gone; nothing to do
+}
+
+// writeError maps the error vocabulary onto statuses and the stable
+// error envelope.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := http.StatusInternalServerError, CodeInternal
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status, code = http.StatusNotFound, CodeNotFound
+	case errors.Is(err, repro.ErrSessionBusy):
+		status, code = http.StatusTooManyRequests, CodeBusy
+	case errors.Is(err, ErrDraining):
+		status, code = http.StatusServiceUnavailable, CodeDraining
+	case errors.Is(err, repro.ErrBadConfig), errors.Is(err, repro.ErrBadDataset):
+		status, code = http.StatusBadRequest, CodeBadRequest
+	}
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: err.Error()}})
+}
+
+// maxBodyBytes caps every request body: large enough for a
+// multi-thousand-SNP table upload, small enough that one client
+// cannot buffer the shared process into the ground.
+const maxBodyBytes = 64 << 20
+
+// decode reads the size-capped request body as JSON into v.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: invalid request body: %v", repro.ErrBadConfig, err)
+	}
+	return nil
+}
+
+func (s *Server) postDataset(w http.ResponseWriter, r *http.Request) {
+	var req DatasetRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := s.reg.AddDataset(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) getDataset(w http.ResponseWriter, r *http.Request) {
+	info, err := s.reg.Dataset(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) postSession(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := s.reg.CreateSession(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) getSession(w http.ResponseWriter, r *http.Request) {
+	info, err := s.reg.Session(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) getStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.reg.Stats(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) postJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	ji, err := s.reg.StartJob(r.PathValue("id"), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, ji)
+}
+
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
+	ji, err := s.reg.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ji)
+}
+
+func (s *Server) deleteJob(w http.ResponseWriter, r *http.Request) {
+	ji, err := s.reg.StopJob(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ji)
+}
+
+// getEvents streams the job's progress as server-sent events: one
+// "generation" event per received TraceEntry (conflated — see
+// Registry.Subscribe) and a final "done" event carrying the JobInfo.
+// The stream ends when the run does or when the client disconnects.
+func (s *Server) getEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, off, err := s.reg.Subscribe(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer off()
+
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errors.New("serve: response writer does not support streaming"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case e, ok := <-ch:
+			if !ok {
+				// Run finished: close the stream with the outcome.
+				ji, err := s.reg.Job(id)
+				if err != nil {
+					return // session evicted mid-stream; nothing to report
+				}
+				writeEvent(w, EventDone, "", ji)
+				fl.Flush()
+				return
+			}
+			writeEvent(w, EventGeneration, strconv.Itoa(e.Generation), e)
+			fl.Flush()
+		}
+	}
+}
+
+// writeEvent emits one SSE frame. id may be empty.
+func writeEvent(w http.ResponseWriter, event, id string, data any) {
+	b, err := json.Marshal(data)
+	if err != nil {
+		return
+	}
+	if id != "" {
+		fmt.Fprintf(w, "id: %s\n", id)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+}

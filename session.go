@@ -21,18 +21,20 @@ import (
 // independent batches in parallel; the master/slave backends serialize
 // them, as the paper's protocol does).
 type Session struct {
-	data    *Dataset
-	numSNPs int
-	stat    Statistic
-	backend Backend
-	eval    Evaluator
-	owned   ParallelEvaluator // non-nil when the session must close eval
-	baseCfg GAConfig
-	gaSet   bool
-	trace   func(TraceEntry)
+	data     *Dataset
+	numSNPs  int
+	stat     Statistic
+	backend  Backend
+	eval     Evaluator
+	owned    ParallelEvaluator // non-nil when the session must close eval
+	baseCfg  GAConfig
+	gaSet    bool
+	trace    func(TraceEntry)
+	jobLimit int // max concurrent Start jobs; 0 = unbounded
 
-	mu     sync.Mutex
-	closed bool
+	mu         sync.Mutex
+	closed     bool
+	activeJobs int // background jobs currently running
 }
 
 // NewSession builds a session over the dataset. Session-level options
@@ -55,13 +57,14 @@ func NewSession(d *Dataset, opts ...Option) (*Session, error) {
 		return nil, fmt.Errorf("%w: WithEvaluator replaces the session backend; WithBackend and WithWorkers do not combine with it", ErrBadConfig)
 	}
 	s := &Session{
-		data:    d,
-		numSNPs: d.NumSNPs(),
-		stat:    DefaultStatistic,
-		backend: BackendNative,
-		baseCfg: st.gaCfg,
-		gaSet:   st.gaSet,
-		trace:   st.trace,
+		data:     d,
+		numSNPs:  d.NumSNPs(),
+		stat:     DefaultStatistic,
+		backend:  BackendNative,
+		baseCfg:  st.gaCfg,
+		gaSet:    st.gaSet,
+		trace:    st.trace,
+		jobLimit: st.jobLimit,
 	}
 	if st.statSet {
 		s.stat = st.stat
@@ -99,6 +102,18 @@ func (s *Session) Statistic() Statistic { return s.stat }
 // want to score individual haplotypes through the same memoizing cache
 // the GA uses (an HTTP layer's ad-hoc scoring endpoint, for example).
 func (s *Session) Evaluator() Evaluator { return s.eval }
+
+// ActiveJobs returns the number of background jobs (Session.Start)
+// currently running on the session.
+func (s *Session) ActiveJobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.activeJobs
+}
+
+// JobLimit returns the session's concurrent background job cap (0 =
+// unbounded); see WithJobLimit.
+func (s *Session) JobLimit() int { return s.jobLimit }
 
 // Workers returns the evaluation backend's worker count, or 0 when the
 // backend does not expose one.
