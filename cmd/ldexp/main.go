@@ -12,6 +12,7 @@
 //	baselines   dedicated GA vs the methods §3 rules out
 //	statcompare objective-function comparison (paper conclusion / future work)
 //	robust249   cross-run solution stability at 249 SNPs (paper §5.2)
+//	island      async island model vs synchronous engine (wall-clock, cost, quality)
 //	all         everything above
 //
 // SIGINT/SIGTERM interrupt gracefully: the experiment in progress
@@ -41,7 +42,7 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "experiment id (table1|figure4|table2|ablation|speedup|landscape|baselines|statcompare|robust249|all)")
+		which   = flag.String("exp", "all", "experiment id (table1|figure4|table2|ablation|speedup|landscape|baselines|statcompare|robust249|island|all)")
 		seed    = flag.Uint64("seed", 1, "master seed")
 		runs    = flag.Int("runs", 10, "GA runs per experiment (paper: 10)")
 		slaves  = flag.Int("slaves", 0, "evaluation slaves (0 = one per CPU)")
@@ -285,6 +286,34 @@ func main() {
 				maxS = gaCfg.MaxSize
 			}
 			if rerr := exp.RenderRobustness(os.Stdout, res, minS, maxS); rerr != nil {
+				return rerr
+			}
+		}
+		return err
+	})
+
+	run("island", func() error {
+		d, err := loadData()
+		if err != nil {
+			return err
+		}
+		iRuns := *runs
+		if iRuns > 3 {
+			iRuns = 3 // several modes x runs to convergence; keep affordable
+		}
+		p := exp.IslandCompareParams{
+			Runs: iRuns, Seed: *seed, Workers: *slaves, GA: gaCfg,
+		}
+		rows, err := exp.IslandCompare(ctx, d, p)
+		if len(rows) > 0 {
+			minS, maxS := 2, 6
+			if gaCfg.MinSize != 0 {
+				minS = gaCfg.MinSize
+			}
+			if gaCfg.MaxSize != 0 {
+				maxS = gaCfg.MaxSize
+			}
+			if rerr := exp.RenderIslandCompare(os.Stdout, rows, minS, maxS); rerr != nil {
 				return rerr
 			}
 		}

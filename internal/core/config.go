@@ -90,6 +90,27 @@ type Config struct {
 	OnGeneration func(TraceEntry) `json:"-"`
 }
 
+// Normalize fills unset fields with the paper's §5.2.1 defaults and
+// validates the result against the problem size. New applies it for
+// the synchronous GA; the island model applies it once and shares the
+// normalized Config across every island's Pop.
+func (c Config) Normalize(numSNPs int) (Config, error) {
+	c = c.withDefaults()
+	if err := c.validate(numSNPs); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// Capacities returns the per-size subpopulation capacity split of the
+// normalized configuration (§4.2): PopulationSize shared across sizes
+// proportionally to the logarithm of each size's search space, floor
+// of 2. The island model partitions these capacities across islands so
+// the global population shape stays exactly the synchronous GA's.
+func (c Config) Capacities(numSNPs int) map[int]int {
+	return c.capacities(numSNPs)
+}
+
 // withDefaults fills unset fields with the paper's values.
 func (c Config) withDefaults() Config {
 	if c.MinSize == 0 {

@@ -2,11 +2,9 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 
 	"repro/internal/fitness"
-	"repro/internal/rng"
 )
 
 // TraceEntry is the per-generation snapshot delivered to
@@ -29,6 +27,13 @@ type TraceEntry struct {
 	// Immigrants is the number of random immigrants injected at the
 	// end of this generation (0 when the mechanism did not fire).
 	Immigrants int `json:"immigrants"`
+	// Island is the 1-based number of the island that produced this
+	// entry in an island-model run. It is 0 — and omitted on the wire
+	// — for the synchronous GA, whose entries cover every size at
+	// once; an island's entry covers only the sizes it hosts, and its
+	// Generation, Evaluations and Stagnation counters are local to
+	// the island.
+	Island int `json:"island,omitempty"`
 }
 
 // Result summarizes a finished run. The json field names are part of
@@ -41,219 +46,88 @@ type Result struct {
 	BestBySize map[int]*Haplotype `json:"best_by_size"`
 	// EvalsAtBest maps each size to the total evaluation count at
 	// the moment its best haplotype was first found — the paper's
-	// Table 2 cost metric.
+	// Table 2 cost metric. In an island-model run the count is local
+	// to the island that hosts the size.
 	EvalsAtBest map[int]int64 `json:"evals_at_best"`
-	// TotalEvaluations counts every fitness evaluation of the run.
+	// TotalEvaluations counts every fitness evaluation of the run,
+	// summed over all islands in an island-model run.
 	TotalEvaluations int64 `json:"total_evaluations"`
-	// Generations is the number of generations executed.
+	// Generations is the number of generations executed; for an
+	// island-model run, the maximum over the islands' local counts.
 	Generations int `json:"generations"`
 	// Converged is true when the run stopped by the stagnation rule
-	// rather than by the MaxGenerations safety cap.
+	// rather than by the MaxGenerations safety cap; an island-model
+	// run converged when every island did.
 	Converged bool `json:"converged"`
-	// MutationRates and CrossoverRates are the final adaptive rates.
+	// MutationRates and CrossoverRates are the final adaptive rates;
+	// for an island-model run, the element-wise mean over the
+	// islands' final rates (each island adapts its own).
 	MutationRates  []float64 `json:"mutation_rates"`
 	CrossoverRates []float64 `json:"crossover_rates"`
 	// Immigrants is the total number of random immigrants injected.
 	Immigrants int64 `json:"immigrants"`
+	// Islands carries the per-island breakdown of an island-model run
+	// with more than one island, ordered by island number. It is nil
+	// — and omitted on the wire — for synchronous and single-island
+	// runs, whose Result is exactly the synchronous one.
+	Islands []IslandStat `json:"islands,omitempty"`
 }
 
-// GA is the multipopulation adaptive genetic algorithm. Construct
-// with New, run once with Run.
+// IslandStat is one island's contribution to an island-model Result:
+// its hosted sizes, local loop counters, final adaptive rates, and
+// migration traffic. The json field names are part of the public wire
+// format and are stable.
+type IslandStat struct {
+	// Island is the 1-based island number (matching
+	// TraceEntry.Island).
+	Island int `json:"island"`
+	// Sizes are the haplotype sizes this island hosted.
+	Sizes []int `json:"sizes"`
+	// Generations is the island's local completed-generation count.
+	Generations int `json:"generations"`
+	// Evaluations is the island's local evaluation count.
+	Evaluations int64 `json:"evaluations"`
+	// Converged reports whether the island stopped on its own
+	// stagnation rule (rather than the generation cap or a
+	// cancellation).
+	Converged bool `json:"converged"`
+	// Immigrants is the number of random immigrants the island
+	// injected locally (§4.4 — unrelated to migration).
+	Immigrants int64 `json:"immigrants"`
+	// Sent counts migrant elites the island emitted onto its outgoing
+	// ring link; Received counts migrants it accepted from its
+	// incoming link; Dropped counts migrants conflated away because
+	// the outgoing link's buffer was full (the receiver lagging).
+	Sent     int64 `json:"sent"`
+	Received int64 `json:"received"`
+	Dropped  int64 `json:"dropped"`
+	// MutationRates and CrossoverRates are the island's final
+	// adaptive operator rates.
+	MutationRates  []float64 `json:"mutation_rates"`
+	CrossoverRates []float64 `json:"crossover_rates"`
+}
+
+// GA is the multipopulation adaptive genetic algorithm in its
+// synchronous, paper-fidelity form: one Pop over every size, one
+// generation barrier. Construct with New, run once with Run or
+// RunContext. Package island layers the asynchronous island model
+// over the same Pop machinery.
 type GA struct {
-	cfg     Config
-	numSNPs int
-	eval    fitness.Evaluator
-	r       *rng.RNG
-
-	sizes []int
-	subs  map[int]*subpop
-
-	mut *adaptiveController
-	xov *adaptiveController
-
-	evals       int64
-	evalsAtBest map[int]int64
-	generation  int
-	stagnation  int
-	riCounter   int
-	immigrants  int64
-
-	// evalErr latches a terminal evaluator failure (the backend was
-	// closed under the run). Without it a dead backend would fail
-	// every individual, freeze every subpopulation, and let the
-	// stagnation rule report a bogus convergence.
-	evalErr error
+	*Pop
 }
 
 // New validates the configuration and builds a GA over numSNPs
 // markers, scoring haplotypes with eval.
 func New(eval fitness.Evaluator, numSNPs int, cfg Config) (*GA, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(numSNPs); err != nil {
+	cfg, err := cfg.Normalize(numSNPs)
+	if err != nil {
 		return nil, err
 	}
-	if eval == nil {
-		return nil, fmt.Errorf("core: nil evaluator")
+	p, err := NewPop(eval, numSNPs, cfg, PopSpec{})
+	if err != nil {
+		return nil, err
 	}
-	g := &GA{
-		cfg:         cfg,
-		numSNPs:     numSNPs,
-		eval:        eval,
-		r:           rng.New(cfg.Seed),
-		subs:        make(map[int]*subpop),
-		evalsAtBest: make(map[int]int64),
-	}
-	caps := cfg.capacities(numSNPs)
-	for s := cfg.MinSize; s <= cfg.MaxSize; s++ {
-		g.sizes = append(g.sizes, s)
-		g.subs[s] = newSubpop(s, caps[s])
-	}
-	g.mut = newAdaptiveController(int(numMutOps), cfg.GlobalMutationRate, cfg.MinOperatorRate, !cfg.DisableAdaptiveRates)
-	if cfg.DisableSizeMutations {
-		g.mut.disable(int(MutReduction))
-		g.mut.disable(int(MutAugmentation))
-	}
-	g.xov = newAdaptiveController(int(numXOps), cfg.GlobalCrossoverRate, cfg.MinOperatorRate, !cfg.DisableAdaptiveRates)
-	if cfg.DisableInterPopCrossover || len(g.sizes) == 1 {
-		g.xov.disable(int(XInter))
-	}
-	return g, nil
-}
-
-// feasible applies the optional constraint filter.
-func (g *GA) feasible(sites []int) bool {
-	return g.cfg.Constraint == nil || g.cfg.Constraint(sites)
-}
-
-// evaluateBatch scores every unevaluated haplotype in cands through
-// the evaluator, updating the run's evaluation counters. Identical
-// SNP sets within the batch are submitted once and fanned back out,
-// so the backend sees only distinct work; the evaluation counter
-// still counts every score that was actually attempted — per
-// requested haplotype, preserving the paper's cost metric — but not
-// scores skipped by cancellation or a closed backend. Haplotypes
-// whose evaluation fails stay unevaluated and are dropped by
-// callers.
-func (g *GA) evaluateBatch(ctx context.Context, cands []*Haplotype) {
-	var batch [][]int
-	var idx []int
-	for i, h := range cands {
-		if h != nil && !h.Evaluated {
-			batch = append(batch, h.Sites)
-			idx = append(idx, i)
-		}
-	}
-	if len(batch) == 0 {
-		return
-	}
-	unique, index := fitness.Dedupe(batch)
-	values, errs := fitness.EvaluateAllContext(ctx, g.eval, unique)
-	for j, i := range idx {
-		u := index[j]
-		if errs[u] != nil {
-			// Scores the backend never started — skipped by
-			// cancellation or refused by a closed backend — are not
-			// part of the paper's cost metric; evaluations that ran
-			// and failed still count.
-			switch {
-			case errors.Is(errs[u], context.Canceled), errors.Is(errs[u], context.DeadlineExceeded):
-			case errors.Is(errs[u], fitness.ErrEvaluatorClosed):
-				if g.evalErr == nil {
-					g.evalErr = errs[u]
-				}
-			default:
-				g.evals++
-			}
-			continue
-		}
-		g.evals++
-		cands[i].Fitness = values[u]
-		cands[i].Evaluated = true
-	}
-}
-
-// randomFeasible draws a random feasible size-k haplotype, or nil
-// after maxTries failures.
-func (g *GA) randomFeasible(k, maxTries int) *Haplotype {
-	for t := 0; t < maxTries; t++ {
-		sites := randomSites(g.r, g.numSNPs, k)
-		if g.feasible(sites) {
-			return &Haplotype{Sites: sites}
-		}
-	}
-	return nil
-}
-
-// initialize fills every subpopulation with random unique feasible
-// individuals and evaluates them.
-func (g *GA) initialize(ctx context.Context) error {
-	var pending []*Haplotype
-	var targets []*subpop
-	for _, s := range g.sizes {
-		sp := g.subs[s]
-		seen := make(map[string]struct{}, sp.capacity)
-		tries := 0
-		for len(seen) < sp.capacity && tries < 200*sp.capacity {
-			tries++
-			h := g.randomFeasible(s, 50)
-			if h == nil {
-				continue
-			}
-			key := h.Key()
-			if _, dup := seen[key]; dup {
-				continue
-			}
-			seen[key] = struct{}{}
-			pending = append(pending, h)
-			targets = append(targets, sp)
-		}
-	}
-	g.evaluateBatch(ctx, pending)
-	inserted := 0
-	for i, h := range pending {
-		if h.Evaluated && targets[i].insert(h) {
-			inserted++
-		}
-	}
-	if inserted == 0 {
-		return fmt.Errorf("core: initialization produced no viable individual (constraint too strict or evaluator failing)")
-	}
-	for _, s := range g.sizes {
-		if g.subs[s].best() != nil {
-			g.evalsAtBest[s] = g.evals
-		}
-	}
-	return nil
-}
-
-// lineage tracks one selection->crossover->mutation pipeline for
-// progress accounting.
-type lineage struct {
-	xop      XOp  // crossover operator, valid when crossed
-	crossed  bool // whether a crossover was applied
-	p1, p2   *Haplotype
-	child    *Haplotype
-	mutOp    MutOp // mutation operator, valid when mutated
-	mutated  bool
-	probes   []*Haplotype // SNP-mutation probes or single size-mutant
-	original *Haplotype   // the child before mutation
-}
-
-// pickSubpop chooses a non-empty subpopulation weighted by capacity.
-func (g *GA) pickSubpop(exclude int) *subpop {
-	weights := make([]float64, len(g.sizes))
-	total := 0.0
-	for i, s := range g.sizes {
-		if s == exclude || len(g.subs[s].members) == 0 {
-			continue
-		}
-		weights[i] = float64(g.subs[s].capacity)
-		total += weights[i]
-	}
-	if total == 0 {
-		return nil
-	}
-	return g.subs[g.sizes[g.r.Choice(weights)]]
+	return &GA{Pop: p}, nil
 }
 
 // Run executes the GA to termination and returns its result. It is
@@ -277,395 +151,20 @@ func (g *GA) RunContext(ctx context.Context) (*Result, error) {
 		return nil, fmt.Errorf("core: GA already run; create a new one")
 	}
 	if err := ctx.Err(); err != nil {
-		return g.result(false, 0), err
+		return g.Snapshot(false, 0), err
 	}
-	if err := g.initialize(ctx); err != nil {
+	if err := g.Initialize(ctx); err != nil {
 		// Cancellation or a dead backend during the initial batch
 		// surfaces as an empty population; report the real cause, not
 		// the spurious no-viable-individual error.
 		if cerr := ctx.Err(); cerr != nil {
-			return g.result(false, 0), cerr
+			return g.Snapshot(false, 0), cerr
 		}
 		if g.evalErr != nil {
-			return g.result(false, 0), g.evalErr
+			return g.Snapshot(false, 0), g.evalErr
 		}
 		return nil, err
 	}
-	converged := false
-	completed := 0
-	// runErr records why the loop stopped; a cancellation that lands
-	// after natural termination (convergence, generation cap) must not
-	// relabel the completed run as interrupted, so the final return
-	// does not re-read ctx.
-	var runErr error
-	for g.generation = 1; g.generation <= g.cfg.MaxGenerations; g.generation++ {
-		if err := ctx.Err(); err != nil {
-			runErr = err
-			break
-		}
-		improved := g.step(ctx)
-		if err := ctx.Err(); err != nil {
-			// The generation was cut short mid-step: its insertions
-			// stand (they are fully evaluated individuals), but it is
-			// neither counted, traced, nor allowed to trip the
-			// stagnation rule.
-			runErr = err
-			break
-		}
-		if g.evalErr != nil {
-			// The backend died under the run; return the partial
-			// result with the terminal error instead of letting the
-			// stagnation rule declare a bogus convergence.
-			return g.result(false, completed), g.evalErr
-		}
-		completed = g.generation
-		if improved {
-			g.stagnation = 0
-			g.riCounter = 0
-		} else {
-			g.stagnation++
-			g.riCounter++
-		}
-		injected := 0
-		if !g.cfg.DisableRandomImmigrants && g.riCounter >= g.cfg.ImmigrantStagnation {
-			injected = g.randomImmigrants(ctx)
-			g.riCounter = 0
-		}
-		if g.cfg.OnGeneration != nil {
-			g.cfg.OnGeneration(g.traceEntry(injected))
-		}
-		if g.stagnation >= g.cfg.StagnationLimit {
-			converged = true
-			break
-		}
-	}
-	// A terminal evaluator failure latched by the final iteration's
-	// immigrant batch (or by the generation that tripped a stopping
-	// rule) must not be swallowed: any starved iterations were not a
-	// real convergence.
-	if runErr == nil && g.evalErr != nil {
-		return g.result(false, completed), g.evalErr
-	}
-	return g.result(converged, completed), runErr
-}
-
-// result snapshots the run outcome after the given number of completed
-// generations.
-func (g *GA) result(converged bool, generations int) *Result {
-	res := &Result{
-		BestBySize:       make(map[int]*Haplotype, len(g.sizes)),
-		EvalsAtBest:      make(map[int]int64, len(g.sizes)),
-		TotalEvaluations: g.evals,
-		Generations:      generations,
-		Converged:        converged,
-		MutationRates:    g.mut.Rates(),
-		CrossoverRates:   g.xov.Rates(),
-		Immigrants:       g.immigrants,
-	}
-	for _, s := range g.sizes {
-		if b := g.subs[s].best(); b != nil {
-			res.BestBySize[s] = b.Clone()
-			res.EvalsAtBest[s] = g.evalsAtBest[s]
-		}
-	}
-	return res
-}
-
-// step runs one synchronous generation and reports whether any
-// subpopulation best improved.
-func (g *GA) step(ctx context.Context) bool {
-	lineages := g.breed()
-
-	// Phase A: evaluate crossover children (clones are pre-evaluated).
-	var childBatch []*Haplotype
-	for _, ln := range lineages {
-		childBatch = append(childBatch, ln.child)
-	}
-	g.evaluateBatch(ctx, childBatch)
-
-	// Crossover progress accounting (needs child fitnesses).
-	g.recordCrossoverProgress(lineages)
-
-	// Phase B: mutation candidates.
-	g.planMutations(lineages)
-	var probeBatch []*Haplotype
-	for _, ln := range lineages {
-		probeBatch = append(probeBatch, ln.probes...)
-	}
-	g.evaluateBatch(ctx, probeBatch)
-
-	// Resolve mutations, record progress, gather final individuals.
-	finals := g.resolveMutations(lineages)
-
-	// Replacement with best-improvement tracking.
-	improved := false
-	for _, h := range finals {
-		if h == nil || !h.Evaluated {
-			continue
-		}
-		sp, ok := g.subs[h.Size()]
-		if !ok {
-			continue
-		}
-		if _, newBest := sp.insertTracked(h); newBest {
-			g.evalsAtBest[sp.size] = g.evals
-			improved = true
-		}
-	}
-
-	g.mut.endGeneration()
-	g.xov.endGeneration()
-	return improved
-}
-
-// breed selects parents and applies (or skips) crossover for every
-// pair of the generation.
-func (g *GA) breed() []*lineage {
-	var out []*lineage
-	for p := 0; p < g.cfg.PairsPerGeneration; p++ {
-		op := g.xov.pick(g.r.Float64())
-		switch {
-		case op == int(XIntra):
-			sp := g.pickSubpop(-1)
-			if sp == nil {
-				continue
-			}
-			p1 := sp.tournament(g.r, g.cfg.TournamentSize)
-			p2 := sp.tournament(g.r, g.cfg.TournamentSize)
-			c1, c2 := crossoverUniform(g.r, p1.Sites, p2.Sites, g.numSNPs)
-			for _, cs := range [][]int{c1, c2} {
-				if !g.feasible(cs) {
-					continue
-				}
-				out = append(out, &lineage{
-					xop: XIntra, crossed: true, p1: p1, p2: p2,
-					child: &Haplotype{Sites: cs},
-				})
-			}
-		case op == int(XInter) && len(g.sizes) > 1:
-			spA := g.pickSubpop(-1)
-			if spA == nil {
-				continue
-			}
-			spB := g.pickSubpop(spA.size)
-			if spB == nil {
-				continue
-			}
-			p1 := spA.tournament(g.r, g.cfg.TournamentSize)
-			p2 := spB.tournament(g.r, g.cfg.TournamentSize)
-			c1, c2 := crossoverUniform(g.r, p1.Sites, p2.Sites, g.numSNPs)
-			for _, cs := range [][]int{c1, c2} {
-				if !g.feasible(cs) {
-					continue
-				}
-				out = append(out, &lineage{
-					xop: XInter, crossed: true, p1: p1, p2: p2,
-					child: &Haplotype{Sites: cs},
-				})
-			}
-		default:
-			// No crossover: two clones proceed to mutation.
-			for i := 0; i < 2; i++ {
-				sp := g.pickSubpop(-1)
-				if sp == nil {
-					continue
-				}
-				parent := sp.tournament(g.r, g.cfg.TournamentSize)
-				out = append(out, &lineage{p1: parent, child: parent.Clone()})
-			}
-		}
-	}
-	return out
-}
-
-// recordCrossoverProgress implements §4.3.2: intra-population progress
-// compares the mean normalized fitness of children and parents;
-// inter-population progress compares each child to its same-size
-// parent.
-func (g *GA) recordCrossoverProgress(lineages []*lineage) {
-	// Group the two children of one crossover application? Each
-	// lineage carries one child; progress is recorded per child with
-	// the parent mean as baseline, which averages to the same profit.
-	for _, ln := range lineages {
-		if !ln.crossed || !ln.child.Evaluated {
-			continue
-		}
-		switch ln.xop {
-		case XIntra:
-			sp := g.subs[ln.child.Size()]
-			if sp == nil {
-				continue
-			}
-			parentMean := (sp.normalized(ln.p1.Fitness) + sp.normalized(ln.p2.Fitness)) / 2
-			g.xov.record(int(XIntra), sp.normalized(ln.child.Fitness)-parentMean)
-		case XInter:
-			// Find the parent whose size matches the child.
-			var ref *Haplotype
-			if ln.p1.Size() == ln.child.Size() {
-				ref = ln.p1
-			} else if ln.p2.Size() == ln.child.Size() {
-				ref = ln.p2
-			}
-			sp := g.subs[ln.child.Size()]
-			if ref == nil || sp == nil {
-				g.xov.record(int(XInter), 0)
-				continue
-			}
-			g.xov.record(int(XInter), sp.normalized(ln.child.Fitness)-sp.normalized(ref.Fitness))
-		}
-	}
-}
-
-// planMutations decides, for every evaluated child, whether and how it
-// mutates, and builds the probe candidates to evaluate.
-func (g *GA) planMutations(lineages []*lineage) {
-	for _, ln := range lineages {
-		if !ln.child.Evaluated {
-			continue
-		}
-		op := g.mut.pick(g.r.Float64())
-		if op < 0 {
-			continue
-		}
-		mop := MutOp(op)
-		size := ln.child.Size()
-		// Boundary fallbacks: reduction at MinSize and augmentation
-		// at MaxSize degrade to the SNP mutation (size must stay
-		// within the subpopulation range).
-		if mop == MutReduction && size <= g.cfg.MinSize {
-			mop = MutSNP
-		}
-		if mop == MutAugmentation && size >= g.cfg.MaxSize {
-			mop = MutSNP
-		}
-		ln.mutOp = mop
-		ln.mutated = true
-		ln.original = ln.child
-		switch mop {
-		case MutSNP:
-			for i := 0; i < g.cfg.SNPMutationProbes; i++ {
-				sites := mutateSNPOnce(g.r, ln.child.Sites, g.numSNPs)
-				if g.feasible(sites) {
-					ln.probes = append(ln.probes, &Haplotype{Sites: sites})
-				}
-			}
-		case MutReduction:
-			sites := mutateReduction(g.r, ln.child.Sites)
-			if g.feasible(sites) {
-				ln.probes = append(ln.probes, &Haplotype{Sites: sites})
-			}
-		case MutAugmentation:
-			sites := mutateAugmentation(g.r, ln.child.Sites, g.numSNPs)
-			if g.feasible(sites) {
-				ln.probes = append(ln.probes, &Haplotype{Sites: sites})
-			}
-		}
-		if len(ln.probes) == 0 {
-			ln.mutated = false // all candidates infeasible
-		}
-	}
-}
-
-// resolveMutations picks each lineage's final individual, records
-// mutation progress (§4.3.1), and returns the individuals to insert.
-func (g *GA) resolveMutations(lineages []*lineage) []*Haplotype {
-	finals := make([]*Haplotype, 0, len(lineages))
-	for _, ln := range lineages {
-		if !ln.child.Evaluated {
-			continue
-		}
-		if !ln.mutated {
-			finals = append(finals, ln.child)
-			continue
-		}
-		var bestProbe *Haplotype
-		for _, pr := range ln.probes {
-			if !pr.Evaluated {
-				continue
-			}
-			if bestProbe == nil || pr.Fitness > bestProbe.Fitness {
-				bestProbe = pr
-			}
-		}
-		if bestProbe == nil {
-			finals = append(finals, ln.child)
-			continue
-		}
-		// Normalized progress across (possibly different) sizes.
-		spOrig := g.subs[ln.original.Size()]
-		spMut := g.subs[bestProbe.Size()]
-		if spOrig != nil && spMut != nil {
-			g.mut.record(int(ln.mutOp),
-				spMut.normalized(bestProbe.Fitness)-spOrig.normalized(ln.original.Fitness))
-		}
-		// The mutated individual replaces the child; the child also
-		// remains a candidate (it was evaluated and may beat the
-		// subpopulation worst) when the mutation changed its size.
-		finals = append(finals, bestProbe)
-		if bestProbe.Size() != ln.child.Size() {
-			finals = append(finals, ln.child)
-		}
-	}
-	return finals
-}
-
-// randomImmigrants replaces every member scoring below its
-// subpopulation mean with fresh random individuals (§4.4). It returns
-// the number of immigrants actually inserted.
-func (g *GA) randomImmigrants(ctx context.Context) int {
-	injected := 0
-	var pending []*Haplotype
-	var targets []*subpop
-	for _, s := range g.sizes {
-		sp := g.subs[s]
-		doomed := sp.belowMean()
-		for _, h := range doomed {
-			sp.remove(h)
-		}
-		for i := 0; i < len(doomed); i++ {
-			h := g.randomFeasible(s, 50)
-			if h == nil {
-				continue
-			}
-			if sp.contains(h) {
-				continue
-			}
-			pending = append(pending, h)
-			targets = append(targets, sp)
-		}
-	}
-	g.evaluateBatch(ctx, pending)
-	for i, h := range pending {
-		if !h.Evaluated {
-			continue
-		}
-		sp := targets[i]
-		inserted, newBest := sp.insertTracked(h)
-		if inserted {
-			injected++
-		}
-		if newBest {
-			g.evalsAtBest[sp.size] = g.evals
-		}
-	}
-	g.immigrants += int64(injected)
-	return injected
-}
-
-func (g *GA) traceEntry(immigrants int) TraceEntry {
-	best := make(map[int]float64, len(g.sizes))
-	for _, s := range g.sizes {
-		if b := g.subs[s].best(); b != nil {
-			best[s] = b.Fitness
-		}
-	}
-	return TraceEntry{
-		Generation:     g.generation,
-		Evaluations:    g.evals,
-		BestBySize:     best,
-		MutationRates:  g.mut.Rates(),
-		CrossoverRates: g.xov.Rates(),
-		Stagnation:     g.stagnation,
-		Immigrants:     immigrants,
-	}
+	converged, completed, runErr := g.RunLoop(ctx, LoopHooks{})
+	return g.Snapshot(converged, completed), runErr
 }

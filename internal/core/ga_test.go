@@ -340,7 +340,7 @@ func TestRandomImmigrantsReplaceBelowMean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ga.initialize(context.Background()); err != nil {
+	if err := ga.Initialize(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// After initialization the subpopulations have fitness spread, so
@@ -353,7 +353,7 @@ func TestRandomImmigrantsReplaceBelowMean(t *testing.T) {
 		t.Fatal("test setup: no members below mean")
 	}
 	before := ga.evals
-	injected := ga.randomImmigrants(context.Background())
+	injected := ga.RandomImmigrants(context.Background())
 	if injected == 0 {
 		t.Fatal("random immigrants replaced nobody")
 	}

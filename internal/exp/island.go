@@ -1,0 +1,231 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/clump"
+	"repro/internal/core"
+	"repro/internal/ehdiall"
+	"repro/internal/engine"
+	"repro/internal/fitness"
+	"repro/internal/genotype"
+	"repro/internal/island"
+	"repro/internal/stats"
+)
+
+// IslandCompareParams configures the island-vs-synchronous engine
+// comparison: the same GA configuration run to convergence under the
+// synchronous barrier and under one or more island partitions, each
+// mode on a fresh native engine so no mode rides another's warmed
+// cache.
+type IslandCompareParams struct {
+	// Islands lists the modes to measure: 0 is the synchronous
+	// engine, n >= 1 the island model with n islands. Default
+	// {0, 2, number of sizes}.
+	Islands []int
+	// Runs per mode (default 3); run r of every mode uses Seed+r, so
+	// modes face identical starting conditions.
+	Runs int
+	// Seed is the base GA seed.
+	Seed uint64
+	// Workers sizes each mode's evaluation engine (0 = one per CPU).
+	Workers int
+	// MigrationInterval and MigrationCount tune the island ring
+	// (defaults 5 and 1 — the comparison favors a lively ring).
+	MigrationInterval int
+	MigrationCount    int
+	// GA is the shared GA configuration (zero fields take the paper
+	// defaults).
+	GA core.Config
+}
+
+func (p IslandCompareParams) withDefaults(numSizes int) IslandCompareParams {
+	if len(p.Islands) == 0 {
+		p.Islands = []int{0, 2, numSizes}
+		if numSizes <= 2 { // don't measure the islands=2 mode twice
+			p.Islands = []int{0, numSizes}
+		}
+	}
+	if p.Runs <= 0 {
+		p.Runs = 3
+	}
+	if p.MigrationInterval == 0 {
+		p.MigrationInterval = 5
+	}
+	if p.MigrationCount == 0 {
+		p.MigrationCount = 1
+	}
+	return p
+}
+
+// IslandCompareRow is one mode's aggregate over its runs.
+type IslandCompareRow struct {
+	// Islands is the mode: 0 synchronous, else the island count
+	// actually run (after clamping).
+	Islands int
+	// Runs is the number of completed runs aggregated here.
+	Runs int
+	// MeanElapsed is the mean wall-clock time per run.
+	MeanElapsed time.Duration
+	// Speedup is the synchronous mode's MeanElapsed divided by this
+	// mode's (1.0 for the synchronous row itself; 0 when no
+	// synchronous row was requested).
+	Speedup float64
+	// MeanEvals is the mean evaluation count per run (the paper's
+	// cost metric).
+	MeanEvals float64
+	// MeanGenerations is the mean (per-island maximum) generation
+	// count per run.
+	MeanGenerations float64
+	// Converged counts runs that stopped on the stagnation rule.
+	Converged int
+	// MeanBestBySize is the mean best fitness per haplotype size, for
+	// judging whether the faster mode paid in solution quality.
+	MeanBestBySize map[int]float64
+}
+
+// IslandCompare measures the asynchronous island model against the
+// synchronous engine on equal terms. Cancellation stops between runs;
+// the completed rows are returned with ctx's error.
+func IslandCompare(ctx context.Context, d *genotype.Dataset, p IslandCompareParams) ([]IslandCompareRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg, err := p.GA.Normalize(d.NumSNPs())
+	if err != nil {
+		return nil, err
+	}
+	p = p.withDefaults(cfg.MaxSize - cfg.MinSize + 1)
+	pipe, err := fitness.NewPipeline(d, clump.T1, ehdiall.Config{})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []IslandCompareRow
+	for _, n := range p.Islands {
+		if ctx.Err() != nil {
+			break
+		}
+		pool, err := engine.New(pipe, engine.Options{Workers: p.Workers})
+		if err != nil {
+			return nil, err
+		}
+		row := IslandCompareRow{Islands: n}
+		var elapsed, evals, gens stats.Accumulator
+		bestSum := map[int]float64{}
+		bestN := map[int]int{}
+		for run := 0; run < p.Runs && ctx.Err() == nil; run++ {
+			runCfg := cfg
+			runCfg.Seed = p.Seed + uint64(run)
+			var runner interface {
+				RunContext(context.Context) (*core.Result, error)
+			}
+			if n > 0 {
+				m, err := island.New(pool, d.NumSNPs(), runCfg, island.Config{
+					Islands:           n,
+					MigrationInterval: p.MigrationInterval,
+					MigrationCount:    p.MigrationCount,
+				})
+				if err != nil {
+					pool.Close()
+					return nil, fmt.Errorf("exp: islands=%d run %d: %w", n, run, err)
+				}
+				row.Islands = m.Islands() // after clamping
+				runner = m
+			} else {
+				ga, err := core.New(pool, d.NumSNPs(), runCfg)
+				if err != nil {
+					pool.Close()
+					return nil, fmt.Errorf("exp: sync run %d: %w", run, err)
+				}
+				runner = ga
+			}
+			start := time.Now()
+			res, err := runner.RunContext(ctx)
+			if err != nil {
+				if ctx.Err() != nil {
+					break // drop the interrupted run; keep completed ones
+				}
+				pool.Close()
+				return nil, fmt.Errorf("exp: islands=%d run %d: %w", n, run, err)
+			}
+			elapsed.Add(float64(time.Since(start)))
+			evals.Add(float64(res.TotalEvaluations))
+			gens.Add(float64(res.Generations))
+			if res.Converged {
+				row.Converged++
+			}
+			for s, h := range res.BestBySize {
+				bestSum[s] += h.Fitness
+				bestN[s]++
+			}
+			row.Runs++
+		}
+		pool.Close()
+		if row.Runs == 0 {
+			break
+		}
+		row.MeanElapsed = time.Duration(elapsed.Mean())
+		row.MeanEvals = evals.Mean()
+		row.MeanGenerations = gens.Mean()
+		row.MeanBestBySize = make(map[int]float64, len(bestSum))
+		for s, sum := range bestSum {
+			row.MeanBestBySize[s] = sum / float64(bestN[s])
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return nil, ctx.Err()
+	}
+	for i := range rows {
+		if rows[i].Islands == 0 && rows[i].MeanElapsed > 0 {
+			base := rows[i].MeanElapsed
+			for j := range rows {
+				rows[j].Speedup = float64(base) / float64(rows[j].MeanElapsed)
+			}
+			break
+		}
+	}
+	if len(rows) == len(p.Islands) {
+		return rows, nil // every requested mode completed
+	}
+	return rows, ctx.Err()
+}
+
+// RenderIslandCompare prints the mode comparison, one best-fitness
+// column per haplotype size in [minSize, maxSize].
+func RenderIslandCompare(w io.Writer, rows []IslandCompareRow, minSize, maxSize int) error {
+	fmt.Fprintln(w, "Island model vs synchronous engine — complete runs to convergence, fresh engine per mode")
+	headers := []string{"Mode", "Runs", "Elapsed", "Speedup", "Evals", "Gens", "Conv"}
+	for s := minSize; s <= maxSize; s++ {
+		headers = append(headers, fmt.Sprintf("best f(%d)", s))
+	}
+	var body [][]string
+	for _, r := range rows {
+		mode := "sync"
+		if r.Islands > 0 {
+			mode = fmt.Sprintf("islands=%d", r.Islands)
+		}
+		row := []string{
+			mode,
+			fmt.Sprintf("%d", r.Runs),
+			r.MeanElapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%.0f", r.MeanEvals),
+			fmt.Sprintf("%.0f", r.MeanGenerations),
+			fmt.Sprintf("%d/%d", r.Converged, r.Runs),
+		}
+		for s := minSize; s <= maxSize; s++ {
+			if v, ok := r.MeanBestBySize[s]; ok {
+				row = append(row, fmt.Sprintf("%.2f", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		body = append(body, row)
+	}
+	return renderTable(w, headers, body)
+}

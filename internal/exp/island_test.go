@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"context"
+	"io"
+	"testing"
+)
+
+func TestIslandCompare(t *testing.T) {
+	d := smallDataset(t, 5)
+	rows, err := IslandCompare(context.Background(), d, IslandCompareParams{
+		Islands: []int{0, 2},
+		Runs:    2,
+		Seed:    1,
+		Workers: 2,
+		GA:      quickGA(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	if rows[0].Islands != 0 || rows[1].Islands != 2 {
+		t.Fatalf("unexpected modes: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Runs != 2 || r.MeanElapsed <= 0 || r.MeanEvals <= 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+		for s := 2; s <= 3; s++ {
+			if _, ok := r.MeanBestBySize[s]; !ok {
+				t.Errorf("mode %d missing best for size %d", r.Islands, s)
+			}
+		}
+	}
+	if rows[0].Speedup != 1.0 {
+		t.Errorf("sync row speedup %v, want 1.0", rows[0].Speedup)
+	}
+	if rows[1].Speedup <= 0 {
+		t.Errorf("island row speedup %v, want > 0", rows[1].Speedup)
+	}
+	if err := RenderIslandCompare(io.Discard, rows, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+// Package island runs the paper's multipopulation adaptive GA as an
+// asynchronous island model: the per-size subpopulations of §4.2 are
+// partitioned across islands, each island evolves its partition in its
+// own goroutine with its own generation loop, and islands exchange
+// elites over bounded, non-blocking migration channels. It drops the
+// global generation barrier of the synchronous engine (package core's
+// GA) — no island ever waits for another — while evaluating through
+// the same shared fitness.Evaluator, so every island's work lands in
+// the same memoizing cache and keeps every worker busy.
+//
+// # Topology
+//
+// Islands are arranged in a ring: island i ships elites to island
+// i+1 mod n. Every MigrationInterval of its own generations, an island
+// emits clones of the top MigrationCount members of each subpopulation
+// it hosts onto its outgoing link. The receiving island drains its
+// incoming link at the start of each of its own generations into a
+// small migrant pool, and offers that pool to the inter-population
+// crossover operator (§4.3.2) as the cross-size second parent — the
+// async counterpart of the synchronous GA's inter-population
+// crossover, which the size partition would otherwise make impossible.
+// Only the children whose size the island hosts are kept and
+// evaluated — the migrant-size child could never enter a local
+// subpopulation, so it is discarded before evaluation rather than
+// wasting a fitness computation.
+//
+// # Conflation
+//
+// Migration links are buffered channels with a fixed capacity
+// (Config.InboxCapacity). A send onto a full link drops the oldest
+// queued migrant to make room — conflate-on-full, the same discipline
+// as the facade's Job progress stream — so a slow island never stalls
+// a fast one: the slow island simply observes the newest elites and
+// misses superseded ones. The migrant pool on the receiving side is a
+// ring of the last PoolCapacity arrivals, overwritten oldest-first.
+// Dropped sends are counted per island and reported in the Result's
+// IslandStat entries.
+//
+// # Determinism contract
+//
+// With a single island there is no partition and nothing to migrate:
+// the model runs the synchronous machinery — same seed-derived random
+// stream, same generation loop, no migration hooks — and the Result is
+// bit-identical to core.GA's for the same Config. This is the
+// paper-fidelity default the facade keeps when islands are not
+// requested.
+//
+// With several islands, each island's random stream is derived
+// deterministically from Config.Seed and the island number, so an
+// island's trajectory is fully reproducible up to the migrants it
+// receives. Migrant arrival order and timing depend on goroutine
+// scheduling, which is the price of dropping the barrier: two
+// identically seeded multi-island runs may differ wherever a migrant
+// crossover occurred. When migration never fires — MigrationInterval
+// beyond the generations actually run — multi-island runs are
+// bit-stable across repetitions.
+package island

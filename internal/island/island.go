@@ -1,0 +1,424 @@
+package island
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fitness"
+	"repro/internal/rng"
+)
+
+// Config shapes the island topology. The zero value of every field
+// except Islands takes a sensible default; Islands itself must be at
+// least 1 (the facade maps "no islands requested" to the synchronous
+// GA before reaching this package).
+type Config struct {
+	// Islands is the number of islands the size range is partitioned
+	// across. Requests beyond the number of hosted sizes are clamped
+	// to one island per size (each island needs at least one
+	// subpopulation). 1 runs the synchronous machinery unchanged —
+	// see the package determinism contract.
+	Islands int
+	// MigrationInterval is how many of its own generations an island
+	// completes between elite emissions (default 10).
+	MigrationInterval int
+	// MigrationCount is how many elites per hosted subpopulation an
+	// island emits each migration (default 1).
+	MigrationCount int
+	// InboxCapacity is each ring link's channel buffer; a send onto a
+	// full link conflates (drops the oldest queued migrant). Default
+	// 16.
+	InboxCapacity int
+	// PoolCapacity is each island's migrant parent pool: the last
+	// PoolCapacity arrivals are kept as inter-island crossover
+	// parents, overwritten oldest-first. Default 8.
+	PoolCapacity int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MigrationInterval == 0 {
+		c.MigrationInterval = 10
+	}
+	if c.MigrationCount == 0 {
+		c.MigrationCount = 1
+	}
+	if c.InboxCapacity == 0 {
+		c.InboxCapacity = 16
+	}
+	if c.PoolCapacity == 0 {
+		c.PoolCapacity = 8
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Islands < 1 {
+		return fmt.Errorf("island: Islands = %d, need at least 1", c.Islands)
+	}
+	if c.MigrationInterval < 0 || c.MigrationCount < 0 || c.InboxCapacity < 0 || c.PoolCapacity < 0 {
+		return fmt.Errorf("island: negative migration parameter")
+	}
+	return nil
+}
+
+// isle is one island: its population partition, its ring links, its
+// migrant pool, and its run outcome. Everything except the channels is
+// owned by the island's goroutine.
+type isle struct {
+	index int // 0-based
+	pop   *core.Pop
+
+	inbox chan *core.Haplotype // incoming ring link (owned receive side)
+	out   chan *core.Haplotype // outgoing ring link (the next isle's inbox)
+
+	interval, count, poolMax int
+	pool                     []*core.Haplotype
+	poolNext                 int
+
+	sent, received, dropped int64
+
+	converged bool
+	completed int
+	err       error
+	hardErr   bool // initialization failed for a non-cancellation cause
+}
+
+// Model is an island-model run over one dataset: a set of islands
+// partitioning the configured size range, wired in a migration ring.
+// Construct with New, run once with RunContext. A Model is the
+// asynchronous counterpart of core.GA and satisfies the same
+// "construct, run once, read the Result" contract.
+type Model struct {
+	gaCfg   core.Config
+	cfg     Config
+	numSNPs int
+	isles   []*isle
+
+	traceMu sync.Mutex // serializes the user's OnGeneration across islands
+	ran     bool
+}
+
+// New validates both configurations and builds the islands over
+// numSNPs markers, scoring through eval. The GA configuration is
+// normalized exactly as core.New normalizes it, then its size range
+// is partitioned contiguously across min(cfg.Islands, number of
+// sizes) islands; subpopulation capacities are the synchronous GA's,
+// so the global population shape is preserved, and the pair budget is
+// split across islands in proportion to their capacity share.
+func New(eval fitness.Evaluator, numSNPs int, gaCfg core.Config, cfg Config) (*Model, error) {
+	gaCfg, err := gaCfg.Normalize(numSNPs)
+	if err != nil {
+		return nil, err
+	}
+	if eval == nil {
+		return nil, fmt.Errorf("island: nil evaluator")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var sizes []int
+	for s := gaCfg.MinSize; s <= gaCfg.MaxSize; s++ {
+		sizes = append(sizes, s)
+	}
+	n := cfg.Islands
+	if n > len(sizes) {
+		n = len(sizes) // at least one subpopulation per island
+	}
+	cfg.Islands = n
+
+	m := &Model{gaCfg: gaCfg, cfg: cfg, numSNPs: numSNPs}
+	caps := gaCfg.Capacities(numSNPs)
+	userTrace := gaCfg.OnGeneration
+	emit := userTrace
+	if userTrace != nil && n > 1 {
+		// Islands trace concurrently; the synchronous OnGeneration
+		// contract is preserved by serializing delivery.
+		emit = func(e core.TraceEntry) {
+			m.traceMu.Lock()
+			defer m.traceMu.Unlock()
+			userTrace(e)
+		}
+	}
+
+	// Contiguous partition: island i hosts len(sizes)/n sizes, the
+	// first len(sizes)%n islands one more.
+	groups := make([][]int, n)
+	start := 0
+	for i := range groups {
+		cnt := len(sizes) / n
+		if i < len(sizes)%n {
+			cnt++
+		}
+		groups[i] = sizes[start : start+cnt]
+		start += cnt
+	}
+	totalCap := 0
+	for _, s := range sizes {
+		totalCap += caps[s]
+	}
+
+	// With one island the model IS the synchronous machinery: the
+	// seed's own stream, no island stamp, no migrant crossover.
+	base := rng.New(gaCfg.Seed)
+	inboxes := make([]chan *core.Haplotype, n)
+	for i := range inboxes {
+		inboxes[i] = make(chan *core.Haplotype, cfg.InboxCapacity)
+	}
+	for i, group := range groups {
+		spec := core.PopSpec{
+			Sizes:      group,
+			Capacities: caps,
+		}
+		popCfg := gaCfg
+		popCfg.OnGeneration = emit
+		if n > 1 {
+			spec.RNG = base.Split()
+			spec.MigrantCrossover = true
+			spec.Island = i + 1
+			groupCap := 0
+			for _, s := range group {
+				groupCap += caps[s]
+			}
+			pairs := int(math.Round(float64(gaCfg.PairsPerGeneration) * float64(groupCap) / float64(totalCap)))
+			if pairs < 1 {
+				pairs = 1
+			}
+			spec.Pairs = pairs
+		} else {
+			spec.RNG = rng.New(gaCfg.Seed)
+		}
+		pop, err := core.NewPop(eval, numSNPs, popCfg, spec)
+		if err != nil {
+			return nil, err
+		}
+		m.isles = append(m.isles, &isle{
+			index:    i,
+			pop:      pop,
+			inbox:    inboxes[i],
+			out:      inboxes[(i+1)%n],
+			interval: cfg.MigrationInterval,
+			count:    cfg.MigrationCount,
+			poolMax:  cfg.PoolCapacity,
+		})
+	}
+	return m, nil
+}
+
+// Islands returns the number of islands actually running (after
+// clamping to the number of hosted sizes).
+func (m *Model) Islands() int { return len(m.isles) }
+
+// RunContext runs every island to termination and merges their
+// outcomes, honoring ctx with the same semantics as core.GA: the
+// returned Result is never nil once initialization succeeded, and a
+// cancelled run carries each island's partial best-so-far together
+// with ctx's error. With more than one island the Result additionally
+// carries per-island statistics (Result.Islands).
+func (m *Model) RunContext(ctx context.Context) (*core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if m.ran {
+		return nil, fmt.Errorf("island: model already run; create a new one")
+	}
+	m.ran = true
+	if err := ctx.Err(); err != nil {
+		return m.merge(), err
+	}
+
+	// An island whose initialization fails for a structural reason (a
+	// constraint so strict no viable individual exists) aborts the
+	// whole run, like the synchronous GA; runCtx propagates that
+	// fail-fast to the other islands.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, il := range m.isles {
+		wg.Add(1)
+		go func(il *isle) {
+			defer wg.Done()
+			m.runIsle(runCtx, cancel, il)
+		}(il)
+	}
+	wg.Wait()
+
+	for _, il := range m.isles {
+		if il.hardErr {
+			return nil, il.err
+		}
+	}
+	return m.merge(), m.mergeErr()
+}
+
+// runIsle is one island's lifetime: initialize, loop with migration
+// hooks, record the outcome.
+func (m *Model) runIsle(ctx context.Context, cancel context.CancelFunc, il *isle) {
+	if err := il.pop.Initialize(ctx); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			il.err = cerr
+			return
+		}
+		if eerr := il.pop.EvalErr(); eerr != nil {
+			il.err = eerr
+			return
+		}
+		il.err = err
+		il.hardErr = true
+		cancel()
+		return
+	}
+	hooks := core.LoopHooks{}
+	if len(m.isles) > 1 {
+		hooks.Immigrate = il.immigrate
+		hooks.Emigrate = il.emigrate
+	}
+	il.converged, il.completed, il.err = il.pop.RunLoop(ctx, hooks)
+}
+
+// immigrate drains the incoming link into the migrant pool and
+// returns the pool. Called by the island's own loop before every
+// generation; never blocks.
+func (il *isle) immigrate() []*core.Haplotype {
+	for {
+		select {
+		case h := <-il.inbox:
+			il.received++
+			if len(il.pool) < il.poolMax {
+				il.pool = append(il.pool, h)
+			} else {
+				il.pool[il.poolNext] = h
+				il.poolNext = (il.poolNext + 1) % len(il.pool)
+			}
+		default:
+			return il.pool
+		}
+	}
+}
+
+// emigrate ships the island's elites onto its outgoing link every
+// interval of its own generations. Sends never block: a full link
+// conflates, dropping the oldest queued migrant so a slow neighbor
+// only ever lags, never stalls this island.
+func (il *isle) emigrate(generation int) {
+	if il.interval <= 0 || generation%il.interval != 0 {
+		return
+	}
+	for _, h := range il.pop.Elites(il.count) {
+		for {
+			select {
+			case il.out <- h:
+				il.sent++
+			default:
+				select {
+				case <-il.out:
+					il.dropped++
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// merge assembles the run's Result. A single island's Result is its
+// population's snapshot verbatim — the synchronous Result, fulfilling
+// the bit-identical contract. Multiple islands union their per-size
+// bests (sizes are partitioned, so the union is disjoint), sum their
+// cost counters, report the maximum local generation count, declare
+// convergence only when every island converged, average the final
+// adaptive rates element-wise, and attach per-island statistics.
+func (m *Model) merge() *core.Result {
+	snaps := make([]*core.Result, len(m.isles))
+	for i, il := range m.isles {
+		snaps[i] = il.pop.Snapshot(il.converged, il.completed)
+	}
+	if len(snaps) == 1 {
+		return snaps[0]
+	}
+	merged := &core.Result{
+		BestBySize:  make(map[int]*core.Haplotype),
+		EvalsAtBest: make(map[int]int64),
+		Converged:   true,
+	}
+	var mutSum, xovSum []float64
+	for i, snap := range snaps {
+		il := m.isles[i]
+		for s, h := range snap.BestBySize {
+			merged.BestBySize[s] = h
+			merged.EvalsAtBest[s] = snap.EvalsAtBest[s]
+		}
+		merged.TotalEvaluations += snap.TotalEvaluations
+		merged.Immigrants += snap.Immigrants
+		if snap.Generations > merged.Generations {
+			merged.Generations = snap.Generations
+		}
+		merged.Converged = merged.Converged && snap.Converged
+		mutSum = accumulate(mutSum, snap.MutationRates)
+		xovSum = accumulate(xovSum, snap.CrossoverRates)
+		merged.Islands = append(merged.Islands, core.IslandStat{
+			Island:         il.index + 1,
+			Sizes:          il.pop.Sizes(),
+			Generations:    snap.Generations,
+			Evaluations:    snap.TotalEvaluations,
+			Converged:      snap.Converged,
+			Immigrants:     snap.Immigrants,
+			Sent:           il.sent,
+			Received:       il.received,
+			Dropped:        il.dropped,
+			MutationRates:  snap.MutationRates,
+			CrossoverRates: snap.CrossoverRates,
+		})
+	}
+	merged.MutationRates = meanRates(mutSum, len(snaps))
+	merged.CrossoverRates = meanRates(xovSum, len(snaps))
+	return merged
+}
+
+// mergeErr folds the islands' terminal errors into one, with the same
+// vocabulary as the synchronous GA: a dead backend outranks a
+// cancellation (starved islands are not a real convergence), a
+// cancellation outranks a clean finish, and islands that all ended
+// naturally report no error even if a cancellation landed just after.
+func (m *Model) mergeErr() error {
+	var ctxErr error
+	for _, il := range m.isles {
+		if il.err == nil {
+			continue
+		}
+		if errors.Is(il.err, fitness.ErrEvaluatorClosed) {
+			return il.err
+		}
+		if ctxErr == nil {
+			ctxErr = il.err
+		}
+	}
+	return ctxErr
+}
+
+// accumulate element-wise adds rates into sum, growing sum as needed.
+func accumulate(sum, rates []float64) []float64 {
+	if len(rates) > len(sum) {
+		grown := make([]float64, len(rates))
+		copy(grown, sum)
+		sum = grown
+	}
+	for i, r := range rates {
+		sum[i] += r
+	}
+	return sum
+}
+
+// meanRates divides an element-wise sum by the island count.
+func meanRates(sum []float64, n int) []float64 {
+	out := make([]float64, len(sum))
+	for i, s := range sum {
+		out[i] = s / float64(n)
+	}
+	return out
+}

@@ -1,0 +1,330 @@
+package island
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fitness"
+)
+
+// hashEval is a deterministic synthetic fitness: fast, dataset-free,
+// with enough spread that subpopulations keep evolving.
+func hashEval() fitness.Evaluator {
+	return fitness.Func(func(sites []int) (float64, error) {
+		h := uint64(0)
+		for _, s := range sites {
+			h = h*31 + uint64(s)*2654435761
+		}
+		return float64(h % 10007), nil
+	})
+}
+
+func testConfig(seed uint64) core.Config {
+	return core.Config{
+		MinSize: 2, MaxSize: 4,
+		PopulationSize:      45,
+		PairsPerGeneration:  12,
+		StagnationLimit:     15,
+		ImmigrantStagnation: 5,
+		MaxGenerations:      300,
+		Seed:                seed,
+	}
+}
+
+const testSNPs = 24
+
+// A single island must reproduce the synchronous GA bit for bit:
+// same Result, same trace stream.
+func TestSingleIslandMatchesSync(t *testing.T) {
+	cfg := testConfig(7)
+	var syncTrace, islandTrace []core.TraceEntry
+
+	syncCfg := cfg
+	syncCfg.OnGeneration = func(e core.TraceEntry) { syncTrace = append(syncTrace, e) }
+	ga, err := core.New(hashEval(), testSNPs, syncCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ga.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	islCfg := cfg
+	islCfg.OnGeneration = func(e core.TraceEntry) { islandTrace = append(islandTrace, e) }
+	m, err := New(hashEval(), testSNPs, islCfg, Config{Islands: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("islands=1 result differs from synchronous run:\nsync:   %+v\nisland: %+v", want, got)
+	}
+	if !reflect.DeepEqual(syncTrace, islandTrace) {
+		t.Errorf("islands=1 trace stream differs from synchronous run (lens %d vs %d)", len(syncTrace), len(islandTrace))
+	}
+	if got.Islands != nil {
+		t.Errorf("single-island result must not carry per-island stats, got %+v", got.Islands)
+	}
+}
+
+// With migration never firing, a seeded multi-island run is fully
+// deterministic: two identical runs produce identical results.
+func TestIsolatedIslandsDeterministic(t *testing.T) {
+	cfg := testConfig(11)
+	run := func() *core.Result {
+		m, err := New(hashEval(), testSNPs, cfg, Config{
+			Islands:           3,
+			MigrationInterval: cfg.MaxGenerations + 1, // never fires
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.RunContext(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("isolated seeded islands are not deterministic:\na: %+v\nb: %+v", a, b)
+	}
+	if len(a.Islands) != 3 {
+		t.Fatalf("want 3 island stats, got %d", len(a.Islands))
+	}
+	for _, st := range a.Islands {
+		if st.Sent != 0 || st.Received != 0 || st.Dropped != 0 {
+			t.Errorf("island %d migrated despite an out-of-range interval: %+v", st.Island, st)
+		}
+	}
+}
+
+// Migration over the ring actually happens: elites are sent and
+// drained, every size keeps a best, and per-island stats line up with
+// the partition.
+func TestMigrationRing(t *testing.T) {
+	cfg := testConfig(3)
+	m, err := New(hashEval(), testSNPs, cfg, Config{Islands: 3, MigrationInterval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Islands() != 3 {
+		t.Fatalf("want 3 islands, got %d", m.Islands())
+	}
+	res, err := m.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := cfg.MinSize; s <= cfg.MaxSize; s++ {
+		if res.BestBySize[s] == nil {
+			t.Errorf("no best for size %d", s)
+		}
+	}
+	var sent, received int64
+	seen := map[int]bool{}
+	for _, st := range res.Islands {
+		sent += st.Sent
+		received += st.Received
+		for _, s := range st.Sizes {
+			if seen[s] {
+				t.Errorf("size %d hosted by two islands", s)
+			}
+			seen[s] = true
+		}
+	}
+	if sent == 0 {
+		t.Error("no migrants were ever sent")
+	}
+	if received == 0 {
+		t.Error("no migrants were ever received")
+	}
+	if res.TotalEvaluations == 0 || res.Generations == 0 {
+		t.Errorf("empty merged counters: %+v", res)
+	}
+}
+
+// A deliberately slow island must not stall a fast one: the fast
+// island keeps emitting, the full link conflates (drops count up),
+// and the run still terminates with results from both islands.
+func TestConflationUnderSlowIsland(t *testing.T) {
+	cfg := testConfig(5)
+	cfg.MinSize, cfg.MaxSize = 2, 3
+	cfg.PopulationSize = 30
+	cfg.PairsPerGeneration = 8
+	cfg.StagnationLimit = 40
+	cfg.MaxGenerations = 60
+
+	// Size-3 evaluations sleep: the island hosting size 3 crawls while
+	// the size-2 island sprints and floods the ring link.
+	slow := fitness.Func(func(sites []int) (float64, error) {
+		h := uint64(0)
+		for _, s := range sites {
+			h = h*31 + uint64(s)*2654435761
+		}
+		if len(sites) == 3 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		return float64(h % 10007), nil
+	})
+	m, err := New(slow, testSNPs, cfg, Config{
+		Islands:           2,
+		MigrationInterval: 1,
+		MigrationCount:    2,
+		InboxCapacity:     1, // tiny link: conflation must kick in
+		PoolCapacity:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := m.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if len(res.Islands) != 2 {
+		t.Fatalf("want 2 island stats, got %d", len(res.Islands))
+	}
+	fast := res.Islands[0] // hosts size 2 (ascending contiguous partition)
+	if fast.Dropped == 0 {
+		t.Errorf("fast island never conflated on the full link: %+v", fast)
+	}
+	if res.BestBySize[2] == nil || res.BestBySize[3] == nil {
+		t.Errorf("missing bests: %+v", res.BestBySize)
+	}
+	// Conflation is the no-stall mechanism under test: the fast
+	// island kept emitting onto the tiny full link and dropped stale
+	// migrants instead of blocking on the crawling receiver. (The
+	// generation counts themselves are not ordered — island pace
+	// depends on scheduling and per-size evaluation cost.)
+	if fast.Sent == 0 {
+		t.Errorf("fast island never emigrated: %+v", fast)
+	}
+	t.Logf("slow-island run: %s, fast dropped %d of %d sent", elapsed, fast.Dropped, fast.Sent)
+}
+
+// Cancellation mid-run returns each island's partial best-so-far and
+// the context's error.
+func TestCancellationReturnsPartialPerIsland(t *testing.T) {
+	cfg := testConfig(9)
+	cfg.StagnationLimit = 10000 // only cancellation stops the run
+	cfg.MaxGenerations = 1000000
+
+	// Cancel once every island has completed a few generations, so
+	// migration is in full swing when the stop lands.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	gens := map[int]int{}
+	cfg.OnGeneration = func(e core.TraceEntry) {
+		mu.Lock()
+		defer mu.Unlock()
+		gens[e.Island] = e.Generation
+		if len(gens) == 3 {
+			done := true
+			for _, g := range gens {
+				if g < 3 {
+					done = false
+				}
+			}
+			if done {
+				cancel()
+			}
+		}
+	}
+
+	m, err := New(hashEval(), testSNPs, cfg, Config{Islands: 3, MigrationInterval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run must return the partial result")
+	}
+	if len(res.Islands) != 3 {
+		t.Fatalf("want 3 island stats, got %d", len(res.Islands))
+	}
+	for _, st := range res.Islands {
+		if st.Converged {
+			t.Errorf("island %d claims convergence on a cancelled run", st.Island)
+		}
+		for _, s := range st.Sizes {
+			if res.BestBySize[s] == nil {
+				t.Errorf("island %d lost its best for size %d on cancellation", st.Island, s)
+			}
+		}
+	}
+}
+
+// Island count is clamped to one island per hosted size.
+func TestIslandClamp(t *testing.T) {
+	m, err := New(hashEval(), testSNPs, testConfig(1), Config{Islands: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Islands() != 3 { // sizes 2..4
+		t.Errorf("want clamp to 3 islands, got %d", m.Islands())
+	}
+	if _, err := New(hashEval(), testSNPs, testConfig(1), Config{Islands: 0}); err == nil {
+		t.Error("Islands=0 must be rejected")
+	}
+}
+
+// A model, like a GA, runs once.
+func TestModelRunsOnce(t *testing.T) {
+	m, err := New(hashEval(), testSNPs, testConfig(2), Config{Islands: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunContext(context.Background()); err == nil {
+		t.Error("second RunContext must fail")
+	}
+}
+
+// Multi-island trace entries are stamped with their island number and
+// cover only the island's hosted sizes.
+func TestTraceStamping(t *testing.T) {
+	cfg := testConfig(4)
+	var mu sync.Mutex
+	bySizeCount := map[int]int{}
+	islandsSeen := map[int]bool{}
+	cfg.OnGeneration = func(e core.TraceEntry) {
+		mu.Lock()
+		defer mu.Unlock()
+		islandsSeen[e.Island] = true
+		bySizeCount[len(e.BestBySize)]++
+	}
+	m, err := New(hashEval(), testSNPs, cfg, Config{Islands: 3, MigrationInterval: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i <= 3; i++ {
+		if !islandsSeen[i] {
+			t.Errorf("no trace entry from island %d", i)
+		}
+	}
+	if islandsSeen[0] {
+		t.Error("multi-island run emitted an unstamped trace entry")
+	}
+}

@@ -1,0 +1,149 @@
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro"
+)
+
+// Facade-level island-mode coverage: option plumbing, the islands=1
+// parity guarantee through Session.Run, and Job progress/report
+// merging for multi-island runs.
+
+func islandTestSession(t *testing.T, opts ...repro.Option) *repro.Session {
+	t.Helper()
+	d, err := repro.Paper51Dataset(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := repro.NewSession(d, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func quickIslandCfg(seed uint64) repro.GAConfig {
+	return repro.GAConfig{
+		PopulationSize:      60,
+		PairsPerGeneration:  15,
+		StagnationLimit:     10,
+		ImmigrantStagnation: 4,
+		MaxGenerations:      200,
+		Seed:                seed,
+	}
+}
+
+func TestIslandOptionValidation(t *testing.T) {
+	d, err := repro.Paper51Dataset(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.NewSession(d, repro.WithIslands(-1)); !errors.Is(err, repro.ErrBadConfig) {
+		t.Errorf("WithIslands(-1): want ErrBadConfig, got %v", err)
+	}
+	if _, err := repro.NewSession(d, repro.WithMigration(5, 1)); !errors.Is(err, repro.ErrBadConfig) {
+		t.Errorf("WithMigration without WithIslands: want ErrBadConfig, got %v", err)
+	}
+	if _, err := repro.NewSession(d, repro.WithIslands(2), repro.WithMigration(-1, 1)); !errors.Is(err, repro.ErrBadConfig) {
+		t.Errorf("negative migration interval: want ErrBadConfig, got %v", err)
+	}
+	s := islandTestSession(t)
+	if _, err := s.Run(context.Background(), repro.WithMigration(5, 1)); !errors.Is(err, repro.ErrBadConfig) {
+		t.Errorf("run-level WithMigration without islands: want ErrBadConfig, got %v", err)
+	}
+}
+
+// The facade's islands=1 path must be bit-identical to the
+// synchronous engine, per the island determinism contract.
+func TestSessionIslandsOneMatchesSync(t *testing.T) {
+	s := islandTestSession(t)
+	cfg := quickIslandCfg(23)
+	want, err := s.Run(context.Background(), repro.WithGAConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Run(context.Background(), repro.WithGAConfig(cfg), repro.WithIslands(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("islands=1 differs from sync:\nsync:   %+v\nisland: %+v", want, got)
+	}
+}
+
+// A run-level WithIslands(0) overrides a session-level island default
+// back to the synchronous engine.
+func TestRunLevelIslandOverride(t *testing.T) {
+	s := islandTestSession(t, repro.WithIslands(3), repro.WithMigration(2, 1))
+	cfg := quickIslandCfg(31)
+	res, err := s.Run(context.Background(), repro.WithGAConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Islands) != 3 {
+		t.Fatalf("session island default ignored: got %d island stats", len(res.Islands))
+	}
+	res, err = s.Run(context.Background(), repro.WithGAConfig(cfg), repro.WithIslands(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Islands != nil {
+		t.Errorf("WithIslands(0) run still produced island stats: %+v", res.Islands)
+	}
+}
+
+// Multi-island jobs stream stamped entries and Report merges them.
+func TestJobIslandProgressMerging(t *testing.T) {
+	s := islandTestSession(t)
+	job, err := s.Start(context.Background(),
+		repro.WithGAConfig(quickIslandCfg(41)),
+		repro.WithIslands(3), repro.WithMigration(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	islandsSeen := map[int]bool{}
+	for e := range job.Progress() {
+		islandsSeen[e.Island] = true
+	}
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if islandsSeen[0] {
+		t.Error("island job leaked an unstamped trace entry")
+	}
+	if len(islandsSeen) == 0 {
+		t.Fatal("no progress entries at all")
+	}
+	rep := job.Report()
+	if rep.Running {
+		t.Error("drained job still reports running")
+	}
+	if rep.Generation == 0 || rep.Evaluations == 0 {
+		t.Errorf("merged report has empty counters: %+v", rep)
+	}
+	if len(rep.Islands) == 0 {
+		t.Error("island job report carries no per-island entries")
+	}
+	for i := 1; i < len(rep.Islands); i++ {
+		if rep.Islands[i].Island <= rep.Islands[i-1].Island {
+			t.Errorf("per-island report entries not ordered: %+v", rep.Islands)
+		}
+	}
+	// The merged best map must cover every size some island reported.
+	for _, e := range rep.Islands {
+		for size := range e.BestBySize {
+			if _, ok := rep.BestBySize[size]; !ok {
+				t.Errorf("merged BestBySize missing size %d", size)
+			}
+		}
+	}
+	if len(res.Islands) != 3 {
+		t.Errorf("want 3 island stats in result, got %d", len(res.Islands))
+	}
+}

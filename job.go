@@ -3,6 +3,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -20,8 +21,11 @@ type Job struct {
 	done     chan struct{}
 	started  time.Time
 
-	mu     sync.Mutex // guards the fields below
-	latest TraceEntry
+	mu sync.Mutex // guards the fields below
+	// latest holds the most recent trace entry per island, keyed by
+	// TraceEntry.Island (a synchronous run uses the single key 0).
+	// Report merges them into one snapshot.
+	latest map[int]TraceEntry
 	traced bool
 	result *GAResult
 	err    error
@@ -110,7 +114,10 @@ func (s *Session) releaseJob() {
 // the oldest entry is dropped to make room.
 func (j *Job) publish(e TraceEntry) {
 	j.mu.Lock()
-	j.latest = e
+	if j.latest == nil {
+		j.latest = make(map[int]TraceEntry)
+	}
+	j.latest[e.Island] = e
 	j.traced = true
 	j.mu.Unlock()
 	for {
@@ -129,7 +136,10 @@ func (j *Job) publish(e TraceEntry) {
 // Progress returns the per-generation progress stream. The channel is
 // closed when the run finishes (after which Wait returns immediately).
 // Entries are conflated, never blocking: a slow consumer misses old
-// generations, not new ones.
+// generations, not new ones. For an island-model run the stream
+// interleaves every island's entries — each stamped with
+// TraceEntry.Island and carrying only that island's sizes and local
+// counters; Report merges them into one snapshot.
 func (j *Job) Progress() <-chan TraceEntry { return j.progress }
 
 // Done returns a channel closed when the run has finished and its
@@ -165,17 +175,28 @@ func (j *Job) Stop() (*GAResult, error) {
 type JobReport struct {
 	// Running is false once the result is available.
 	Running bool `json:"running"`
-	// Generation, Evaluations, BestBySize, Stagnation mirror the
-	// latest TraceEntry; they are zero before the first generation
-	// completes.
-	Generation  int             `json:"generation"`
-	Evaluations int64           `json:"evaluations"`
-	BestBySize  map[int]float64 `json:"best_by_size"`
-	Stagnation  int             `json:"stagnation"`
+	// Generation is the latest completed generation (zero before the
+	// first completes). An island-model run reports the furthest
+	// island's local count.
+	Generation int `json:"generation"`
+	// Evaluations is the run's evaluation count so far; for an
+	// island-model run, the sum of the islands' local counts.
+	Evaluations int64 `json:"evaluations"`
+	// BestBySize maps haplotype size to the best fitness found so
+	// far, unioned across islands in an island-model run.
+	BestBySize map[int]float64 `json:"best_by_size"`
+	// Stagnation is the number of generations since the last
+	// improvement; an island-model run reports the minimum across
+	// islands (the most active island's view).
+	Stagnation int `json:"stagnation"`
 	// Elapsed is the wall-clock time since Start.
 	Elapsed time.Duration `json:"elapsed_ns"`
 	// Engine carries the backend counters, nil when untracked.
 	Engine *EngineReport `json:"engine,omitempty"`
+	// Islands carries each island's latest trace entry (ordered by
+	// island number) for an island-model run; nil for synchronous
+	// runs.
+	Islands []TraceEntry `json:"islands,omitempty"`
 }
 
 // Report snapshots the job's live state. It is safe to call at any
@@ -189,12 +210,31 @@ func (j *Job) Report() JobReport {
 	}
 	j.mu.Lock()
 	if j.traced {
-		rep.Generation = j.latest.Generation
-		rep.Evaluations = j.latest.Evaluations
-		rep.Stagnation = j.latest.Stagnation
-		rep.BestBySize = make(map[int]float64, len(j.latest.BestBySize))
-		for s, v := range j.latest.BestBySize {
-			rep.BestBySize[s] = v
+		rep.BestBySize = make(map[int]float64)
+		first := true
+		islands := make([]int, 0, len(j.latest))
+		for isl, e := range j.latest {
+			islands = append(islands, isl)
+			if e.Generation > rep.Generation {
+				rep.Generation = e.Generation
+			}
+			rep.Evaluations += e.Evaluations
+			if first || e.Stagnation < rep.Stagnation {
+				rep.Stagnation = e.Stagnation
+			}
+			first = false
+			for s, v := range e.BestBySize {
+				if cur, ok := rep.BestBySize[s]; !ok || v > cur {
+					rep.BestBySize[s] = v
+				}
+			}
+		}
+		sort.Ints(islands)
+		if islands[0] != 0 { // island-model run: attach per-island entries
+			rep.Islands = make([]TraceEntry, 0, len(islands))
+			for _, isl := range islands {
+				rep.Islands = append(rep.Islands, j.latest[isl])
+			}
 		}
 	}
 	j.mu.Unlock()

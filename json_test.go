@@ -40,6 +40,14 @@ func TestGAResultJSONRoundTrip(t *testing.T) {
 		MutationRates:    []float64{0.42, 0.23, 0.25},
 		CrossoverRates:   []float64{0.61, 0.19},
 		Immigrants:       12,
+		Islands: []repro.IslandStat{
+			{Island: 1, Sizes: []int{2}, Generations: 40, Evaluations: 4100,
+				Converged: true, Immigrants: 7, Sent: 8, Received: 6, Dropped: 2,
+				MutationRates: []float64{0.4, 0.2, 0.3}, CrossoverRates: []float64{0.5, 0.3}},
+			{Island: 2, Sizes: []int{3}, Generations: 44, Evaluations: 4565,
+				Converged: true, Immigrants: 5, Sent: 9, Received: 8, Dropped: 0,
+				MutationRates: []float64{0.5, 0.2, 0.2}, CrossoverRates: []float64{0.6, 0.2}},
+		},
 	}
 	if got := roundTrip(t, in); !reflect.DeepEqual(in, got) {
 		t.Errorf("round trip mismatch:\n in: %+v\ngot: %+v", in, got)
@@ -55,6 +63,7 @@ func TestTraceEntryJSONRoundTrip(t *testing.T) {
 		CrossoverRates: []float64{0.61, 0.19},
 		Stagnation:     6,
 		Immigrants:     3,
+		Island:         2,
 	}
 	if got := roundTrip(t, in); !reflect.DeepEqual(in, got) {
 		t.Errorf("round trip mismatch:\n in: %+v\ngot: %+v", in, got)
@@ -78,6 +87,10 @@ func TestJobReportJSONRoundTrip(t *testing.T) {
 			Workers:      2,
 			PerWorker:    []int64{1914, 1914},
 			Uptime:       2 * time.Second,
+		},
+		Islands: []repro.TraceEntry{
+			{Generation: 9, Evaluations: 1000, BestBySize: map[int]float64{2: 40.25}, Island: 1},
+			{Generation: 7, Evaluations: 771, BestBySize: map[int]float64{3: 61.5}, Island: 2},
 		},
 	}
 	if got := roundTrip(t, in); !reflect.DeepEqual(in, got) {
@@ -153,6 +166,13 @@ func TestWireFieldNamesStable(t *testing.T) {
 			"requests", "computed", "cache_hits", "coalesced",
 			"cache_entries", "workers", "per_worker", "uptime_ns"}},
 		{"Haplotype", repro.Haplotype{}, []string{"sites", "fitness", "evaluated"}},
+		// TraceEntry.Island, GAResult.Islands and JobReport.Islands are
+		// omitempty: absent from synchronous payloads (checked above),
+		// present for island-model runs (pinned here).
+		{"IslandStat", repro.IslandStat{}, []string{
+			"island", "sizes", "generations", "evaluations", "converged",
+			"immigrants", "sent", "received", "dropped",
+			"mutation_rates", "crossover_rates"}},
 	}
 	for _, c := range cases {
 		got := keysOf(c.v)

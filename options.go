@@ -34,6 +34,11 @@ type settings struct {
 	gaSet       bool
 	trace       func(TraceEntry)
 	traceSet    bool
+	islands     int
+	islandsSet  bool
+	migInterval int
+	migCount    int
+	migSet      bool
 }
 
 func (s *settings) apply(opts []Option) error {
@@ -148,8 +153,63 @@ func WithGAConfig(cfg GAConfig) Option {
 	}
 }
 
+// WithIslands selects the asynchronous island-model engine for the
+// run: the per-size subpopulations are partitioned across n islands,
+// each evolving in its own goroutine with its own generation loop and
+// exchanging elites over bounded non-blocking channels in a ring (see
+// WithMigration). The islands share the session's evaluation backend
+// — and its memoizing cache — so every worker stays busy with no
+// global generation barrier.
+//
+// n = 0 (the default) keeps the synchronous paper-fidelity engine.
+// n = 1 runs the island machinery degenerately and is guaranteed
+// bit-identical to the synchronous run for the same GAConfig. Values
+// beyond the number of haplotype sizes are clamped to one island per
+// size. Accepted at session level (default for every run) and at run
+// level (override for that run; WithIslands(0) switches a run back to
+// the synchronous engine).
+//
+// In island mode, TraceEntry streams carry one entry per island per
+// local generation, stamped with TraceEntry.Island, and the GAResult
+// of a multi-island run carries per-island statistics in
+// GAResult.Islands. Multi-island trajectories are deterministic only
+// up to migration timing; see the internal/island package
+// documentation for the full determinism contract.
+func WithIslands(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("%w: negative island count %d", ErrBadConfig, n)
+		}
+		s.islands = n
+		s.islandsSet = true
+		return nil
+	}
+}
+
+// WithMigration tunes the island model's elite exchange: every
+// interval of its own generations an island ships the best count
+// members of each subpopulation it hosts to the next island in the
+// ring. Zero values keep the defaults (interval 10, count 1);
+// negative values are rejected. The option only configures runs that
+// also select islands — a run that resolves to WithMigration without
+// WithIslands(n >= 1) fails with ErrBadConfig. Accepted at session
+// and run level, like WithIslands.
+func WithMigration(interval, count int) Option {
+	return func(s *settings) error {
+		if interval < 0 || count < 0 {
+			return fmt.Errorf("%w: negative migration parameter (interval %d, count %d)", ErrBadConfig, interval, count)
+		}
+		s.migInterval = interval
+		s.migCount = count
+		s.migSet = true
+		return nil
+	}
+}
+
 // WithTrace registers a per-generation observer, called synchronously
-// from the GA loop after every generation. For streamed, non-blocking
+// from the GA loop after every generation (in island mode, from each
+// island's loop, serialized so entries never interleave mid-call and
+// stamped with TraceEntry.Island). For streamed, non-blocking
 // consumption prefer Session.Start and the Job's Progress channel; a
 // trace function is the right tool for cheap inline bookkeeping (and
 // is what the deprecated GAConfig.OnGeneration callback maps to). A

@@ -33,8 +33,20 @@
 //
 // Runs honor ctx end to end: cancellation or a deadline stops the GA
 // within one generation and returns the partial result together with
-// an error wrapping ErrCanceled. For a background run with streaming
-// progress, use Session.Start and the returned Job:
+// an error wrapping ErrCanceled.
+//
+// Two GA engines share one set of operators: the synchronous
+// paper-fidelity engine (the default; bit-reproducible under every
+// backend for a fixed seed) and an asynchronous island model
+// (WithIslands, tuned by WithMigration) that partitions the per-size
+// subpopulations across concurrently evolving islands exchanging
+// elites over conflating channels — no generation barrier, local
+// convergence per island, per-island statistics in GAResult.Islands.
+// WithIslands(1) is guaranteed bit-identical to the synchronous
+// engine; see internal/island for the full determinism contract.
+//
+// For a background run with streaming progress, use Session.Start
+// and the returned Job:
 //
 //	job, _ := session.Start(ctx)
 //	for entry := range job.Progress() {
@@ -92,8 +104,13 @@ type (
 	GAResult = core.Result
 	// Haplotype is one GA individual (a SNP association).
 	Haplotype = core.Haplotype
-	// TraceEntry is a per-generation snapshot.
+	// TraceEntry is a per-generation snapshot. In island mode (see
+	// WithIslands) each entry describes one island's local generation
+	// and is stamped with TraceEntry.Island.
 	TraceEntry = core.TraceEntry
+	// IslandStat is one island's share of a multi-island GAResult:
+	// hosted sizes, local counters, and migration traffic.
+	IslandStat = core.IslandStat
 )
 
 // Statistic selects the CLUMP statistic used as fitness.

@@ -66,12 +66,21 @@ type DatasetRequest struct {
 // offender. The test runs on the unaffected group when the dataset
 // has one (the case/control convention), otherwise on everyone.
 type HWESummary struct {
-	Group   string  `json:"group"` // "unaffected" or "all"
-	Alpha   float64 `json:"alpha"`
-	Tested  int     `json:"tested"`
-	Failing int     `json:"failing"`
-	MinP    float64 `json:"min_p"`
-	MinPSNP string  `json:"min_p_snp,omitempty"`
+	// Group is the individuals the test ran on: "unaffected" or
+	// "all".
+	Group string `json:"group"`
+	// Alpha is the significance threshold counted against (0.05).
+	Alpha float64 `json:"alpha"`
+	// Tested is the number of markers with enough typed genotypes to
+	// test.
+	Tested int `json:"tested"`
+	// Failing is the number of tested markers with p < Alpha.
+	Failing int `json:"failing"`
+	// MinP is the smallest p-value observed.
+	MinP float64 `json:"min_p"`
+	// MinPSNP names the marker carrying MinP (empty when nothing was
+	// testable).
+	MinPSNP string `json:"min_p_snp,omitempty"`
 }
 
 // DatasetInfo describes a registered dataset. ID is derived from the
@@ -79,17 +88,28 @@ type HWESummary struct {
 // identical content twice yields the same id — and shares the same
 // memoized fitness cache.
 type DatasetInfo struct {
-	ID             string     `json:"id"`
-	NumSNPs        int        `json:"num_snps"`
-	NumIndividuals int        `json:"num_individuals"`
-	Affected       int        `json:"affected"`
-	Unaffected     int        `json:"unaffected"`
-	Unknown        int        `json:"unknown"`
-	HWE            HWESummary `json:"hwe"`
+	// ID is the fingerprint-derived dataset id ("ds-" + 16 hex
+	// digits), usable in every dataset_id field.
+	ID string `json:"id"`
+	// NumSNPs is the marker count.
+	NumSNPs int `json:"num_snps"`
+	// NumIndividuals is the row count.
+	NumIndividuals int `json:"num_individuals"`
+	// Affected counts case individuals.
+	Affected int `json:"affected"`
+	// Unaffected counts control individuals.
+	Unaffected int `json:"unaffected"`
+	// Unknown counts individuals of unknown status.
+	Unknown int `json:"unknown"`
+	// HWE is the per-SNP Hardy-Weinberg QC summary computed at
+	// upload.
+	HWE HWESummary `json:"hwe"`
 }
 
 // SessionRequest is the body of POST /v1/sessions.
 type SessionRequest struct {
+	// DatasetID is the fingerprint-derived id of a registered
+	// dataset.
 	DatasetID string `json:"dataset_id"`
 	// Backend is "native" (default), "pool" or "pvm".
 	Backend string `json:"backend,omitempty"`
@@ -101,10 +121,16 @@ type SessionRequest struct {
 
 // SessionInfo describes a live session.
 type SessionInfo struct {
-	ID        string `json:"id"`
+	// ID is the session id ("s-" + sequence number).
+	ID string `json:"id"`
+	// DatasetID names the dataset the session studies.
 	DatasetID string `json:"dataset_id"`
-	Backend   string `json:"backend"`
-	Workers   int    `json:"workers"`
+	// Backend is the evaluation backend name ("native", "pool",
+	// "pvm").
+	Backend string `json:"backend"`
+	// Workers is the actual evaluation pool size.
+	Workers int `json:"workers"`
+	// Statistic is the CLUMP fitness name ("T1".."T4").
 	Statistic string `json:"statistic"`
 	// MaxJobs is the per-session concurrent job cap; Start beyond it
 	// returns 429.
@@ -117,7 +143,28 @@ type SessionInfo struct {
 // fields take the paper's §5.2.1 defaults; the function-valued Config
 // fields do not exist on the wire.
 type JobRequest struct {
+	// Config is the GA configuration; its json field names are the
+	// repro.GAConfig wire tags.
 	Config repro.GAConfig `json:"config"`
+	// Islands, when at least 1, runs the job on the asynchronous
+	// island-model engine with that many islands (repro.WithIslands):
+	// the per-size subpopulations are partitioned across islands that
+	// evolve concurrently and exchange elites over a conflating
+	// migration ring. 0 (the default) keeps the synchronous engine.
+	// Counts beyond the number of haplotype sizes are clamped. An
+	// island job's SSE stream interleaves per-island entries (see
+	// EventGeneration) and its report/result carry per-island
+	// breakdowns (repro.JobReport.Islands, repro.GAResult.Islands).
+	Islands int `json:"islands,omitempty"`
+	// MigrationInterval and MigrationCount tune the island ring
+	// (repro.WithMigration): every MigrationInterval of its own
+	// generations an island ships its best MigrationCount members per
+	// hosted subpopulation to the next island. Zero values take the
+	// defaults (10 and 1); setting either without Islands >= 1 is a
+	// bad_request.
+	MigrationInterval int `json:"migration_interval,omitempty"`
+	// MigrationCount is documented with MigrationInterval above.
+	MigrationCount int `json:"migration_count,omitempty"`
 }
 
 // Job states reported by JobInfo.State.
@@ -131,9 +178,12 @@ const (
 // JobInfo is the job status document of GET /v1/jobs/{id}: the live
 // report while running, plus the result once the run has ended.
 type JobInfo struct {
-	ID        string `json:"id"`
+	// ID is the job id ("j-" + sequence number).
+	ID string `json:"id"`
+	// SessionID names the session the job runs on.
 	SessionID string `json:"session_id"`
-	State     string `json:"state"`
+	// State is one of JobRunning, JobDone, JobCanceled, JobFailed.
+	State string `json:"state"`
 	// Report is the live snapshot (Job.Report): latest generation,
 	// best-so-far, elapsed time, engine counters.
 	Report repro.JobReport `json:"report"`
@@ -151,19 +201,44 @@ type JobInfo struct {
 // counters aggregate over every session on the same study — cache
 // hits from one user's run accelerate the next user's.
 type SessionStats struct {
-	SessionID  string              `json:"session_id"`
-	Engine     *repro.EngineReport `json:"engine"`
-	HitRate    float64             `json:"hit_rate"`
-	Throughput float64             `json:"throughput"`
+	// SessionID names the session the stats were requested for.
+	SessionID string `json:"session_id"`
+	// Engine carries the shared backend's cumulative counters (null
+	// for untracked backends).
+	Engine *repro.EngineReport `json:"engine"`
+	// HitRate is the cache hit fraction of all requests, derived
+	// from Engine (0 when Engine is null).
+	HitRate float64 `json:"hit_rate"`
+	// Throughput is the computed evaluations per second, derived
+	// from Engine (0 when Engine is null).
+	Throughput float64 `json:"throughput"`
 }
 
 // SSE event names on GET /v1/jobs/{id}/events.
+//
+// Every subscriber owns an independent buffered channel fed by the
+// job's single progress pump; when a subscriber's buffer fills, its
+// oldest entry is dropped to make room (per-subscriber conflation).
+// A slow client therefore misses old generations — never new ones —
+// and can never block the GA, the pump, or any other subscriber.
+//
+// The stream carries the same drain-to-close guarantee as
+// repro.Job.Progress: the server closes a subscriber only after the
+// run has finished and its result is available, so the terminating
+// EventDone always reports a finished job — State is never "running",
+// and Result is set (final for "done", partial for "canceled"). A
+// client that reads to the end of the stream needs no follow-up GET
+// to observe the outcome.
 const (
-	// EventGeneration carries one repro.TraceEntry. The stream is
-	// conflated exactly like Job.Progress: a slow client misses old
-	// generations, never blocks the GA or other clients.
+	// EventGeneration carries one repro.TraceEntry. For an
+	// island-model job (JobRequest.Islands >= 1) the stream
+	// interleaves every island's entries; each is stamped with its
+	// island number and covers only the sizes that island hosts, and
+	// ordering is guaranteed only within one island's entries.
 	EventGeneration = "generation"
-	// EventDone carries the final JobInfo and ends the stream.
+	// EventDone carries the final JobInfo and ends the stream; per
+	// the drain-to-close guarantee above it always reports a
+	// finished state.
 	EventDone = "done"
 )
 
@@ -176,13 +251,16 @@ type Event struct {
 
 // ErrorBody is the JSON error envelope every non-2xx response uses.
 type ErrorBody struct {
+	// Error carries the code and message.
 	Error ErrorDetail `json:"error"`
 }
 
-// ErrorDetail is the code + message payload of ErrorBody. Code is a
-// stable machine-readable string; Message is human-readable detail.
+// ErrorDetail is the code + message payload of ErrorBody.
 type ErrorDetail struct {
-	Code    string `json:"code"`
+	// Code is a stable machine-readable string (one of the Code*
+	// constants below).
+	Code string `json:"code"`
+	// Message is human-readable detail; its text is not a contract.
 	Message string `json:"message"`
 }
 

@@ -37,8 +37,12 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 // APIError is a non-2xx response: the HTTP status plus the server's
 // stable error code and message.
 type APIError struct {
-	Status  int
-	Code    string
+	// Status is the HTTP status code of the response.
+	Status int
+	// Code is the stable machine-readable error code (the Code*
+	// constants).
+	Code string
+	// Message is the server's human-readable detail.
 	Message string
 }
 

@@ -313,9 +313,19 @@ func (r *Registry) StartJob(sessionID string, req JobRequest) (JobInfo, error) {
 	r.mu.Unlock()
 
 	// Start outside the registry lock: it validates the config and
-	// may briefly contend on the session's own lock.
+	// may briefly contend on the session's own lock. Island options
+	// ride along when requested; their validation errors (negative
+	// counts, migration without islands) surface here as ErrBadConfig
+	// → HTTP 400.
+	opts := []repro.Option{repro.WithGAConfig(req.Config)}
+	if req.Islands != 0 {
+		opts = append(opts, repro.WithIslands(req.Islands))
+	}
+	if req.MigrationInterval != 0 || req.MigrationCount != 0 {
+		opts = append(opts, repro.WithMigration(req.MigrationInterval, req.MigrationCount))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	job, err := se.sess.Start(ctx, repro.WithGAConfig(req.Config))
+	job, err := se.sess.Start(ctx, opts...)
 	if err != nil {
 		cancel()
 		return JobInfo{}, err

@@ -165,6 +165,74 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServeIslandJob: a job created with island config runs on the
+// island engine, streams stamped per-island entries (ordered within
+// each island), and returns a result with per-island stats; island
+// misconfiguration maps to bad_request.
+func TestServeIslandJob(t *testing.T) {
+	client, _ := newTestServer(t, serve.RegistryConfig{})
+	ctx := context.Background()
+
+	ds, err := client.CreateDataset(ctx, serve.DatasetRequest{
+		Format: serve.FormatPreset, Preset: 51, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := client.CreateSession(ctx, serve.SessionRequest{DatasetID: ds.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testGAConfig(9) // sizes 2..3: Islands beyond 2 clamp to 2
+	job, err := client.StartJob(ctx, sess.ID, serve.JobRequest{
+		Config: cfg, Islands: 2, MigrationInterval: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastByIsland := map[int]int{}
+	final, err := client.StreamEvents(ctx, job.ID, func(ev serve.Event) error {
+		if ev.Type != serve.EventGeneration {
+			return nil
+		}
+		if ev.Entry.Island == 0 {
+			t.Error("island job streamed an unstamped entry")
+		}
+		if ev.Entry.Generation <= lastByIsland[ev.Entry.Island] {
+			t.Errorf("island %d out of order: %d after %d",
+				ev.Entry.Island, ev.Entry.Generation, lastByIsland[ev.Entry.Island])
+		}
+		lastByIsland[ev.Entry.Island] = ev.Entry.Generation
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final == nil || final.State != serve.JobDone || final.Result == nil {
+		t.Fatalf("island stream ended without a done result: %+v", final)
+	}
+	if len(final.Result.Islands) != 2 {
+		t.Fatalf("want 2 island stats in the served result, got %+v", final.Result.Islands)
+	}
+	for s := cfg.MinSize; s <= cfg.MaxSize; s++ {
+		if final.Result.BestBySize[s] == nil {
+			t.Errorf("served island result misses size %d", s)
+		}
+	}
+
+	// Migration config without islands is a bad request.
+	_, err = client.StartJob(ctx, sess.ID, serve.JobRequest{Config: cfg, MigrationInterval: 5})
+	if !errors.Is(err, repro.ErrBadConfig) {
+		t.Fatalf("migration without islands: want ErrBadConfig, got %v", err)
+	}
+	// So is a negative island count.
+	_, err = client.StartJob(ctx, sess.ID, serve.JobRequest{Config: cfg, Islands: -2})
+	if !errors.Is(err, repro.ErrBadConfig) {
+		t.Fatalf("negative islands: want ErrBadConfig, got %v", err)
+	}
+}
+
 // TestServeErrorMapping: the client maps wire error codes back onto
 // the package sentinels across the HTTP boundary.
 func TestServeErrorMapping(t *testing.T) {

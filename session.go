@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fitness"
+	"repro/internal/island"
 )
 
 // Session is the long-lived handle for studying one dataset: it owns
@@ -31,6 +32,13 @@ type Session struct {
 	gaSet    bool
 	trace    func(TraceEntry)
 	jobLimit int // max concurrent Start jobs; 0 = unbounded
+
+	// Island-mode defaults (WithIslands / WithMigration at session
+	// level); run-level options override them per run.
+	islands     int
+	migInterval int
+	migCount    int
+	migSet      bool
 
 	mu         sync.Mutex
 	closed     bool
@@ -57,14 +65,21 @@ func NewSession(d *Dataset, opts ...Option) (*Session, error) {
 		return nil, fmt.Errorf("%w: WithEvaluator replaces the session backend; WithBackend and WithWorkers do not combine with it", ErrBadConfig)
 	}
 	s := &Session{
-		data:     d,
-		numSNPs:  d.NumSNPs(),
-		stat:     DefaultStatistic,
-		backend:  BackendNative,
-		baseCfg:  st.gaCfg,
-		gaSet:    st.gaSet,
-		trace:    st.trace,
-		jobLimit: st.jobLimit,
+		data:        d,
+		numSNPs:     d.NumSNPs(),
+		stat:        DefaultStatistic,
+		backend:     BackendNative,
+		baseCfg:     st.gaCfg,
+		gaSet:       st.gaSet,
+		trace:       st.trace,
+		jobLimit:    st.jobLimit,
+		islands:     st.islands,
+		migInterval: st.migInterval,
+		migCount:    st.migCount,
+		migSet:      st.migSet,
+	}
+	if st.migSet && st.islands < 1 {
+		return nil, fmt.Errorf("%w: WithMigration requires WithIslands(n >= 1)", ErrBadConfig)
 	}
 	if st.statSet {
 		s.stat = st.stat
@@ -153,10 +168,18 @@ func (s *Session) Close() error {
 	return nil
 }
 
+// runner is one prepared GA run, whichever engine executes it: the
+// synchronous core.GA or an asynchronous island.Model. Both honor the
+// same context semantics and produce the same Result shape.
+type runner interface {
+	RunContext(ctx context.Context) (*core.Result, error)
+}
+
 // prepare merges run-level options over the session defaults and
-// builds the GA for one run. publish, when non-nil, is the Job's
-// progress hook and runs after any user trace.
-func (s *Session) prepare(opts []Option, publish func(TraceEntry)) (*core.GA, error) {
+// builds the engine for one run — the synchronous GA, or the island
+// model when the merged options select islands. publish, when
+// non-nil, is the Job's progress hook and runs after any user trace.
+func (s *Session) prepare(opts []Option, publish func(TraceEntry)) (runner, error) {
 	var st settings
 	if err := st.apply(opts); err != nil {
 		return nil, err
@@ -178,7 +201,33 @@ func (s *Session) prepare(opts []Option, publish func(TraceEntry)) (*core.GA, er
 	if st.traceSet {
 		trace = st.trace
 	}
+	islands := s.islands
+	if st.islandsSet {
+		islands = st.islands
+	}
+	migInterval, migCount := s.migInterval, s.migCount
+	if st.migSet {
+		migInterval, migCount = st.migInterval, st.migCount
+	}
+	// A run-level WithMigration must pair with islands somewhere; a
+	// session-level migration default (validated by NewSession) is
+	// simply inert when the run resolves to the synchronous engine
+	// (for example via a run-level WithIslands(0) override).
+	if st.migSet && islands < 1 {
+		return nil, fmt.Errorf("%w: WithMigration requires WithIslands(n >= 1)", ErrBadConfig)
+	}
 	cfg.OnGeneration = chainTrace(cfg.OnGeneration, trace, publish)
+	if islands > 0 {
+		m, err := island.New(s.eval, s.numSNPs, cfg, island.Config{
+			Islands:           islands,
+			MigrationInterval: migInterval,
+			MigrationCount:    migCount,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrBadConfig, err)
+		}
+		return m, nil
+	}
 	ga, err := core.New(s.eval, s.numSNPs, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadConfig, err)

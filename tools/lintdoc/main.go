@@ -1,0 +1,166 @@
+// Command lintdoc fails when an exported identifier lacks a godoc
+// comment. It is the CI docs gate for the packages whose godoc is a
+// public contract (the repro facade, the serve wire layer, and the
+// island engine).
+//
+// Usage:
+//
+//	go run ./tools/lintdoc DIR...
+//
+// Each DIR is parsed as one package directory; _test.go files are
+// skipped. The check covers every top-level exported declaration —
+// types, functions, methods with exported receivers, consts and vars
+// (a doc comment on a grouped declaration covers the group) — and
+// exported struct fields and interface methods of exported types.
+// Findings are printed as file:line: identifier and the exit status
+// is 1 when any exist.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: lintdoc DIR...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		findings, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lintdoc: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lintdoc: %d exported identifiers lack doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory and returns its findings.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, what))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					lintFunc(d, report)
+				case *ast.GenDecl:
+					lintGen(d, report)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// lintFunc checks one function or method declaration.
+func lintFunc(d *ast.FuncDecl, report func(token.Pos, string)) {
+	if !d.Name.IsExported() || d.Doc.Text() != "" {
+		return
+	}
+	name := d.Name.Name
+	if d.Recv != nil && len(d.Recv.List) > 0 {
+		recv := receiverName(d.Recv.List[0].Type)
+		if recv != "" && !ast.IsExported(recv) {
+			return // method on an unexported type: not public surface
+		}
+		name = recv + "." + name
+	}
+	report(d.Pos(), "func "+name+" lacks a doc comment")
+}
+
+// lintGen checks one const/var/type declaration (possibly grouped).
+func lintGen(d *ast.GenDecl, report func(token.Pos, string)) {
+	groupDoc := d.Doc.Text() != ""
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if !groupDoc && s.Doc.Text() == "" && s.Comment.Text() == "" {
+				report(s.Pos(), "type "+s.Name.Name+" lacks a doc comment")
+			}
+			lintTypeBody(s.Name.Name, s.Type, report)
+		case *ast.ValueSpec:
+			hasDoc := groupDoc || s.Doc.Text() != "" || s.Comment.Text() != ""
+			if hasDoc {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), d.Tok.String()+" "+n.Name+" lacks a doc comment")
+				}
+			}
+		}
+	}
+}
+
+// lintTypeBody checks exported struct fields and interface methods of
+// an exported type.
+func lintTypeBody(typeName string, expr ast.Expr, report func(token.Pos, string)) {
+	switch t := expr.(type) {
+	case *ast.StructType:
+		for _, f := range t.Fields.List {
+			if f.Doc.Text() != "" || f.Comment.Text() != "" {
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					report(n.Pos(), "field "+typeName+"."+n.Name+" lacks a doc comment")
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, f := range t.Methods.List {
+			if f.Doc.Text() != "" || f.Comment.Text() != "" {
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					report(n.Pos(), "method "+typeName+"."+n.Name+" lacks a doc comment")
+				}
+			}
+		}
+	}
+}
+
+// receiverName extracts the receiver's type name from its AST
+// expression ("T", "*T", "T[...]").
+func receiverName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverName(t.X)
+	case *ast.IndexExpr:
+		return receiverName(t.X)
+	case *ast.IndexListExpr:
+		return receiverName(t.X)
+	}
+	return ""
+}
