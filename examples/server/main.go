@@ -27,7 +27,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hs := &http.Server{Handler: serve.NewServer(reg)}
+	srv, err := serve.NewServer(reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
 	go hs.Serve(ln)
 	defer hs.Close()
 

@@ -5,12 +5,15 @@
 // The wire surface is versioned under the /v1 path prefix:
 //
 //	POST   /v1/datasets            upload a dataset (table/ped/preset) → DatasetInfo
+//	GET    /v1/datasets            list datasets (cursor pagination) → DatasetList
 //	GET    /v1/datasets/{id}       dataset dimensions and HWE summary
 //	POST   /v1/sessions            dataset id + backend options → SessionInfo
+//	GET    /v1/sessions            list sessions (cursor pagination) → SessionList
 //	GET    /v1/sessions/{id}       session configuration and live job count
 //	GET    /v1/sessions/{id}/stats evaluation backend counters (cache hits, coalesced)
 //	POST   /v1/sessions/{id}/jobs  GA config → background job (Session.Start)
-//	GET    /v1/jobs/{id}           job state, best-so-far, final result
+//	GET    /v1/jobs                list jobs (?session=…&cursor=…&limit=…) → JobList
+//	GET    /v1/jobs/{id}           job state, best-so-far, final (or persisted) result
 //	GET    /v1/jobs/{id}/events    SSE stream of per-generation TraceEntry
 //	DELETE /v1/jobs/{id}           cancel (Job.Stop) → partial result
 //
@@ -21,6 +24,18 @@
 // verbatim — repro.GAConfig in, repro.GAResult / repro.TraceEntry /
 // repro.JobReport / repro.EngineReport out — whose json field names
 // are stable by contract.
+//
+// Two seams make the server durable and operable. The Store interface
+// (MemStore in memory, FSStore on disk) persists every dataset,
+// session and job record: a server restarted on the same FSStore
+// directory serves its datasets, sessions and finished job results
+// again, and marks jobs that were running at crash time as
+// JobInterrupted. The Middleware chain (AuthMiddleware,
+// RateLimitMiddleware, LoggingMiddleware, Metrics.Middleware) wraps
+// the routes with API-key auth, per-key token-bucket rate limiting,
+// structured request logging and a /metrics counter endpoint — all
+// wired through NewServer's functional options (WithStore, WithAuth,
+// WithRateLimit, WithLogger, WithMetrics, WithMiddleware).
 package serve
 
 import (
@@ -173,6 +188,11 @@ const (
 	JobDone     = "done"     // finished normally; Result is final
 	JobCanceled = "canceled" // stopped via DELETE or drain; Result is partial
 	JobFailed   = "failed"   // terminated with a non-cancellation error
+	// JobInterrupted marks a job whose record was restored from a
+	// durable Store still in state "running": the previous process
+	// died before the run finished, so no result was ever persisted.
+	// Resubmit the job to recompute.
+	JobInterrupted = "interrupted"
 )
 
 // JobInfo is the job status document of GET /v1/jobs/{id}: the live
@@ -192,6 +212,62 @@ type JobInfo struct {
 	Result *repro.GAResult `json:"result,omitempty"`
 	// Error is the terminal error text for "canceled" and "failed".
 	Error string `json:"error,omitempty"`
+}
+
+// DatasetList is the body of GET /v1/datasets: one page of dataset
+// descriptions, sorted by id.
+type DatasetList struct {
+	// Datasets is the page of dataset descriptions.
+	Datasets []DatasetInfo `json:"datasets"`
+	// NextCursor, when non-empty, is the cursor of the next page:
+	// pass it as ?cursor= to continue the listing. Empty means the
+	// listing is exhausted.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// SessionList is the body of GET /v1/sessions: one page of live
+// session descriptions, sorted by id.
+type SessionList struct {
+	// Sessions is the page of session descriptions.
+	Sessions []SessionInfo `json:"sessions"`
+	// NextCursor is the pagination cursor; see DatasetList.NextCursor.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// JobList is the body of GET /v1/jobs: one page of job status
+// documents — live and restored — sorted by id, optionally filtered
+// to one session with ?session=.
+type JobList struct {
+	// Jobs is the page of job status documents.
+	Jobs []JobInfo `json:"jobs"`
+	// NextCursor is the pagination cursor; see DatasetList.NextCursor.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// EngineTotals sums the evaluation counters of every shared backend
+// in the process — the evaluations section of the /metrics document.
+type EngineTotals struct {
+	// Datasets is the number of registered datasets.
+	Datasets int `json:"datasets"`
+	// Sessions is the number of live sessions.
+	Sessions int `json:"sessions"`
+	// Backends is the number of shared evaluation backends alive.
+	Backends int `json:"backends"`
+	// Requests sums requested scores across backends.
+	Requests int64 `json:"requests"`
+	// Computed sums pipeline evaluations actually performed.
+	Computed int64 `json:"computed"`
+	// CacheHits sums requests served from the memoizing caches.
+	CacheHits int64 `json:"cache_hits"`
+	// Coalesced sums requests that joined an in-flight computation.
+	Coalesced int64 `json:"coalesced"`
+	// CacheEntries sums the current memoized fitness values.
+	CacheEntries int `json:"cache_entries"`
+	// StoreFailures counts record writes or deletes the durable store
+	// rejected with an I/O error — outcomes that may not survive a
+	// restart. Always 0 on the in-memory defaults; nonzero values
+	// deserve an operator's attention (each is also logged).
+	StoreFailures int64 `json:"store_failures"`
 }
 
 // SessionStats is the body of GET /v1/sessions/{id}/stats. Engine is
@@ -271,6 +347,15 @@ const (
 	CodeBusy       = "busy"     // per-session job limit reached
 	CodeDraining   = "draining" // server is shutting down; reads still work
 	CodeInternal   = "internal"
+	// CodeUnauthorized: the request carried no API key, or an unknown
+	// one, on a server running AuthMiddleware (HTTP 401).
+	CodeUnauthorized = "unauthorized"
+	// CodeForbidden: the API key is valid but its scopes do not allow
+	// the request's method (HTTP 403) — a read-only key used to POST.
+	CodeForbidden = "forbidden"
+	// CodeRateLimited: the key's token bucket is empty (HTTP 429);
+	// the Retry-After response header says when to come back.
+	CodeRateLimited = "rate_limited"
 )
 
 // Registry sentinels, mapped to HTTP statuses by the server and back
@@ -282,6 +367,14 @@ var (
 	// ErrDraining: the server is draining; mutating requests are
 	// rejected, reads and event streams still served.
 	ErrDraining = errors.New("serve: draining")
+	// ErrUnauthorized: missing or unknown API key (HTTP 401).
+	ErrUnauthorized = errors.New("serve: unauthorized")
+	// ErrForbidden: the API key's scopes do not allow the request
+	// (HTTP 403).
+	ErrForbidden = errors.New("serve: forbidden")
+	// ErrRateLimited: the per-key rate limit rejected the request
+	// (HTTP 429 with Retry-After).
+	ErrRateLimited = errors.New("serve: rate limited")
 )
 
 // parseBackend and friends share the CLI's name mapping so the wire

@@ -9,7 +9,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro"
 )
@@ -17,21 +20,40 @@ import (
 // Client is a typed Go client for the /v1 API; it exercises every
 // endpoint the Server exposes. Methods return *APIError for non-2xx
 // responses, which maps back onto the error vocabulary via errors.Is
-// (ErrNotFound, repro.ErrSessionBusy, ErrDraining, repro.ErrBadConfig).
+// (ErrNotFound, repro.ErrSessionBusy, ErrDraining, repro.ErrBadConfig,
+// ErrUnauthorized, ErrForbidden, ErrRateLimited). Every method takes
+// a context; WithAPIKey authenticates against a server running
+// AuthMiddleware.
 type Client struct {
-	base string
-	http *http.Client
+	base   string
+	http   *http.Client
+	apiKey string
+}
+
+// ClientOption configures NewClient.
+type ClientOption func(*Client)
+
+// WithAPIKey sends the key as `Authorization: Bearer <key>` on every
+// request — required against a server built with WithAuth.
+func WithAPIKey(key string) ClientOption {
+	return func(c *Client) { c.apiKey = key }
 }
 
 // NewClient builds a client for the server at baseURL (for example
 // "http://127.0.0.1:8080"). A nil httpClient uses
 // http.DefaultClient; streaming callers should supply a client
 // without a global timeout (SSE connections outlive any fixed one).
-func NewClient(baseURL string, httpClient *http.Client) *Client {
+func NewClient(baseURL string, httpClient *http.Client, opts ...ClientOption) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+	for _, o := range opts {
+		if o != nil {
+			o(c)
+		}
+	}
+	return c
 }
 
 // APIError is a non-2xx response: the HTTP status plus the server's
@@ -44,6 +66,9 @@ type APIError struct {
 	Code string
 	// Message is the server's human-readable detail.
 	Message string
+	// RetryAfter is the parsed Retry-After header of a rate-limited
+	// response: how long until the next token. Zero when absent.
+	RetryAfter time.Duration
 }
 
 // Error renders the status, code and message.
@@ -59,12 +84,30 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == CodeNotFound
 	case ErrDraining:
 		return e.Code == CodeDraining
+	case ErrUnauthorized:
+		return e.Code == CodeUnauthorized
+	case ErrForbidden:
+		return e.Code == CodeForbidden
+	case ErrRateLimited:
+		return e.Code == CodeRateLimited
 	case repro.ErrSessionBusy:
 		return e.Code == CodeBusy
 	case repro.ErrBadConfig, repro.ErrBadDataset:
 		return e.Code == CodeBadRequest
 	}
 	return false
+}
+
+// newRequest builds one API request with the client's credentials.
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
+	return req, nil
 }
 
 // do sends one JSON request and decodes the response into out.
@@ -77,7 +120,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		body = bytes.NewReader(b)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	req, err := c.newRequest(ctx, method, path, body)
 	if err != nil {
 		return err
 	}
@@ -105,7 +148,31 @@ func decodeError(resp *http.Response) error {
 		apiErr.Code = body.Error.Code
 		apiErr.Message = body.Error.Message
 	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	return apiErr
+}
+
+// pageQuery renders cursor+limit as a query string ("" when neither
+// is set).
+func pageQuery(extra url.Values, cursor string, limit int) string {
+	q := url.Values{}
+	for k, vs := range extra {
+		q[k] = vs
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if len(q) == 0 {
+		return ""
+	}
+	return "?" + q.Encode()
 }
 
 // CreateDataset uploads (or synthesizes) a dataset; identical content
@@ -123,6 +190,15 @@ func (c *Client) Dataset(ctx context.Context, id string) (DatasetInfo, error) {
 	return info, err
 }
 
+// Datasets fetches one page of the dataset listing. cursor is the
+// NextCursor of the previous page ("" for the first); limit <= 0
+// takes the server default.
+func (c *Client) Datasets(ctx context.Context, cursor string, limit int) (DatasetList, error) {
+	var list DatasetList
+	err := c.do(ctx, http.MethodGet, "/v1/datasets"+pageQuery(nil, cursor, limit), nil, &list)
+	return list, err
+}
+
 // CreateSession opens a session over a registered dataset.
 func (c *Client) CreateSession(ctx context.Context, req SessionRequest) (SessionInfo, error) {
 	var info SessionInfo
@@ -137,11 +213,27 @@ func (c *Client) Session(ctx context.Context, id string) (SessionInfo, error) {
 	return info, err
 }
 
+// Sessions fetches one page of the session listing; pagination as in
+// Datasets.
+func (c *Client) Sessions(ctx context.Context, cursor string, limit int) (SessionList, error) {
+	var list SessionList
+	err := c.do(ctx, http.MethodGet, "/v1/sessions"+pageQuery(nil, cursor, limit), nil, &list)
+	return list, err
+}
+
 // Stats fetches the session's evaluation backend counters.
 func (c *Client) Stats(ctx context.Context, sessionID string) (SessionStats, error) {
 	var st SessionStats
 	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+sessionID+"/stats", nil, &st)
 	return st, err
+}
+
+// Metrics fetches the /metrics counters of a server built with
+// WithMetrics.
+func (c *Client) Metrics(ctx context.Context) (MetricsInfo, error) {
+	var mi MetricsInfo
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &mi)
+	return mi, err
 }
 
 // StartJob submits one background GA run on the session.
@@ -151,11 +243,35 @@ func (c *Client) StartJob(ctx context.Context, sessionID string, req JobRequest)
 	return ji, err
 }
 
-// Job fetches a job's live status (and, once finished, its result).
+// Job fetches a job's live status (and, once finished, its result —
+// including results persisted by a previous server process).
 func (c *Client) Job(ctx context.Context, id string) (JobInfo, error) {
 	var ji JobInfo
 	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &ji)
 	return ji, err
+}
+
+// JobsQuery filters and paginates Client.Jobs.
+type JobsQuery struct {
+	// SessionID, when non-empty, restricts the listing to one
+	// session's jobs (unknown ids answer ErrNotFound).
+	SessionID string
+	// Cursor is the NextCursor of the previous page ("" first).
+	Cursor string
+	// Limit caps the page size; <= 0 takes the server default.
+	Limit int
+}
+
+// Jobs fetches one page of the job listing — live and restored jobs,
+// sorted by id.
+func (c *Client) Jobs(ctx context.Context, q JobsQuery) (JobList, error) {
+	extra := url.Values{}
+	if q.SessionID != "" {
+		extra.Set("session", q.SessionID)
+	}
+	var list JobList
+	err := c.do(ctx, http.MethodGet, "/v1/jobs"+pageQuery(extra, q.Cursor, q.Limit), nil, &list)
+	return list, err
 }
 
 // StopJob cancels a running job and returns its partial result.
@@ -165,67 +281,116 @@ func (c *Client) StopJob(ctx context.Context, id string) (JobInfo, error) {
 	return ji, err
 }
 
+// streamState carries stream progress across a reconnect: the done
+// document (if received) and the last generation forwarded per island
+// (key 0 for synchronous jobs), so a resumed stream never replays an
+// entry fn has already seen. Conflation makes the resume safe: a
+// subscriber only ever misses old generations, never new ones.
+type streamState struct {
+	done *JobInfo
+	seen map[int]int
+}
+
 // StreamEvents consumes the job's SSE progress stream, invoking fn
 // for every event until the stream ends, fn returns an error, or ctx
 // is cancelled. It returns the final JobInfo from the terminating
 // "done" event (nil JobInfo fields only if the stream ended without
 // one). The stream is conflated server-side: a slow fn misses old
 // generations, never stalls the GA.
+//
+// A transient transport failure — the connection dropping mid-stream,
+// not an API error and not ctx ending — is retried once: the stream
+// reattaches and resumes from the job's current state, deduplicating
+// any generation fn already saw. If the server restarted in between
+// (durable store), the resumed stream immediately delivers the done
+// event with the persisted outcome.
 func (c *Client) StreamEvents(ctx context.Context, jobID string, fn func(Event) error) (*JobInfo, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+jobID+"/events", nil)
-	if err != nil {
+	st := &streamState{seen: make(map[int]int)}
+	err, transient := c.streamOnce(ctx, jobID, fn, st)
+	if st.done != nil || err == nil && !transient {
+		return st.done, err
+	}
+	if !transient || ctx.Err() != nil {
 		return nil, err
+	}
+	// One reconnect: conflated resume is safe (see streamState).
+	err, _ = c.streamOnce(ctx, jobID, fn, st)
+	return st.done, err
+}
+
+// streamOnce runs one SSE attempt. transient reports whether the
+// failure is a candidate for reconnecting (transport errors and
+// premature stream end — not API errors, fn errors or ctx ends).
+func (c *Client) streamOnce(ctx context.Context, jobID string, fn func(Event) error, st *streamState) (err error, transient bool) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		return err, false
 	}
 	req.Header.Set("Accept", "text/event-stream")
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return nil, err
+		return err, ctx.Err() == nil
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		return nil, decodeError(resp)
+		return decodeError(resp), false
 	}
 
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	var event string
 	var data bytes.Buffer
-	flush := func() (done *JobInfo, err error) {
+	flush := func() error {
 		if event == "" && data.Len() == 0 {
-			return nil, nil
+			return nil
 		}
 		ev := Event{Type: event}
 		switch event {
 		case EventGeneration:
 			var entry repro.TraceEntry
 			if err := json.Unmarshal(data.Bytes(), &entry); err != nil {
-				return nil, fmt.Errorf("serve: bad %s event: %w", event, err)
+				return fmt.Errorf("serve: bad %s event: %w", event, err)
 			}
 			ev.Entry = &entry
 		case EventDone:
 			var ji JobInfo
 			if err := json.Unmarshal(data.Bytes(), &ji); err != nil {
-				return nil, fmt.Errorf("serve: bad %s event: %w", event, err)
+				return fmt.Errorf("serve: bad %s event: %w", event, err)
 			}
 			ev.Job = &ji
-			done = &ji
+			st.done = &ji
 		}
 		event = ""
 		data.Reset()
+		if ev.Entry != nil {
+			// Per-island ordering is the server's contract; entries at
+			// or below the high-water mark are replays of a resumed
+			// stream (the late-subscriber seed) and are dropped.
+			if ev.Entry.Generation <= st.seen[ev.Entry.Island] {
+				return nil
+			}
+			st.seen[ev.Entry.Island] = ev.Entry.Generation
+		}
 		if fn != nil {
 			if err := fn(ev); err != nil {
-				return done, err
+				return &callbackError{err}
 			}
 		}
-		return done, nil
+		return nil
 	}
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
 		case line == "":
-			done, err := flush()
-			if err != nil || done != nil {
-				return done, err
+			if err := flush(); err != nil {
+				var cb *callbackError
+				if errors.As(err, &cb) {
+					return cb.err, false
+				}
+				return err, false
+			}
+			if st.done != nil {
+				return nil, false
 			}
 		case strings.HasPrefix(line, "event:"):
 			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
@@ -235,8 +400,20 @@ func (c *Client) StreamEvents(ctx context.Context, jobID string, fn func(Event) 
 			// comments and event ids carry no payload
 		}
 	}
-	if err := sc.Err(); err != nil && !errors.Is(err, context.Canceled) {
-		return nil, err
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, context.Canceled) || ctx.Err() != nil {
+			return nil, false
+		}
+		return err, true
 	}
-	return nil, nil
+	// Clean EOF without a done event: the server went away mid-run —
+	// worth one reattach (a restarted durable server answers it with
+	// the persisted outcome).
+	return nil, true
 }
+
+// callbackError marks an error produced by the caller's fn, which
+// must abort the stream without a reconnect.
+type callbackError struct{ err error }
+
+func (e *callbackError) Error() string { return e.err.Error() }

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FSStore is the file-backed Store: one JSON document per record under
+//
+//	<dir>/datasets/<id>.json
+//	<dir>/sessions/<id>.json
+//	<dir>/jobs/<id>.json
+//
+// Writes are crash-safe: each Put marshals the full record to a
+// temporary file in the same directory, fsyncs it, renames it over the
+// final path, and fsyncs the directory — so a crash leaves either the
+// old document or the new one, never a torn write. Leftover *.tmp
+// files from a crashed Put are ignored (and garbage-collected on the
+// next Put of the same id). Safe for concurrent use within one
+// process; the store assumes it is the directory's only writer.
+//
+// FSStore is what `ldserve -data-dir` runs on: datasets and finished
+// job results survive a process restart, and job records still in
+// state "running" are rewritten as JobInterrupted when the registry
+// restores from the directory.
+type FSStore struct {
+	dir string
+	mu  sync.Mutex // serializes read-modify-write CAS cycles
+}
+
+// NewFSStore opens (creating if needed) a file-backed store rooted at
+// dir. The three kind subdirectories are created eagerly so a later
+// read of an empty store does not fail.
+func NewFSStore(dir string) (*FSStore, error) {
+	for _, kind := range []Kind{KindDataset, KindSession, KindJob} {
+		if err := os.MkdirAll(filepath.Join(dir, string(kind)), 0o755); err != nil {
+			return nil, fmt.Errorf("serve: fsstore: %w", err)
+		}
+	}
+	return &FSStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *FSStore) Dir() string { return s.dir }
+
+// path maps a record to its file, rejecting ids that could escape the
+// kind directory.
+func (s *FSStore) path(kind Kind, id string) (string, error) {
+	if id == "" || strings.ContainsAny(id, "/\\") || id == "." || id == ".." {
+		return "", fmt.Errorf("serve: fsstore: invalid record id %q", id)
+	}
+	return filepath.Join(s.dir, string(kind), id+".json"), nil
+}
+
+// load reads and decodes one record file.
+func (s *FSStore) load(path string) (Record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Record{}, err
+	}
+	var rec Record
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return Record{}, fmt.Errorf("serve: fsstore: corrupt record %s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// Put implements Store with CAS semantics; see FSStore for the
+// crash-safety protocol.
+func (s *FSStore) Put(kind Kind, rec Record) (Record, error) {
+	path, err := s.path(kind, rec.ID)
+	if err != nil {
+		return Record{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, err := s.load(path)
+	exists := err == nil
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return Record{}, err
+	}
+	if err := checkCAS(kind, rec, cur.Version, exists); err != nil {
+		return Record{}, err
+	}
+	stored := Record{ID: rec.ID, Version: rec.Version + 1, Data: rec.Data}
+	b, err := json.Marshal(stored)
+	if err != nil {
+		return Record{}, fmt.Errorf("serve: fsstore: %w", err)
+	}
+	if err := writeFileAtomic(path, b); err != nil {
+		return Record{}, fmt.Errorf("serve: fsstore: %w", err)
+	}
+	return stored, nil
+}
+
+// writeFileAtomic lands data at path via write-to-temp, fsync, rename,
+// fsync-dir.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// fsync the directory so the rename itself is durable.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *FSStore) Get(kind Kind, id string) (Record, error) {
+	path, err := s.path(kind, id)
+	if err != nil {
+		return Record{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, err := s.load(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return Record{}, fmt.Errorf("%w: %s/%s", ErrNotFound, kind, id)
+	}
+	return rec, err
+}
+
+// List implements Store; records are sorted by id. Unreadable or
+// corrupt files fail the listing rather than being silently skipped —
+// restore decides what to drop, not the store.
+func (s *FSStore) List(kind Kind) ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(filepath.Join(s.dir, string(kind)))
+	if err != nil {
+		return nil, fmt.Errorf("serve: fsstore: %w", err)
+	}
+	var out []Record
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue // *.tmp leftovers and strangers are not records
+		}
+		rec, err := s.load(filepath.Join(s.dir, string(kind), e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Delete implements Store; deleting a missing id is a no-op. The
+// parent directory is fsync'd like Put's rename is: an acknowledged
+// eviction must not resurrect after a power loss ("eviction means
+// forgotten across restarts").
+func (s *FSStore) Delete(kind Kind, id string) error {
+	path, err := s.path(kind, id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Remove(path); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("serve: fsstore: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Close implements Store. The files stay on disk — that is the point.
+func (s *FSStore) Close() error { return nil }

@@ -16,6 +16,7 @@ type jobEntry struct {
 	sessionID string
 	job       *repro.Job
 	cancel    context.CancelFunc
+	storeVer  int64 // job record's store version (guarded by Registry.mu)
 
 	mu        sync.Mutex
 	subs      map[chan repro.TraceEntry]struct{}
@@ -52,6 +53,11 @@ func (je *jobEntry) pump(r *Registry) {
 	}
 	je.subs = nil
 	je.mu.Unlock()
+	// Persist the outcome: the record, created in state "running",
+	// is re-written with the terminal state and result — this is what
+	// a durable store serves after a restart, and what distinguishes
+	// a finished job from one interrupted by a crash.
+	r.persistJobFinal(je)
 	// The run's end is session activity: the idle-eviction clock must
 	// start from here, not from the request that launched the job.
 	r.touchSession(je.sessionID)

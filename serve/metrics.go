@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics collects process-wide request counters, expvar-style (plain
+// atomics, no dependencies): totals and in-flight gauge, a by-status
+// breakdown, and a latency summary. Its Middleware records every
+// request that passes through it; the server's GET /metrics endpoint
+// (enabled by WithMetrics) renders the counters as one MetricsInfo
+// JSON document together with the registry's evaluation totals.
+// Safe for concurrent use; the zero value is NOT ready — use
+// NewMetrics.
+type Metrics struct {
+	start    time.Time
+	total    atomic.Int64
+	inFlight atomic.Int64
+	byClass  [6]atomic.Int64 // status/100: byClass[2] counts 2xx; [0] other
+	latCount atomic.Int64
+	latSumNS atomic.Int64
+	latMaxNS atomic.Int64
+}
+
+// NewMetrics returns a zeroed collector; its uptime clock starts now.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// Middleware returns the recording middleware. NewServer installs it
+// outermost, so rejected (401/429) requests are counted too.
+func (m *Metrics) Middleware() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			m.total.Add(1)
+			m.inFlight.Add(1)
+			sr := &statusRecorder{ResponseWriter: w}
+			defer func() {
+				m.inFlight.Add(-1)
+				if sr.status == 0 {
+					sr.status = http.StatusOK
+				}
+				class := sr.status / 100
+				if class < 1 || class > 5 {
+					class = 0
+				}
+				m.byClass[class].Add(1)
+				ns := time.Since(start).Nanoseconds()
+				m.latCount.Add(1)
+				m.latSumNS.Add(ns)
+				for {
+					cur := m.latMaxNS.Load()
+					if ns <= cur || m.latMaxNS.CompareAndSwap(cur, ns) {
+						break
+					}
+				}
+			}()
+			next.ServeHTTP(sr, r)
+		})
+	}
+}
+
+// RequestTotals is the requests section of MetricsInfo.
+type RequestTotals struct {
+	// Total counts every request seen since the process started.
+	Total int64 `json:"total"`
+	// InFlight is the number of requests currently being served
+	// (long-lived SSE streams count while open).
+	InFlight int64 `json:"in_flight"`
+	// ByStatus breaks Total down by status class ("2xx", "4xx", …).
+	// Classes with zero requests are omitted.
+	ByStatus map[string]int64 `json:"by_status"`
+}
+
+// LatencySummary is the latency section of MetricsInfo. All values
+// are nanoseconds over completed requests (SSE streams count their
+// full open duration, so the maximum usually reflects the longest
+// stream, not the slowest handler).
+type LatencySummary struct {
+	// Count is the number of completed requests measured.
+	Count int64 `json:"count"`
+	// SumNS is the summed duration.
+	SumNS int64 `json:"sum_ns"`
+	// AvgNS is SumNS/Count (0 before any request).
+	AvgNS int64 `json:"avg_ns"`
+	// MaxNS is the largest single duration observed.
+	MaxNS int64 `json:"max_ns"`
+}
+
+// MetricsInfo is the body of GET /metrics: request and latency
+// counters from the Metrics middleware plus the registry's evaluation
+// totals, one JSON document, scrape-friendly and dependency-free.
+type MetricsInfo struct {
+	// UptimeNS is the time since the collector was created.
+	UptimeNS int64 `json:"uptime_ns"`
+	// Requests carries the request counters.
+	Requests RequestTotals `json:"requests"`
+	// Latency carries the latency summary.
+	Latency LatencySummary `json:"latency"`
+	// Evaluations sums the shared evaluation backends' counters
+	// (Registry.EngineTotals): one view of how hard the fitness
+	// pipeline is working and how much the memoizing caches save.
+	Evaluations EngineTotals `json:"evaluations"`
+}
+
+// Info snapshots the counters into the wire document, folding in the
+// registry's evaluation totals.
+func (m *Metrics) Info(evals EngineTotals) MetricsInfo {
+	info := MetricsInfo{
+		UptimeNS: time.Since(m.start).Nanoseconds(),
+		Requests: RequestTotals{
+			Total:    m.total.Load(),
+			InFlight: m.inFlight.Load(),
+			ByStatus: make(map[string]int64),
+		},
+		Evaluations: evals,
+	}
+	classes := [6]string{"other", "1xx", "2xx", "3xx", "4xx", "5xx"}
+	for i, name := range classes {
+		if n := m.byClass[i].Load(); n > 0 {
+			info.Requests.ByStatus[name] = n
+		}
+	}
+	info.Latency = LatencySummary{
+		Count: m.latCount.Load(),
+		SumNS: m.latSumNS.Load(),
+		MaxNS: m.latMaxNS.Load(),
+	}
+	if info.Latency.Count > 0 {
+		info.Latency.AvgNS = info.Latency.SumNS / info.Latency.Count
+	}
+	return info
+}

@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"context"
+	"crypto/subtle"
+	"fmt"
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Middleware wraps an http.Handler with a cross-cutting concern. The
+// serving layer ships four production middlewares — AuthMiddleware,
+// RateLimitMiddleware, LoggingMiddleware and Metrics.Middleware —
+// composed by NewServer in a fixed order (metrics → logging → auth →
+// rate limit → extras → routes); WithMiddleware appends custom ones.
+type Middleware func(http.Handler) http.Handler
+
+// Chain wraps h in mws, the first listed becoming the outermost
+// handler (the first to see a request).
+func Chain(h http.Handler, mws ...Middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// API-key scopes. A key with no scopes has every scope.
+const (
+	// ScopeRead allows GET and HEAD requests: status documents,
+	// listings, stats, event streams.
+	ScopeRead = "read"
+	// ScopeWrite allows mutating requests: dataset upload, session
+	// creation, job start and cancel.
+	ScopeWrite = "write"
+)
+
+// APIKey is one credential accepted by AuthMiddleware.
+type APIKey struct {
+	// Key is the secret presented by clients (Authorization: Bearer
+	// <key> or X-API-Key: <key>).
+	Key string
+	// Name identifies the key in request logs and rate-limit buckets
+	// — never the secret itself. Empty defaults to "key-<n>" by
+	// position.
+	Name string
+	// Scopes lists what the key may do (ScopeRead, ScopeWrite).
+	// Empty means every scope.
+	Scopes []string
+}
+
+// allows reports whether the key's scopes admit the method.
+func (k APIKey) allows(method string) bool {
+	if len(k.Scopes) == 0 {
+		return true
+	}
+	need := ScopeWrite
+	if method == http.MethodGet || method == http.MethodHead {
+		need = ScopeRead
+	}
+	for _, s := range k.Scopes {
+		if s == need {
+			return true
+		}
+	}
+	return false
+}
+
+// principalKey carries the authenticated key's Name down the request
+// context, where the rate limiter picks it up. principalSlot is the
+// reverse channel: LoggingMiddleware (which runs outside auth)
+// installs a slot that AuthMiddleware fills, so the log line can name
+// the key even though auth runs deeper in the chain.
+type (
+	principalKey  struct{}
+	principalSlot struct{}
+)
+
+// principal returns the authenticated key name, or the client host
+// when the server runs without auth.
+func principal(r *http.Request) string {
+	if name, ok := r.Context().Value(principalKey{}).(string); ok {
+		return name
+	}
+	return clientHost(r)
+}
+
+// clientHost is the remote address without the port.
+func clientHost(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// bearerToken extracts the presented API key: the Authorization
+// Bearer token, or the X-API-Key header.
+func bearerToken(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		const prefix = "Bearer "
+		if len(auth) > len(prefix) && strings.EqualFold(auth[:len(prefix)], prefix) {
+			return auth[len(prefix):]
+		}
+		return ""
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// Auth-failure throttling: rejected requests consume from a per-host
+// token bucket, so once a host has burned authFailBurst failures it
+// gets 429 instead of further 401s, refilling at authFailRPS — ample
+// for a human fixing a config, hostile to a key brute force.
+const (
+	authFailRPS   = 1
+	authFailBurst = 10
+)
+
+// AuthMiddleware enforces API-key authentication with per-key scopes.
+// Clients present a key as `Authorization: Bearer <key>` (or
+// `X-API-Key: <key>`); requests with no or an unknown key get 401
+// (CodeUnauthorized), requests whose key lacks the method's scope
+// (ScopeRead for GET/HEAD, ScopeWrite otherwise) get 403
+// (CodeForbidden) — both in the standard error envelope. Keys are
+// matched by a constant-time scan over every configured secret, and
+// repeated failures from one host are throttled (429 after
+// authFailBurst failures, refilling at authFailRPS) so the 401 path
+// cannot be used to brute-force keys at wire speed. /healthz stays
+// open: it is the liveness probe. The authenticated key's Name is
+// attached to the request context for the rate limiter and the
+// request logger.
+func AuthMiddleware(keys ...APIKey) Middleware {
+	list := make([]APIKey, len(keys))
+	copy(list, keys)
+	for i := range list {
+		if list[i].Name == "" {
+			list[i].Name = fmt.Sprintf("key-%d", i+1)
+		}
+	}
+	fail := &rateLimiter{rps: authFailRPS, burst: authFailBurst, buckets: make(map[string]*tokenBucket)}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/healthz" {
+				next.ServeHTTP(w, r)
+				return
+			}
+			tok := bearerToken(r)
+			// Constant-time scan over every configured key, no early
+			// exit: response timing must not reveal which (or how
+			// much of a) secret matched.
+			var k APIKey
+			found := false
+			for i := range list {
+				if subtle.ConstantTimeCompare([]byte(tok), []byte(list[i].Key)) == 1 {
+					k = list[i]
+					found = true
+				}
+			}
+			if !found || tok == "" {
+				if ok, wait := fail.take(clientHost(r), time.Now()); !ok {
+					w.Header().Set("Retry-After", fmt.Sprintf("%d", int(math.Ceil(wait.Seconds()))))
+					writeJSON(w, http.StatusTooManyRequests, ErrorBody{Error: ErrorDetail{
+						Code: CodeRateLimited, Message: "too many failed authentication attempts; see Retry-After",
+					}})
+					return
+				}
+				w.Header().Set("WWW-Authenticate", `Bearer realm="ldserve"`)
+				writeJSON(w, http.StatusUnauthorized, ErrorBody{Error: ErrorDetail{
+					Code: CodeUnauthorized, Message: "missing or unknown API key",
+				}})
+				return
+			}
+			if slot, ok := r.Context().Value(principalSlot{}).(*string); ok {
+				*slot = k.Name // tell the request logger upstream
+			}
+			if !k.allows(r.Method) {
+				writeJSON(w, http.StatusForbidden, ErrorBody{Error: ErrorDetail{
+					Code: CodeForbidden, Message: fmt.Sprintf("API key %q may not %s", k.Name, r.Method),
+				}})
+				return
+			}
+			next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), principalKey{}, k.Name)))
+		})
+	}
+}
+
+// tokenBucket is one principal's rate-limit state.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter holds the per-principal buckets of one
+// RateLimitMiddleware instance.
+type rateLimiter struct {
+	rps   float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+// take consumes one token for the principal, or returns the wait
+// until the next token.
+func (l *rateLimiter) take(who string, now time.Time) (ok bool, wait time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, exists := l.buckets[who]
+	if !exists {
+		l.prune(now)
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[who] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rps)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rps * float64(time.Second))
+}
+
+// prune caps the bucket map so memory stays bounded even under a
+// spray of distinct principals (many hosts guessing keys, a large
+// NAT'd population). Full buckets go first — they refill instantly
+// on recreation, so dropping them is lossless; if that is not enough
+// the oldest-touched buckets go until the map is halved. Evicting a
+// live bucket hands its principal one fresh burst, a bounded
+// generosity preferred over unbounded growth.
+func (l *rateLimiter) prune(now time.Time) {
+	const maxBuckets = 4096
+	if len(l.buckets) < maxBuckets {
+		return
+	}
+	for who, b := range l.buckets {
+		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rps) >= l.burst {
+			delete(l.buckets, who)
+		}
+	}
+	if len(l.buckets) < maxBuckets/2 {
+		return
+	}
+	type entry struct {
+		who  string
+		last time.Time
+	}
+	all := make([]entry, 0, len(l.buckets))
+	for who, b := range l.buckets {
+		all = append(all, entry{who, b.last})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].last.Before(all[j].last) })
+	for _, e := range all[:len(all)/2] {
+		delete(l.buckets, e.who)
+	}
+}
+
+// RateLimitMiddleware enforces a token-bucket rate limit of rps
+// requests per second with the given burst, per principal — the
+// authenticated API key when AuthMiddleware runs outside it, the
+// client host otherwise. A rejected request gets 429
+// (CodeRateLimited) with a Retry-After header saying, in seconds,
+// when the next token arrives. /healthz and /metrics are exempt:
+// probes and scrapers must not eat the clients' budget.
+func RateLimitMiddleware(rps float64, burst int) Middleware {
+	if burst < 1 {
+		burst = 1
+	}
+	l := &rateLimiter{rps: rps, burst: float64(burst), buckets: make(map[string]*tokenBucket)}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+				next.ServeHTTP(w, r)
+				return
+			}
+			ok, wait := l.take(principal(r), time.Now())
+			if !ok {
+				w.Header().Set("Retry-After", fmt.Sprintf("%d", int(math.Ceil(wait.Seconds()))))
+				writeJSON(w, http.StatusTooManyRequests, ErrorBody{Error: ErrorDetail{
+					Code: CodeRateLimited, Message: "rate limit exceeded; see Retry-After",
+				}})
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// statusRecorder captures the response status and size for logging
+// and metrics while forwarding streaming (http.Flusher) support —
+// without it the SSE endpoint would stop streaming behind the
+// middleware chain.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sr *statusRecorder) WriteHeader(status int) {
+	if sr.status == 0 {
+		sr.status = status
+	}
+	sr.ResponseWriter.WriteHeader(status)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(b)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards streaming support to the wrapped writer.
+func (sr *statusRecorder) Flush() {
+	if fl, ok := sr.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// LoggingMiddleware emits one structured log line per request through
+// l (nil means slog.Default()): method, path, status, duration,
+// response bytes, principal and remote address. SSE requests log when
+// the stream ends, with the full stream duration.
+func LoggingMiddleware(l *slog.Logger) Middleware {
+	if l == nil {
+		l = slog.Default()
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			sr := &statusRecorder{ResponseWriter: w}
+			var who string
+			r = r.WithContext(context.WithValue(r.Context(), principalSlot{}, &who))
+			next.ServeHTTP(sr, r)
+			if sr.status == 0 {
+				sr.status = http.StatusOK
+			}
+			if who == "" {
+				who = clientHost(r)
+			}
+			l.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sr.status),
+				slog.Duration("duration", time.Since(start)),
+				slog.Int64("bytes", sr.bytes),
+				slog.String("principal", who),
+				slog.String("remote", r.RemoteAddr),
+			)
+		})
+	}
+}

@@ -1,0 +1,440 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/serve"
+)
+
+// TestServeAuth: API-key auth with per-key scopes — missing and
+// unknown keys get 401, a read-only key may GET but not POST (403),
+// a full key does everything, and /healthz stays open.
+func TestServeAuth(t *testing.T) {
+	reg := serve.NewRegistry(serve.RegistryConfig{SweepInterval: -1})
+	srv, err := serve.NewServer(reg,
+		serve.WithAuth(
+			serve.APIKey{Key: "full-secret", Name: "full"},
+			serve.APIKey{Key: "ro-secret", Name: "ro", Scopes: []string{serve.ScopeRead}},
+		))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); reg.Close() })
+	ctx := context.Background()
+	base := ts.URL
+
+	// No key.
+	if _, err := serve.NewClient(base, nil).Datasets(ctx, "", 0); !errors.Is(err, serve.ErrUnauthorized) {
+		t.Fatalf("no key err = %v, want ErrUnauthorized", err)
+	}
+	// Wrong key.
+	bad := serve.NewClient(base, nil, serve.WithAPIKey("nope"))
+	var apiErr *serve.APIError
+	_, err = bad.Datasets(ctx, "", 0)
+	if !errors.As(err, &apiErr) || apiErr.Status != 401 || apiErr.Code != serve.CodeUnauthorized {
+		t.Fatalf("wrong key err = %v, want 401/unauthorized", err)
+	}
+	// Read-only key: GET yes, POST no.
+	ro := serve.NewClient(base, nil, serve.WithAPIKey("ro-secret"))
+	if _, err := ro.Datasets(ctx, "", 0); err != nil {
+		t.Fatalf("read with ro key: %v", err)
+	}
+	_, err = ro.CreateDataset(ctx, serve.DatasetRequest{Format: serve.FormatPreset, Preset: 51, Seed: 1})
+	if !errors.Is(err, serve.ErrForbidden) {
+		t.Fatalf("write with ro key err = %v, want ErrForbidden", err)
+	}
+	// Full key: everything.
+	full := serve.NewClient(base, nil, serve.WithAPIKey("full-secret"))
+	ds, err := full.CreateDataset(ctx, serve.DatasetRequest{Format: serve.FormatPreset, Preset: 51, Seed: 1})
+	if err != nil {
+		t.Fatalf("write with full key: %v", err)
+	}
+	if _, err := full.Dataset(ctx, ds.ID); err != nil {
+		t.Fatalf("read with full key: %v", err)
+	}
+	// The liveness probe needs no key.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz without key = %v, %v; want 200", resp, err)
+	}
+	resp.Body.Close()
+	// X-API-Key works as an alternative to the Bearer header.
+	req, _ := http.NewRequest(http.MethodGet, base+"/v1/datasets", nil)
+	req.Header.Set("X-API-Key", "full-secret")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("X-API-Key request = %v, %v; want 200", resp, err)
+	}
+	resp.Body.Close()
+}
+
+// TestServeRateLimit: the token bucket rejects the burst-exceeding
+// request with 429, the stable envelope, and a Retry-After header;
+// /healthz is exempt.
+func TestServeRateLimit(t *testing.T) {
+	client, _ := newTestServer(t, serve.RegistryConfig{},
+		serve.WithRateLimit(0.5, 1)) // 1 token, refills every 2s
+	ctx := context.Background()
+
+	if _, err := client.Datasets(ctx, "", 0); err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+	var apiErr *serve.APIError
+	_, err := client.Datasets(ctx, "", 0)
+	if !errors.As(err, &apiErr) || apiErr.Status != 429 || apiErr.Code != serve.CodeRateLimited {
+		t.Fatalf("second request err = %v, want 429/rate_limited", err)
+	}
+	if !errors.Is(err, serve.ErrRateLimited) {
+		t.Fatalf("429 does not map to ErrRateLimited: %v", err)
+	}
+	if apiErr.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0", apiErr.RetryAfter)
+	}
+}
+
+// TestServeMetrics: /metrics counts requests (including rejected
+// ones), tracks latency, and aggregates the evaluation counters of
+// the shared backends.
+func TestServeMetrics(t *testing.T) {
+	client, _ := newTestServer(t, serve.RegistryConfig{}, serve.WithMetrics())
+	ctx := context.Background()
+
+	_, _, _, _ = runJobToCompletion(t, client)
+	if _, err := client.Job(ctx, "j-404"); !errors.Is(err, serve.ErrNotFound) {
+		t.Fatal("expected 404")
+	}
+
+	mi, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi.Requests.Total < 4 {
+		t.Fatalf("requests total = %d, want >= 4", mi.Requests.Total)
+	}
+	if mi.Requests.ByStatus["2xx"] == 0 || mi.Requests.ByStatus["4xx"] == 0 {
+		t.Fatalf("by_status = %+v, want 2xx and 4xx entries", mi.Requests.ByStatus)
+	}
+	if mi.Latency.Count == 0 || mi.Latency.AvgNS <= 0 || mi.Latency.MaxNS < mi.Latency.AvgNS {
+		t.Fatalf("latency summary = %+v", mi.Latency)
+	}
+	if mi.Evaluations.Requests == 0 || mi.Evaluations.Computed == 0 || mi.Evaluations.Backends != 1 {
+		t.Fatalf("evaluation totals = %+v, want nonzero counters over 1 backend", mi.Evaluations)
+	}
+	if mi.UptimeNS <= 0 {
+		t.Fatalf("uptime = %d", mi.UptimeNS)
+	}
+}
+
+// TestServeRequestLogging: the slog middleware emits one line per
+// request carrying method, path, status and the authenticated key
+// name.
+func TestServeRequestLogging(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	client, _ := newTestServer(t, serve.RegistryConfig{},
+		serve.WithLogger(logger),
+		serve.WithAuth(serve.APIKey{Key: "secret", Name: "alice"}))
+
+	// client has no key: 401, still logged.
+	ctx := context.Background()
+	client.Datasets(ctx, "", 0)
+	time.Sleep(10 * time.Millisecond)
+	out := buf.String()
+	if !strings.Contains(out, "status=401") {
+		t.Fatalf("log misses the 401 line:\n%s", out)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for log capture.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeErrorEnvelopes pins the /v1 error paths: status codes and
+// the exact JSON envelope shape for malformed uploads, unknown ids,
+// the per-session job limit, and missing/wrong API keys.
+func TestServeErrorEnvelopes(t *testing.T) {
+	reg := serve.NewRegistry(serve.RegistryConfig{SweepInterval: -1, MaxJobsPerSession: 1})
+	srv, err := serve.NewServer(reg,
+		serve.WithAuth(
+			serve.APIKey{Key: "secret", Name: "k"},
+			serve.APIKey{Key: "ro", Name: "ro", Scopes: []string{serve.ScopeRead}},
+		))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); reg.Close() })
+
+	// raw sends one request and pins status + envelope shape.
+	raw := func(t *testing.T, method, path, key, body string, wantStatus int, wantCode string) {
+		t.Helper()
+		var rd *strings.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		} else {
+			rd = strings.NewReader("")
+		}
+		req, err := http.NewRequest(method, ts.URL+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != "" {
+			req.Header.Set("Authorization", "Bearer "+key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("%s %s: status %d, want %d", method, path, resp.StatusCode, wantStatus)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s %s: Content-Type %q", method, path, ct)
+		}
+		var envelope map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+			t.Fatalf("%s %s: body is not JSON: %v", method, path, err)
+		}
+		if len(envelope) != 1 || envelope["error"] == nil {
+			t.Fatalf("%s %s: envelope keys %v, want exactly {error}", method, path, envelope)
+		}
+		var detail struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		}
+		if err := json.Unmarshal(envelope["error"], &detail); err != nil {
+			t.Fatal(err)
+		}
+		if detail.Code != wantCode || detail.Message == "" {
+			t.Fatalf("%s %s: error = %+v, want code %q with a message", method, path, detail, wantCode)
+		}
+	}
+
+	// Auth errors.
+	raw(t, http.MethodGet, "/v1/datasets", "", "", 401, serve.CodeUnauthorized)
+	raw(t, http.MethodGet, "/v1/datasets", "wrong", "", 401, serve.CodeUnauthorized)
+	raw(t, http.MethodPost, "/v1/datasets", "ro", `{"format":"preset","preset":51}`, 403, serve.CodeForbidden)
+
+	// Malformed dataset uploads.
+	raw(t, http.MethodPost, "/v1/datasets", "secret", `{"format":`, 400, serve.CodeBadRequest)
+	raw(t, http.MethodPost, "/v1/datasets", "secret", `{"format":"xlsx"}`, 400, serve.CodeBadRequest)
+	raw(t, http.MethodPost, "/v1/datasets", "secret", `{"format":"table","content":"garbage"}`, 400, serve.CodeBadRequest)
+	raw(t, http.MethodPost, "/v1/datasets", "secret", `{"format":"preset","preset":51,"bogus_field":1}`, 400, serve.CodeBadRequest)
+
+	// Unknown ids.
+	raw(t, http.MethodGet, "/v1/datasets/ds-nope", "secret", "", 404, serve.CodeNotFound)
+	raw(t, http.MethodGet, "/v1/sessions/s-404", "secret", "", 404, serve.CodeNotFound)
+	raw(t, http.MethodGet, "/v1/jobs/j-404", "secret", "", 404, serve.CodeNotFound)
+	raw(t, http.MethodGet, "/v1/jobs?session=s-404", "secret", "", 404, serve.CodeNotFound)
+	raw(t, http.MethodPost, "/v1/sessions", "secret", `{"dataset_id":"ds-nope"}`, 404, serve.CodeNotFound)
+
+	// Bad pagination.
+	raw(t, http.MethodGet, "/v1/jobs?limit=bogus", "secret", "", 400, serve.CodeBadRequest)
+
+	// Job limit: one long job saturates MaxJobsPerSession=1.
+	client := serve.NewClient(ts.URL, nil, serve.WithAPIKey("secret"))
+	ctx := context.Background()
+	ds, err := client.CreateDataset(ctx, serve.DatasetRequest{Format: serve.FormatPreset, Preset: 51, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := client.CreateSession(ctx, serve.SessionRequest{DatasetID: ds.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := testGAConfig(7)
+	long.StagnationLimit = 100000
+	long.MaxGenerations = 100000
+	job, err := client.StartJob(ctx, sess.ID, serve.JobRequest{Config: long})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw(t, http.MethodPost, "/v1/sessions/"+sess.ID+"/jobs", "secret",
+		`{"config":{"min_size":2,"max_size":3,"seed":1}}`, 429, serve.CodeBusy)
+	if _, err := client.StopJob(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeListPagination: jobs are listed in id order, pages chain
+// through next_cursor, and the session filter applies.
+func TestServeListPagination(t *testing.T) {
+	client, _ := newTestServer(t, serve.RegistryConfig{})
+	ctx := context.Background()
+
+	ds, err := client.CreateDataset(ctx, serve.DatasetRequest{Format: serve.FormatPreset, Preset: 51, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := client.CreateSession(ctx, serve.SessionRequest{DatasetID: ds.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := client.CreateSession(ctx, serve.SessionRequest{DatasetID: ds.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 5; i++ {
+		sess := s1.ID
+		if i == 4 {
+			sess = s2.ID
+		}
+		job, err := client.StartJob(ctx, sess, serve.JobRequest{Config: testGAConfig(uint64(i + 1))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, job.ID)
+		if _, err := client.StreamEvents(ctx, job.ID, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Page through all five, two at a time.
+	var got []string
+	cursor := ""
+	pages := 0
+	for {
+		jl, err := client.Jobs(ctx, serve.JobsQuery{Cursor: cursor, Limit: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ji := range jl.Jobs {
+			got = append(got, ji.ID)
+		}
+		pages++
+		if jl.NextCursor == "" {
+			break
+		}
+		cursor = jl.NextCursor
+	}
+	if pages != 3 || len(got) != 5 {
+		t.Fatalf("paged %d jobs over %d pages, want 5 over 3", len(got), pages)
+	}
+	for i, id := range ids {
+		if got[i] != id {
+			t.Fatalf("page order %v, want %v", got, ids)
+		}
+	}
+
+	// Session filter.
+	jl, err := client.Jobs(ctx, serve.JobsQuery{SessionID: s2.ID})
+	if err != nil || len(jl.Jobs) != 1 || jl.Jobs[0].ID != ids[4] {
+		t.Fatalf("session filter = %+v, %v; want only %s", jl, err, ids[4])
+	}
+	// Sessions and datasets list too.
+	sl, err := client.Sessions(ctx, "", 0)
+	if err != nil || len(sl.Sessions) != 2 {
+		t.Fatalf("sessions list = %+v, %v", sl, err)
+	}
+	sl1, err := client.Sessions(ctx, "", 1)
+	if err != nil || len(sl1.Sessions) != 1 || sl1.NextCursor == "" {
+		t.Fatalf("sessions page 1 = %+v, %v", sl1, err)
+	}
+}
+
+// TestClientStreamReconnect: a mid-stream connection loss is retried
+// once, the resumed stream deduplicates replayed generations, and the
+// final done event comes through.
+func TestClientStreamReconnect(t *testing.T) {
+	gen := func(n int) string {
+		return fmt.Sprintf("event: generation\ndata: {\"generation\":%d,\"evaluations\":%d}\n\n", n, n*10)
+	}
+	done := `event: done
+data: {"id":"j-1","session_id":"s-1","state":"done","report":{"running":false},"result":{"generations":3}}
+
+`
+	attempts := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/j-1/events", func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		if attempts == 1 {
+			// First attempt dies after one entry, without a done
+			// event — the signature of a dropped connection.
+			fmt.Fprint(w, gen(1), gen(2))
+			fl.Flush()
+			return
+		}
+		// The reattached stream re-seeds the latest entry (2), then
+		// continues.
+		fmt.Fprint(w, gen(2), gen(3), done)
+		fl.Flush()
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	var gens []int
+	final, err := serve.NewClient(ts.URL, ts.Client()).StreamEvents(context.Background(), "j-1", func(ev serve.Event) error {
+		if ev.Type == serve.EventGeneration {
+			gens = append(gens, ev.Entry.Generation)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one reconnect)", attempts)
+	}
+	if final == nil || final.State != serve.JobDone || final.Result == nil || final.Result.Generations != 3 {
+		t.Fatalf("final = %+v, want the done document", final)
+	}
+	want := []int{1, 2, 3}
+	if fmt.Sprint(gens) != fmt.Sprint(want) {
+		t.Fatalf("generations seen = %v, want %v (no replays)", gens, want)
+	}
+}
+
+// TestClientStreamCallbackErrorNoRetry: an error from the caller's fn
+// aborts the stream without a reconnect.
+func TestClientStreamCallbackErrorNoRetry(t *testing.T) {
+	attempts := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/j-1/events", func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "event: generation\ndata: {\"generation\":1}\n\n")
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	boom := errors.New("boom")
+	_, err := serve.NewClient(ts.URL, ts.Client()).StreamEvents(context.Background(), "j-1", func(ev serve.Event) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the callback error", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry on callback error)", attempts)
+	}
+}

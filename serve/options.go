@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"fmt"
+	"log/slog"
+
+	"repro"
+)
+
+// ServerOption configures NewServer, mirroring the repro facade's
+// functional-option style: WithStore makes the server durable,
+// WithAuth / WithRateLimit / WithLogger / WithMetrics wire the
+// production middlewares, WithMiddleware appends custom ones.
+type ServerOption func(*serverSettings) error
+
+// serverSettings is the merged option state of one NewServer call.
+type serverSettings struct {
+	store     Store
+	auth      []APIKey
+	authSet   bool
+	rateRPS   float64
+	rateBurst int
+	rateSet   bool
+	logger    *slog.Logger
+	loggerSet bool
+	metrics   bool
+	extra     []Middleware
+}
+
+// WithStore installs st as the registry's durable record store and
+// restores its contents before the server handles a single request
+// (Registry.UseStore): datasets, sessions and finished job results
+// come back, and job records left in state "running" by a crashed
+// process are rewritten as JobInterrupted. The registry must be
+// fresh — no datasets, sessions or jobs yet. Without this option the
+// registry retains no records at all (its default store discards
+// writes) and a restart forgets everything — the pre-durability
+// behavior at zero cost.
+func WithStore(st Store) ServerOption {
+	return func(s *serverSettings) error {
+		if st == nil {
+			return fmt.Errorf("%w: nil store", repro.ErrBadConfig)
+		}
+		s.store = st
+		return nil
+	}
+}
+
+// WithAuth turns on API-key authentication (AuthMiddleware) with the
+// given keys. At least one key is required; a key with no scopes may
+// do everything, one with only ScopeRead may not mutate. /healthz
+// stays open for liveness probes.
+func WithAuth(keys ...APIKey) ServerOption {
+	return func(s *serverSettings) error {
+		if len(keys) == 0 {
+			return fmt.Errorf("%w: WithAuth requires at least one key", repro.ErrBadConfig)
+		}
+		for _, k := range keys {
+			if k.Key == "" {
+				return fmt.Errorf("%w: empty API key", repro.ErrBadConfig)
+			}
+			for _, sc := range k.Scopes {
+				if sc != ScopeRead && sc != ScopeWrite {
+					return fmt.Errorf("%w: unknown scope %q (want %s or %s)", repro.ErrBadConfig, sc, ScopeRead, ScopeWrite)
+				}
+			}
+		}
+		s.auth = keys
+		s.authSet = true
+		return nil
+	}
+}
+
+// WithRateLimit turns on per-principal token-bucket rate limiting
+// (RateLimitMiddleware): rps requests per second, with bursts up to
+// burst. The principal is the authenticated API key when WithAuth is
+// also given, the client host otherwise. Rejected requests get 429
+// with a Retry-After header.
+func WithRateLimit(rps float64, burst int) ServerOption {
+	return func(s *serverSettings) error {
+		if rps <= 0 {
+			return fmt.Errorf("%w: non-positive rate %v", repro.ErrBadConfig, rps)
+		}
+		if burst < 1 {
+			return fmt.Errorf("%w: burst %d < 1", repro.ErrBadConfig, burst)
+		}
+		s.rateRPS = rps
+		s.rateBurst = burst
+		s.rateSet = true
+		return nil
+	}
+}
+
+// WithLogger turns on structured request logging (LoggingMiddleware)
+// through l; nil selects slog.Default(). One line per request:
+// method, path, status, duration, bytes, principal, remote.
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(s *serverSettings) error {
+		s.logger = l
+		s.loggerSet = true
+		return nil
+	}
+}
+
+// WithMetrics turns on the request-counter middleware and mounts the
+// GET /metrics endpoint serving a MetricsInfo document — request
+// totals, status breakdown, latency summary, and the evaluation
+// counters of every shared backend. The collector sits outermost in
+// the middleware chain, so rejected (401/429) requests are counted
+// too.
+func WithMetrics() ServerOption {
+	return func(s *serverSettings) error {
+		s.metrics = true
+		return nil
+	}
+}
+
+// WithMiddleware appends custom middlewares, applied after the
+// built-in ones (metrics → logging → auth → rate limit → yours →
+// routes), in the order given.
+func WithMiddleware(mws ...Middleware) ServerOption {
+	return func(s *serverSettings) error {
+		for _, mw := range mws {
+			if mw == nil {
+				return fmt.Errorf("%w: nil middleware", repro.ErrBadConfig)
+			}
+		}
+		s.extra = append(s.extra, mws...)
+		return nil
+	}
+}

@@ -2,9 +2,15 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -53,13 +59,25 @@ func (c RegistryConfig) withDefaults() RegistryConfig {
 // every session that selects it — one memoizing fitness cache per
 // dataset+backend, warmed by all users together. All methods are safe
 // for concurrent use.
+//
+// Every record mutation is written through the registry's Store. The
+// default is a discard store (process-lifetime state only, the
+// historical behavior, at zero marshaling cost); UseStore installs a
+// real one — ldserve -data-dir uses an FSStore — in which case
+// datasets, sessions and finished job results survive a restart and
+// jobs that were running when the previous process died come back in
+// state JobInterrupted.
 type Registry struct {
 	cfg RegistryConfig
 
+	persistFails atomic.Int64 // store writes/deletes that failed (see EngineTotals)
+
 	mu       sync.Mutex
+	store    Store
 	datasets map[string]*datasetEntry
 	sessions map[string]*sessionEntry
 	jobs     map[string]*jobEntry
+	archive  map[string]*archivedJob // restored from the store; no live handle
 	sessSeq  int
 	jobSeq   int
 	draining bool
@@ -82,6 +100,7 @@ type datasetEntry struct {
 	backends map[backendKey]repro.ParallelEvaluator
 	sessions int // live sessions referencing this dataset
 	lastUsed time.Time
+	ver      int64 // store record version
 }
 
 type sessionEntry struct {
@@ -93,23 +112,224 @@ type sessionEntry struct {
 	maxJobs   int
 	jobIDs    []string
 	lastUsed  time.Time
+	ver       int64 // store record version
+}
+
+// archivedJob is a job restored from the store after a restart: its
+// outcome document without a live Job handle. Restored "running"
+// records have already been rewritten as JobInterrupted.
+type archivedJob struct {
+	info JobInfo
+	ver  int64
+}
+
+// datasetRecord is the stored document of one dataset: the upload
+// description plus the original request, so a restart can rebuild the
+// in-memory genotype table (and verify its fingerprint) without
+// re-running the HWE scan.
+type datasetRecord struct {
+	Info    DatasetInfo    `json:"info"`
+	Request DatasetRequest `json:"request"`
+}
+
+// sessionRecord is the stored document of one session: the creation
+// description plus the original request (whose Workers field may be 0
+// = one per CPU), so the session and its shared backend can be
+// recreated after a restart.
+type sessionRecord struct {
+	Info    SessionInfo    `json:"info"`
+	Request SessionRequest `json:"request"`
 }
 
 // NewRegistry builds a registry and, unless cfg.SweepInterval is
-// negative, starts its idle-eviction janitor. Close releases
-// everything.
+// negative, starts its idle-eviction janitor. By default records are
+// not retained anywhere (the discard store): install a durable store
+// with UseStore before serving traffic to make the registry survive
+// restarts. Close releases everything.
 func NewRegistry(cfg RegistryConfig) *Registry {
 	r := &Registry{
 		cfg:      cfg.withDefaults(),
+		store:    discardStore{},
 		datasets: make(map[string]*datasetEntry),
 		sessions: make(map[string]*sessionEntry),
 		jobs:     make(map[string]*jobEntry),
+		archive:  make(map[string]*archivedJob),
 	}
 	if r.cfg.SweepInterval > 0 {
 		r.janitorEnd = make(chan struct{})
 		go r.janitor(r.janitorEnd)
 	}
 	return r
+}
+
+// UseStore installs st as the registry's record store and restores
+// its contents: datasets are rebuilt from their stored upload
+// requests (fingerprint-verified, HWE summary reused), sessions are
+// recreated over them with their original ids and shared backends,
+// finished job records become fetchable again, and records still in
+// state "running" — jobs the previous process never finished — are
+// rewritten as JobInterrupted. Records referencing vanished parents
+// are dropped.
+//
+// It must be called on a fresh registry, before any dataset, session
+// or job exists and before the registry serves any traffic;
+// NewServer's WithStore option calls it at the right moment. The
+// registry closes the store when it is closed itself.
+func (r *Registry) UseStore(st Store) error {
+	if st == nil {
+		return fmt.Errorf("%w: nil store", repro.ErrBadConfig)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.usable(); err != nil {
+		return err
+	}
+	if len(r.datasets)+len(r.sessions)+len(r.jobs)+len(r.archive) > 0 {
+		return fmt.Errorf("%w: UseStore requires a fresh registry", repro.ErrBadConfig)
+	}
+	r.store = st
+	return r.restoreLocked()
+}
+
+// restoreLocked rebuilds the in-memory state from the store, in
+// dependency order: datasets, then sessions, then jobs.
+func (r *Registry) restoreLocked() error {
+	now := time.Now()
+
+	dsRecs, err := r.store.List(KindDataset)
+	if err != nil {
+		return err
+	}
+	for _, rec := range dsRecs {
+		var dr datasetRecord
+		if err := json.Unmarshal(rec.Data, &dr); err != nil {
+			return fmt.Errorf("serve: restore: dataset %s: %w", rec.ID, err)
+		}
+		data, err := buildDataset(dr.Request)
+		if err != nil || datasetID(data) != rec.ID {
+			// The stored request no longer reproduces the fingerprint
+			// it was filed under (corruption, format drift): drop it.
+			r.deleteRecord(KindDataset, rec.ID)
+			continue
+		}
+		r.datasets[rec.ID] = &datasetEntry{
+			id:       rec.ID,
+			data:     data,
+			info:     dr.Info,
+			backends: make(map[backendKey]repro.ParallelEvaluator),
+			lastUsed: now,
+			ver:      rec.Version,
+		}
+	}
+
+	sessRecs, err := r.store.List(KindSession)
+	if err != nil {
+		return err
+	}
+	for _, rec := range sessRecs {
+		var sr sessionRecord
+		if err := json.Unmarshal(rec.Data, &sr); err != nil {
+			return fmt.Errorf("serve: restore: session %s: %w", rec.ID, err)
+		}
+		if n, ok := seqOf(rec.ID, "s-"); ok && n > r.sessSeq {
+			r.sessSeq = n
+		}
+		de, ok := r.datasets[sr.Request.DatasetID]
+		if !ok {
+			r.deleteRecord(KindSession, rec.ID) // dataset gone: orphan
+			continue
+		}
+		se, err := r.addSessionLocked(rec.ID, sr.Request, de)
+		if err != nil {
+			return fmt.Errorf("serve: restore: session %s: %w", rec.ID, err)
+		}
+		se.ver = rec.Version
+	}
+
+	jobRecs, err := r.store.List(KindJob)
+	if err != nil {
+		return err
+	}
+	for _, rec := range jobRecs {
+		var info JobInfo
+		if err := json.Unmarshal(rec.Data, &info); err != nil {
+			return fmt.Errorf("serve: restore: job %s: %w", rec.ID, err)
+		}
+		if n, ok := seqOf(rec.ID, "j-"); ok && n > r.jobSeq {
+			r.jobSeq = n
+		}
+		se, ok := r.sessions[info.SessionID]
+		if !ok {
+			r.deleteRecord(KindJob, rec.ID) // session gone: orphan
+			continue
+		}
+		if info.State == JobRunning {
+			// The previous process died mid-run: no result was ever
+			// persisted. Mark the record so clients see what happened.
+			info.State = JobInterrupted
+			info.Error = "job interrupted by server restart before completion; resubmit to recompute"
+			info.Report.Running = false
+			b, err := json.Marshal(info)
+			if err != nil {
+				return fmt.Errorf("serve: restore: job %s: %w", rec.ID, err)
+			}
+			stored, err := r.store.Put(KindJob, Record{ID: rec.ID, Version: rec.Version, Data: b})
+			if err != nil {
+				return fmt.Errorf("serve: restore: job %s: %w", rec.ID, err)
+			}
+			rec.Version = stored.Version
+		}
+		r.archive[rec.ID] = &archivedJob{info: info, ver: rec.Version}
+		se.jobIDs = append(se.jobIDs, rec.ID)
+	}
+	return nil
+}
+
+// seqOf parses the numeric suffix of a "s-12" / "j-7" style id.
+func seqOf(id, prefix string) (int, bool) {
+	if !strings.HasPrefix(id, prefix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[len(prefix):])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// storeDiscards reports whether the registry runs on the default
+// discard store, letting hot paths skip marshaling entirely.
+func (r *Registry) storeDiscards() bool {
+	_, ok := r.store.(discardStore)
+	return ok
+}
+
+// putRecord marshals payload and writes it through the store at the
+// given CAS version, returning the new version. It takes no lock:
+// callers decide whether the (possibly fsync'd) write happens inside
+// or outside the registry mutex.
+func (r *Registry) putRecord(kind Kind, id string, ver int64, payload any) (int64, error) {
+	if r.storeDiscards() {
+		return ver + 1, nil
+	}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return 0, err
+	}
+	rec, err := r.store.Put(kind, Record{ID: id, Version: ver, Data: b})
+	if err != nil {
+		return 0, err
+	}
+	return rec.Version, nil
+}
+
+// deleteRecord removes a record, counting and logging real store
+// failures (an undeletable record resurfaces after a restart).
+func (r *Registry) deleteRecord(kind Kind, id string) {
+	if err := r.store.Delete(kind, id); err != nil {
+		r.persistFails.Add(1)
+		slog.Warn("serve: deleting store record failed", "kind", string(kind), "id", id, "err", err)
+	}
 }
 
 // janitor receives its end channel as an argument so it never reads
@@ -131,6 +351,8 @@ func (r *Registry) janitor(end <-chan struct{}) {
 // returns its description. The id is derived from the dataset
 // fingerprint, so identical content registers once: a re-upload
 // returns the existing entry and shares its warmed fitness caches.
+// The record (description plus the original request) is persisted
+// through the store before the upload is acknowledged.
 func (r *Registry) AddDataset(req DatasetRequest) (DatasetInfo, error) {
 	r.mu.Lock()
 	err := r.usable()
@@ -152,8 +374,17 @@ func (r *Registry) AddDataset(req DatasetRequest) (DatasetInfo, error) {
 	}
 	r.mu.Unlock()
 
-	// The per-SNP HWE QC scan runs outside the registry lock.
+	// The per-SNP HWE QC scan — and the record marshal, which copies
+	// the full upload payload — run outside the registry lock.
 	info := describeDataset(id, data)
+	var recJSON []byte
+	if !r.storeDiscards() {
+		var err error
+		recJSON, err = json.Marshal(datasetRecord{Info: info, Request: req})
+		if err != nil {
+			return DatasetInfo{}, fmt.Errorf("serve: persist dataset: %w", err)
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.usable(); err != nil {
@@ -163,12 +394,26 @@ func (r *Registry) AddDataset(req DatasetRequest) (DatasetInfo, error) {
 		e.lastUsed = time.Now()
 		return e.info, nil
 	}
+	// The fsync'd Put stays under the lock here (unlike the per-job
+	// writes): dataset registration is rare — once per distinct
+	// upload — and the lock is what makes the fingerprint-dedup
+	// check-then-create atomic. Only the payload marshal above, the
+	// expensive part for large uploads, runs outside.
+	var ver int64 = 1
+	if !r.storeDiscards() {
+		rec, err := r.store.Put(KindDataset, Record{ID: id, Data: recJSON})
+		if err != nil {
+			return DatasetInfo{}, fmt.Errorf("serve: persist dataset: %w", err)
+		}
+		ver = rec.Version
+	}
 	r.datasets[id] = &datasetEntry{
 		id:       id,
 		data:     data,
 		info:     info,
 		backends: make(map[backendKey]repro.ParallelEvaluator),
 		lastUsed: time.Now(),
+		ver:      ver,
 	}
 	return info, nil
 }
@@ -189,19 +434,9 @@ func (r *Registry) Dataset(id string) (DatasetInfo, error) {
 // session borrows the registry's shared evaluation backend for its
 // (dataset, backend, statistic, workers) combination — creating it on
 // first use — so its memoized fitness survives the session and serves
-// every other session on the same study.
+// every other session on the same study. The session record is
+// persisted through the store before the creation is acknowledged.
 func (r *Registry) CreateSession(req SessionRequest) (SessionInfo, error) {
-	be, err := parseBackend(req.Backend)
-	if err != nil {
-		return SessionInfo{}, fmt.Errorf("%w: %v", repro.ErrBadConfig, err)
-	}
-	stat, err := parseStatistic(req.Statistic)
-	if err != nil {
-		return SessionInfo{}, fmt.Errorf("%w: %v", repro.ErrBadConfig, err)
-	}
-	if req.Workers < 0 {
-		return SessionInfo{}, fmt.Errorf("%w: negative worker count %d", repro.ErrBadConfig, req.Workers)
-	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.usable(); err != nil {
@@ -211,12 +446,42 @@ func (r *Registry) CreateSession(req SessionRequest) (SessionInfo, error) {
 	if !ok {
 		return SessionInfo{}, fmt.Errorf("%w: dataset %q", ErrNotFound, req.DatasetID)
 	}
+	id := fmt.Sprintf("s-%d", r.sessSeq+1)
+	se, err := r.addSessionLocked(id, req, de)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	ver, err := r.putRecord(KindSession, id, 0, sessionRecord{Info: r.sessionInfoLocked(se), Request: req})
+	if err != nil {
+		r.removeSessionLocked(se)
+		return SessionInfo{}, fmt.Errorf("serve: persist session: %w", err)
+	}
+	se.ver = ver
+	r.sessSeq++
+	return r.sessionInfoLocked(se), nil
+}
+
+// addSessionLocked validates req, borrows (or creates) the shared
+// backend, builds the live session and registers it under id. Both
+// CreateSession and restore use it.
+func (r *Registry) addSessionLocked(id string, req SessionRequest, de *datasetEntry) (*sessionEntry, error) {
+	be, err := parseBackend(req.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", repro.ErrBadConfig, err)
+	}
+	stat, err := parseStatistic(req.Statistic)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", repro.ErrBadConfig, err)
+	}
+	if req.Workers < 0 {
+		return nil, fmt.Errorf("%w: negative worker count %d", repro.ErrBadConfig, req.Workers)
+	}
 	key := backendKey{backend: be, stat: stat, workers: req.Workers}
 	ev, ok := de.backends[key]
 	if !ok {
 		ev, err = repro.NewBackend(de.data, stat, be, req.Workers)
 		if err != nil {
-			return SessionInfo{}, err
+			return nil, err
 		}
 		de.backends[key] = ev
 	}
@@ -225,11 +490,10 @@ func (r *Registry) CreateSession(req SessionRequest) (SessionInfo, error) {
 		repro.WithStatistic(stat),
 		repro.WithJobLimit(r.cfg.MaxJobsPerSession))
 	if err != nil {
-		return SessionInfo{}, err
+		return nil, err
 	}
-	r.sessSeq++
 	se := &sessionEntry{
-		id:        fmt.Sprintf("s-%d", r.sessSeq),
+		id:        id,
 		datasetID: de.id,
 		sess:      sess,
 		backend:   cli.BackendName(be),
@@ -240,7 +504,16 @@ func (r *Registry) CreateSession(req SessionRequest) (SessionInfo, error) {
 	r.sessions[se.id] = se
 	de.sessions++
 	de.lastUsed = se.lastUsed
-	return r.sessionInfoLocked(se), nil
+	return se, nil
+}
+
+// removeSessionLocked unwinds addSessionLocked (persist failed).
+func (r *Registry) removeSessionLocked(se *sessionEntry) {
+	se.sess.Close()
+	delete(r.sessions, se.id)
+	if de, ok := r.datasets[se.datasetID]; ok {
+		de.sessions--
+	}
 }
 
 func (r *Registry) sessionInfoLocked(se *sessionEntry) SessionInfo {
@@ -294,9 +567,41 @@ func (r *Registry) Stats(id string) (SessionStats, error) {
 	return st, nil
 }
 
+// EngineTotals sums the counters of every shared evaluation backend
+// currently alive in the registry — the process-wide view the
+// /metrics endpoint exposes. Backends that track no counters (the
+// master/slave fidelity pools) contribute only to the backend count.
+func (r *Registry) EngineTotals() EngineTotals {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var t EngineTotals
+	t.Datasets = len(r.datasets)
+	t.Sessions = len(r.sessions)
+	t.StoreFailures = r.persistFails.Load()
+	for _, de := range r.datasets {
+		for _, ev := range de.backends {
+			t.Backends++
+			rep, ok := ev.(interface{ Report() repro.EngineReport })
+			if !ok {
+				continue
+			}
+			rp := rep.Report()
+			t.Requests += rp.Requests
+			t.Computed += rp.Computed
+			t.CacheHits += rp.CacheHits
+			t.Coalesced += rp.Coalesced
+			t.CacheEntries += rp.CacheEntries
+		}
+	}
+	return t
+}
+
 // StartJob launches one background GA run on the session via
 // Session.Start. The per-session job limit is enforced by the session
-// itself (repro.ErrSessionBusy → HTTP 429).
+// itself (repro.ErrSessionBusy → HTTP 429). The job record is
+// persisted in state "running" before the creation is acknowledged,
+// and re-persisted with the outcome when the run ends — which is how
+// a restart can tell finished jobs from interrupted ones.
 func (r *Registry) StartJob(sessionID string, req JobRequest) (JobInfo, error) {
 	r.mu.Lock()
 	if err := r.usable(); err != nil {
@@ -336,14 +641,25 @@ func (r *Registry) StartJob(sessionID string, req JobRequest) (JobInfo, error) {
 		job:       job,
 		cancel:    cancel,
 	}
+	// Persist the record in state "running" before the job becomes
+	// visible, keeping the (possibly fsync'd) write outside the
+	// registry lock so it never stalls concurrent readers.
+	info := je.info()
+	ver, err := r.putRecord(KindJob, id, 0, info)
+	if err != nil {
+		job.Stop()
+		return JobInfo{}, fmt.Errorf("serve: persist job: %w", err)
+	}
+	je.storeVer = ver
 	r.mu.Lock()
 	// Re-check after re-acquiring the lock: a drain (or Close) that
 	// began while Start ran has already snapshotted r.jobs — and
 	// Close may already be waiting on jobsWG — so this job must not
-	// register; stop it and reject.
+	// register; stop it, take its record back out, and reject.
 	if err := r.usable(); err != nil {
 		r.mu.Unlock()
 		job.Stop()
+		r.deleteRecord(KindJob, id)
 		return JobInfo{}, err
 	}
 	r.jobs[id] = je
@@ -351,38 +667,85 @@ func (r *Registry) StartJob(sessionID string, req JobRequest) (JobInfo, error) {
 	r.jobsWG.Add(1)
 	r.mu.Unlock()
 	go je.pump(r)
-	return je.info(), nil
+	return info, nil
 }
 
-func (r *Registry) jobEntry(id string) (*jobEntry, error) {
+// persistJobFinal re-writes the job's record with its terminal state
+// and result; the pump calls it once when the run ends. The fsync'd
+// write happens outside the registry lock; the CAS version protects
+// against the record having moved on (evicted with its session, or
+// rewritten as interrupted by a successor process) — those conflicts
+// are benign and skipped, while real store failures are counted
+// (EngineTotals.StoreFailures) and logged, since they mean the result
+// will not survive a restart.
+func (r *Registry) persistJobFinal(je *jobEntry) {
+	info := je.info() // outside the lock: hits the Job handle
+	r.mu.Lock()
+	if _, ok := r.jobs[je.id]; !ok {
+		r.mu.Unlock()
+		return // evicted: record deleted with its session
+	}
+	ver := je.storeVer
+	r.mu.Unlock()
+	newVer, err := r.putRecord(KindJob, je.id, ver, info)
+	if err != nil {
+		if !errors.Is(err, ErrVersionConflict) {
+			r.persistFails.Add(1)
+			slog.Warn("serve: persisting job outcome failed; the result will not survive a restart",
+				"job", je.id, "state", info.State, "err", err)
+		}
+		return
+	}
+	r.mu.Lock()
+	if _, ok := r.jobs[je.id]; ok {
+		je.storeVer = newVer
+	}
+	r.mu.Unlock()
+}
+
+// jobRef resolves a job id to its live entry or its archived record.
+func (r *Registry) jobRef(id string) (*jobEntry, *archivedJob, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	je, ok := r.jobs[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	if je, ok := r.jobs[id]; ok {
+		if se, ok := r.sessions[je.sessionID]; ok {
+			se.lastUsed = time.Now()
+		}
+		return je, nil, nil
 	}
-	if se, ok := r.sessions[je.sessionID]; ok {
-		se.lastUsed = time.Now()
+	if aj, ok := r.archive[id]; ok {
+		if se, ok := r.sessions[aj.info.SessionID]; ok {
+			se.lastUsed = time.Now()
+		}
+		return nil, aj, nil
 	}
-	return je, nil
+	return nil, nil, fmt.Errorf("%w: job %q", ErrNotFound, id)
 }
 
 // Job returns a job's live status (and, once finished, its result).
+// After a restart against a durable store, finished jobs answer with
+// their persisted outcome and interrupted ones with JobInterrupted.
 func (r *Registry) Job(id string) (JobInfo, error) {
-	je, err := r.jobEntry(id)
+	je, aj, err := r.jobRef(id)
 	if err != nil {
 		return JobInfo{}, err
+	}
+	if aj != nil {
+		return aj.info, nil
 	}
 	return je.info(), nil
 }
 
 // StopJob cancels a running job and waits for it to wind down,
-// returning the partial result. Stopping a finished job returns its
-// outcome unchanged.
+// returning the partial result. Stopping a finished (or restored)
+// job returns its outcome unchanged.
 func (r *Registry) StopJob(id string) (JobInfo, error) {
-	je, err := r.jobEntry(id)
+	je, aj, err := r.jobRef(id)
 	if err != nil {
 		return JobInfo{}, err
+	}
+	if aj != nil {
+		return aj.info, nil
 	}
 	je.job.Stop()
 	return je.info(), nil
@@ -393,11 +756,18 @@ func (r *Registry) StopJob(id string) (JobInfo, error) {
 // Job.Progress (a slow reader misses old generations, never blocks
 // the GA or other subscribers) and is closed when the run ends. The
 // latest entry, if any, is delivered first, so a late subscriber sees
-// the current state immediately. Call off to detach.
+// the current state immediately. For a finished or restored job the
+// channel is already closed — the caller reads the outcome from Job.
+// Call off to detach.
 func (r *Registry) Subscribe(jobID string) (ch <-chan repro.TraceEntry, off func(), err error) {
-	je, err := r.jobEntry(jobID)
+	je, aj, err := r.jobRef(jobID)
 	if err != nil {
 		return nil, nil, err
+	}
+	if aj != nil {
+		closed := make(chan repro.TraceEntry)
+		close(closed)
+		return closed, func() {}, nil
 	}
 	ch, detach, err := je.subscribe()
 	if err != nil {
@@ -421,12 +791,123 @@ func (r *Registry) touchSession(id string) {
 	r.mu.Unlock()
 }
 
+// listLimit clamps a page size: non-positive means the default.
+func listLimit(limit int) int {
+	const def, max = 100, 500
+	if limit <= 0 {
+		return def
+	}
+	if limit > max {
+		return max
+	}
+	return limit
+}
+
+// idLess orders registry ids numerically within one prefix ("j-2"
+// before "j-10") and lexically otherwise (fingerprint dataset ids).
+func idLess(a, b string) bool {
+	for _, prefix := range []string{"j-", "s-"} {
+		an, aok := seqOf(a, prefix)
+		bn, bok := seqOf(b, prefix)
+		if aok && bok {
+			return an < bn
+		}
+	}
+	return a < b
+}
+
+// page applies cursor+limit to an id-sorted slice, returning the page
+// and the next cursor ("" when the listing is exhausted).
+func page[T any](items []T, idOf func(T) string, cursor string, limit int) ([]T, string) {
+	start := 0
+	if cursor != "" {
+		for start < len(items) && !idLess(cursor, idOf(items[start])) {
+			start++
+		}
+	}
+	limit = listLimit(limit)
+	end := start + limit
+	if end >= len(items) {
+		return items[start:], ""
+	}
+	return items[start:end], idOf(items[end-1])
+}
+
+// ListDatasets returns one page of registered datasets, sorted by id.
+// cursor is the next_cursor of the previous page ("" for the first);
+// limit <= 0 means the default page size (100, capped at 500).
+func (r *Registry) ListDatasets(cursor string, limit int) (DatasetList, error) {
+	r.mu.Lock()
+	infos := make([]DatasetInfo, 0, len(r.datasets))
+	for _, de := range r.datasets {
+		infos = append(infos, de.info)
+	}
+	r.mu.Unlock()
+	sortByID(infos, func(i DatasetInfo) string { return i.ID })
+	items, next := page(infos, func(i DatasetInfo) string { return i.ID }, cursor, limit)
+	return DatasetList{Datasets: items, NextCursor: next}, nil
+}
+
+// ListSessions returns one page of live sessions, sorted by id
+// (numerically). Pagination as in ListDatasets.
+func (r *Registry) ListSessions(cursor string, limit int) (SessionList, error) {
+	r.mu.Lock()
+	infos := make([]SessionInfo, 0, len(r.sessions))
+	for _, se := range r.sessions {
+		infos = append(infos, r.sessionInfoLocked(se))
+	}
+	r.mu.Unlock()
+	sortByID(infos, func(i SessionInfo) string { return i.ID })
+	items, next := page(infos, func(i SessionInfo) string { return i.ID }, cursor, limit)
+	return SessionList{Sessions: items, NextCursor: next}, nil
+}
+
+// ListJobs returns one page of job records — live and restored —
+// sorted by id (numerically), optionally filtered to one session
+// (unknown session ids answer ErrNotFound). Pagination as in
+// ListDatasets.
+func (r *Registry) ListJobs(sessionID, cursor string, limit int) (JobList, error) {
+	r.mu.Lock()
+	if sessionID != "" {
+		if _, ok := r.sessions[sessionID]; !ok {
+			r.mu.Unlock()
+			return JobList{}, fmt.Errorf("%w: session %q", ErrNotFound, sessionID)
+		}
+		r.sessions[sessionID].lastUsed = time.Now()
+	}
+	live := make([]*jobEntry, 0, len(r.jobs))
+	for _, je := range r.jobs {
+		if sessionID == "" || je.sessionID == sessionID {
+			live = append(live, je)
+		}
+	}
+	infos := make([]JobInfo, 0, len(live)+len(r.archive))
+	for _, aj := range r.archive {
+		if sessionID == "" || aj.info.SessionID == sessionID {
+			infos = append(infos, aj.info)
+		}
+	}
+	r.mu.Unlock()
+	for _, je := range live {
+		infos = append(infos, je.info()) // outside the lock: hits the Job handle
+	}
+	sortByID(infos, func(i JobInfo) string { return i.ID })
+	items, next := page(infos, func(i JobInfo) string { return i.ID }, cursor, limit)
+	return JobList{Jobs: items, NextCursor: next}, nil
+}
+
+// sortByID sorts items by registry id order (see idLess).
+func sortByID[T any](items []T, idOf func(T) string) {
+	sort.Slice(items, func(i, j int) bool { return idLess(idOf(items[i]), idOf(items[j])) })
+}
+
 // BeginDrain puts the registry in drain mode: every running job is
 // cancelled through its context (winding down within one generation
 // and keeping its partial result fetchable), and mutating calls —
 // AddDataset, CreateSession, StartJob — are rejected with ErrDraining.
 // Reads and event streams keep working so clients can collect what
-// their cancelled jobs produced.
+// their cancelled jobs produced. Drain does not delete records: a
+// durable store keeps everything for the next process.
 func (r *Registry) BeginDrain() {
 	r.mu.Lock()
 	r.draining = true
@@ -467,10 +948,13 @@ func (r *Registry) usable() error {
 
 // Sweep applies the idle-eviction policy as of now: sessions idle
 // longer than SessionTTL with no running job are closed (their job
-// records go with them), and datasets no session references for
-// longer than DatasetTTL are dropped, closing their shared backends
-// and releasing the memoized caches. The janitor calls this
-// periodically; tests may call it directly with a synthetic clock.
+// records — live and restored — go with them, including the persisted
+// ones), and datasets no session references for longer than
+// DatasetTTL are dropped, closing their shared backends and releasing
+// the memoized caches. Eviction means "forgotten": it deletes the
+// store records too, so an evicted id stays gone across restarts. The
+// janitor calls this periodically; tests may call it directly with a
+// synthetic clock.
 func (r *Registry) Sweep(now time.Time) (evictedSessions, evictedDatasets int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -492,6 +976,7 @@ func (r *Registry) Sweep(now time.Time) (evictedSessions, evictedDatasets int) {
 			ev.Close()
 		}
 		delete(r.datasets, id)
+		r.deleteRecord(KindDataset, id)
 		evictedDatasets++
 	}
 	return evictedSessions, evictedDatasets
@@ -508,13 +993,17 @@ func (r *Registry) sessionStreamedLocked(se *sessionEntry) bool {
 	return false
 }
 
-// dropSessionLocked closes one session and forgets its job records.
+// dropSessionLocked closes one session and forgets its job records —
+// in memory and in the store.
 func (r *Registry) dropSessionLocked(id string, se *sessionEntry, now time.Time) {
 	se.sess.Close()
 	for _, jid := range se.jobIDs {
 		delete(r.jobs, jid)
+		delete(r.archive, jid)
+		r.deleteRecord(KindJob, jid)
 	}
 	delete(r.sessions, id)
+	r.deleteRecord(KindSession, id)
 	if de, ok := r.datasets[se.datasetID]; ok {
 		de.sessions--
 		if de.lastUsed.Before(now) {
@@ -523,8 +1012,10 @@ func (r *Registry) dropSessionLocked(id string, se *sessionEntry, now time.Time)
 	}
 }
 
-// Close drains the registry, waits for every job to wind down, and
-// releases all sessions and backends. It is idempotent.
+// Close drains the registry, waits for every job to wind down (their
+// final records are persisted on the way out), and releases all
+// sessions, backends and the store. A durable store keeps its files;
+// the next process restores from them. Close is idempotent.
 func (r *Registry) Close() {
 	r.mu.Lock()
 	if r.closed {
@@ -547,12 +1038,14 @@ func (r *Registry) Close() {
 	}
 	r.sessions = map[string]*sessionEntry{}
 	r.jobs = map[string]*jobEntry{}
+	r.archive = map[string]*archivedJob{}
 	for _, de := range r.datasets {
 		for _, ev := range de.backends {
 			ev.Close()
 		}
 	}
 	r.datasets = map[string]*datasetEntry{}
+	r.store.Close()
 }
 
 // buildDataset materializes the uploaded dataset. All failures wrap

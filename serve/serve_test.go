@@ -22,13 +22,18 @@ func testGAConfig(seed uint64) repro.GAConfig {
 	}
 }
 
-func newTestServer(t *testing.T, cfg serve.RegistryConfig) (*serve.Client, *serve.Registry) {
+func newTestServer(t *testing.T, cfg serve.RegistryConfig, opts ...serve.ServerOption) (*serve.Client, *serve.Registry) {
 	t.Helper()
 	if cfg.SweepInterval == 0 {
 		cfg.SweepInterval = -1 // tests sweep explicitly
 	}
 	reg := serve.NewRegistry(cfg)
-	ts := httptest.NewServer(serve.NewServer(reg))
+	srv, err := serve.NewServer(reg, opts...)
+	if err != nil {
+		reg.Close()
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()
 		reg.Close()

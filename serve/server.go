@@ -14,33 +14,79 @@ import (
 // types, translates registry errors to statuses, and streams job
 // progress as server-sent events. It is an http.Handler; mount it at
 // the root of an http.Server (the /v1 prefix is part of its routes).
+// NewServer's functional options wire the durability and operability
+// seams: a Store for record persistence and the middleware chain
+// (auth, rate limiting, request logging, metrics).
 type Server struct {
-	reg *Registry
-	mux *http.ServeMux
+	reg     *Registry
+	mux     *http.ServeMux
+	handler http.Handler
+	metrics *Metrics
 }
 
-// NewServer builds the handler over the registry. The registry's
-// lifecycle stays with the caller (Close it after the http.Server
-// shuts down).
-func NewServer(reg *Registry) *Server {
+// NewServer builds the handler over the registry, applying the
+// options: WithStore installs (and restores from) a durable record
+// store, WithAuth / WithRateLimit / WithLogger / WithMetrics /
+// WithMiddleware assemble the middleware chain in the fixed order
+// metrics → logging → auth → rate limit → custom → routes. The
+// registry's lifecycle stays with the caller (Close it after the
+// http.Server shuts down).
+func NewServer(reg *Registry, opts ...ServerOption) (*Server, error) {
+	var st serverSettings
+	for _, o := range opts {
+		if o == nil {
+			return nil, fmt.Errorf("%w: nil server option", repro.ErrBadConfig)
+		}
+		if err := o(&st); err != nil {
+			return nil, err
+		}
+	}
+	if st.store != nil {
+		if err := reg.UseStore(st.store); err != nil {
+			return nil, err
+		}
+	}
+
 	s := &Server{reg: reg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/datasets", s.postDataset)
+	s.mux.HandleFunc("GET /v1/datasets", s.listDatasets)
 	s.mux.HandleFunc("GET /v1/datasets/{id}", s.getDataset)
 	s.mux.HandleFunc("POST /v1/sessions", s.postSession)
+	s.mux.HandleFunc("GET /v1/sessions", s.listSessions)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.getSession)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/stats", s.getStats)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/jobs", s.postJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.listJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.deleteJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.getEvents)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
-	return s
+
+	var mws []Middleware
+	if st.metrics {
+		s.metrics = NewMetrics()
+		s.mux.HandleFunc("GET /metrics", s.getMetrics)
+		mws = append(mws, s.metrics.Middleware())
+	}
+	if st.loggerSet {
+		mws = append(mws, LoggingMiddleware(st.logger))
+	}
+	if st.authSet {
+		mws = append(mws, AuthMiddleware(st.auth...))
+	}
+	if st.rateSet {
+		mws = append(mws, RateLimitMiddleware(st.rateRPS, st.rateBurst))
+	}
+	mws = append(mws, st.extra...)
+	s.handler = Chain(s.mux, mws...)
+	return s, nil
 }
 
-// ServeHTTP dispatches to the versioned routes.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP dispatches through the middleware chain to the versioned
+// routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // Registry returns the registry behind the server (for drain and
 // lifecycle control by the embedding process).
@@ -87,6 +133,20 @@ func decode(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
+// pageParams reads the ?cursor= and ?limit= query parameters. A
+// malformed or negative limit is a bad_request.
+func pageParams(r *http.Request) (cursor string, limit int, err error) {
+	q := r.URL.Query()
+	cursor = q.Get("cursor")
+	if s := q.Get("limit"); s != "" {
+		limit, err = strconv.Atoi(s)
+		if err != nil || limit < 0 {
+			return "", 0, fmt.Errorf("%w: invalid limit %q", repro.ErrBadConfig, s)
+		}
+	}
+	return cursor, limit, nil
+}
+
 func (s *Server) postDataset(w http.ResponseWriter, r *http.Request) {
 	var req DatasetRequest
 	if err := decode(w, r, &req); err != nil {
@@ -108,6 +168,20 @@ func (s *Server) getDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) listDatasets(w http.ResponseWriter, r *http.Request) {
+	cursor, limit, err := pageParams(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	list, err := s.reg.ListDatasets(cursor, limit)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, list)
 }
 
 func (s *Server) postSession(w http.ResponseWriter, r *http.Request) {
@@ -133,6 +207,20 @@ func (s *Server) getSession(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+func (s *Server) listSessions(w http.ResponseWriter, r *http.Request) {
+	cursor, limit, err := pageParams(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	list, err := s.reg.ListSessions(cursor, limit)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
 func (s *Server) getStats(w http.ResponseWriter, r *http.Request) {
 	st, err := s.reg.Stats(r.PathValue("id"))
 	if err != nil {
@@ -140,6 +228,10 @@ func (s *Server) getStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) getMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Info(s.reg.EngineTotals()))
 }
 
 func (s *Server) postJob(w http.ResponseWriter, r *http.Request) {
@@ -165,6 +257,20 @@ func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ji)
 }
 
+func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
+	cursor, limit, err := pageParams(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	list, err := s.reg.ListJobs(r.URL.Query().Get("session"), cursor, limit)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
 func (s *Server) deleteJob(w http.ResponseWriter, r *http.Request) {
 	ji, err := s.reg.StopJob(r.PathValue("id"))
 	if err != nil {
@@ -178,6 +284,8 @@ func (s *Server) deleteJob(w http.ResponseWriter, r *http.Request) {
 // "generation" event per received TraceEntry (conflated — see
 // Registry.Subscribe) and a final "done" event carrying the JobInfo.
 // The stream ends when the run does or when the client disconnects.
+// For a finished — or restored — job the channel is already closed,
+// so the stream is just the terminating done event.
 func (s *Server) getEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	ch, off, err := s.reg.Subscribe(id)

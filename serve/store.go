@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kind names one of the three record collections a Store persists.
+// Kinds are fixed by the registry's data model; a Store implementation
+// must accept exactly these values (FSStore uses them as directory
+// names).
+type Kind string
+
+// The record collections of the registry's durable state.
+const (
+	// KindDataset holds one record per registered dataset: its
+	// description plus the original upload request, so a restart can
+	// rebuild the in-memory genotype table.
+	KindDataset Kind = "datasets"
+	// KindSession holds one record per live session: its
+	// configuration (dataset id, backend, statistic, workers), enough
+	// to recreate the session and its shared backend after a restart.
+	KindSession Kind = "sessions"
+	// KindJob holds one record per job: the JobInfo document,
+	// re-written with the final state and result when the run ends. A
+	// record still in state "running" after a restart marks a job the
+	// previous process never finished; restore rewrites it as
+	// JobInterrupted.
+	KindJob Kind = "jobs"
+)
+
+// Record is one durable document in a Store: an id, an opaque JSON
+// payload, and a version counter driving optimistic concurrency
+// (compare-and-swap) on Put.
+type Record struct {
+	// ID is the record key, unique within its Kind. Implementations
+	// may constrain the alphabet (FSStore uses the id as a file name
+	// and rejects path separators); the registry's ids — "ds-" + hex,
+	// "s-" + n, "j-" + n — are always acceptable.
+	ID string `json:"id"`
+	// Version is the CAS field. On Put, it must be 0 to create the
+	// record (failing with ErrVersionConflict if the id exists) or
+	// equal to the stored version to replace it; the stored version is
+	// then incremented. Get and List return the current version.
+	Version int64 `json:"version"`
+	// Data is the JSON document payload, opaque to the store.
+	Data json.RawMessage `json:"data"`
+}
+
+// ErrVersionConflict is returned by Store.Put when the record's
+// Version does not match the stored state: creating an id that exists,
+// or replacing with a stale version. The caller should re-Get and
+// retry (or give up).
+var ErrVersionConflict = errors.New("serve: store version conflict")
+
+// Store persists the registry's dataset, session and job records. It
+// is the durability seam of the serving layer: the registry writes
+// every record mutation through its Store, so a file-backed
+// implementation (FSStore) makes datasets and finished job results
+// survive a process restart; MemStore offers readable-back in-memory
+// records, and the registry's default (a discard store) retains
+// nothing. Implementations must be safe for concurrent use.
+//
+// Put implements compare-and-swap on Record.Version (see Record); Get
+// returns an error wrapping ErrNotFound for an unknown id; Delete is
+// idempotent (deleting a missing id is not an error); List returns
+// every record of a kind sorted by id. Close releases any resources;
+// the registry closes its store when it is closed itself.
+type Store interface {
+	// Put creates (Version 0) or replaces (Version equal to stored)
+	// the record, returning the stored record with its incremented
+	// version. A mismatch fails with ErrVersionConflict.
+	Put(kind Kind, rec Record) (Record, error)
+	// Get returns the record, or an error wrapping ErrNotFound.
+	Get(kind Kind, id string) (Record, error)
+	// List returns all records of the kind, sorted by id.
+	List(kind Kind) ([]Record, error)
+	// Delete removes the record; deleting a missing id is a no-op.
+	Delete(kind Kind, id string) error
+	// Close releases the store's resources.
+	Close() error
+}
+
+// discardStore is the registry's default Store when no durability is
+// configured: it accepts every write (handing back plausible CAS
+// versions) and retains nothing, so the registry pays neither the
+// marshaling nor the memory of record copies that could never be
+// restored — the process's in-memory maps remain the only state,
+// exactly the pre-durability behavior. Install a real store with
+// Registry.UseStore (or NewServer's WithStore).
+type discardStore struct{}
+
+// Put implements Store by acknowledging the write unseen.
+func (discardStore) Put(_ Kind, rec Record) (Record, error) {
+	rec.Version++
+	return rec, nil
+}
+
+// Get implements Store; a discard store holds nothing.
+func (discardStore) Get(kind Kind, id string) (Record, error) {
+	return Record{}, fmt.Errorf("%w: %s/%s", ErrNotFound, kind, id)
+}
+
+// List implements Store; always empty.
+func (discardStore) List(Kind) ([]Record, error) { return nil, nil }
+
+// Delete implements Store; a no-op.
+func (discardStore) Delete(Kind, string) error { return nil }
+
+// Close implements Store; a no-op.
+func (discardStore) Close() error { return nil }
+
+// MemStore is an in-memory Store: records live in process memory,
+// fully readable back (unlike the registry's default discard store)
+// but lost when the process exits. It backs the store conformance
+// tests and suits embedders that want restart-in-process semantics.
+// Safe for concurrent use.
+type MemStore struct {
+	mu   sync.Mutex
+	recs map[Kind]map[string]Record
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{recs: make(map[Kind]map[string]Record)}
+}
+
+// checkCAS validates one Put against the stored state — the single
+// home of the compare-and-swap contract every Store implementation
+// shares (see Record.Version).
+func checkCAS(kind Kind, rec Record, curVersion int64, exists bool) error {
+	switch {
+	case rec.Version == 0 && exists:
+		return fmt.Errorf("%w: %s/%s exists at version %d", ErrVersionConflict, kind, rec.ID, curVersion)
+	case rec.Version != 0 && !exists:
+		return fmt.Errorf("%w: %s/%s does not exist (put at version %d)", ErrVersionConflict, kind, rec.ID, rec.Version)
+	case rec.Version != 0 && rec.Version != curVersion:
+		return fmt.Errorf("%w: %s/%s is at version %d, put at %d", ErrVersionConflict, kind, rec.ID, curVersion, rec.Version)
+	}
+	return nil
+}
+
+// Put implements Store with CAS semantics on Record.Version.
+func (s *MemStore) Put(kind Kind, rec Record) (Record, error) {
+	if rec.ID == "" {
+		return Record{}, fmt.Errorf("serve: memstore: empty record id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byID := s.recs[kind]
+	if byID == nil {
+		byID = make(map[string]Record)
+		s.recs[kind] = byID
+	}
+	cur, exists := byID[rec.ID]
+	if err := checkCAS(kind, rec, cur.Version, exists); err != nil {
+		return Record{}, err
+	}
+	stored := Record{ID: rec.ID, Version: rec.Version + 1, Data: append(json.RawMessage(nil), rec.Data...)}
+	byID[rec.ID] = stored
+	return stored, nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(kind Kind, id string) (Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[kind][id]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %s/%s", ErrNotFound, kind, id)
+	}
+	return rec, nil
+}
+
+// List implements Store; records are sorted by id.
+func (s *MemStore) List(kind Kind) ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.recs[kind]))
+	for _, rec := range s.recs[kind] {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Delete implements Store; deleting a missing id is a no-op.
+func (s *MemStore) Delete(kind Kind, id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.recs[kind], id)
+	return nil
+}
+
+// Close implements Store. It discards the records.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs = make(map[Kind]map[string]Record)
+	return nil
+}

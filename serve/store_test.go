@@ -1,0 +1,177 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/serve"
+)
+
+// storeImpls enumerates the Store implementations under the shared
+// conformance suite: the in-memory default and the file-backed store.
+func storeImpls(t *testing.T) map[string]func(t *testing.T) serve.Store {
+	t.Helper()
+	return map[string]func(t *testing.T) serve.Store{
+		"mem": func(t *testing.T) serve.Store { return serve.NewMemStore() },
+		"fs": func(t *testing.T) serve.Store {
+			st, err := serve.NewFSStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		},
+	}
+}
+
+// TestStoreConformance runs the Store contract — CRUD, CAS versioning,
+// sorted listing, idempotent delete — over every implementation.
+func TestStoreConformance(t *testing.T) {
+	for name, mk := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			st := mk(t)
+			defer st.Close()
+
+			// Get/List on an empty store.
+			if _, err := st.Get(serve.KindJob, "j-1"); !errors.Is(err, serve.ErrNotFound) {
+				t.Fatalf("Get on empty store err = %v, want ErrNotFound", err)
+			}
+			if recs, err := st.List(serve.KindJob); err != nil || len(recs) != 0 {
+				t.Fatalf("List on empty store = %v, %v", recs, err)
+			}
+
+			// Create at version 0 → stored at version 1.
+			rec, err := st.Put(serve.KindJob, serve.Record{ID: "j-1", Data: json.RawMessage(`{"n":1}`)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Version != 1 {
+				t.Fatalf("created version = %d, want 1", rec.Version)
+			}
+			// Re-creating an existing id conflicts.
+			if _, err := st.Put(serve.KindJob, serve.Record{ID: "j-1", Data: json.RawMessage(`{}`)}); !errors.Is(err, serve.ErrVersionConflict) {
+				t.Fatalf("create-over-existing err = %v, want ErrVersionConflict", err)
+			}
+			// Replace at the current version succeeds and bumps.
+			rec, err = st.Put(serve.KindJob, serve.Record{ID: "j-1", Version: 1, Data: json.RawMessage(`{"n":2}`)})
+			if err != nil || rec.Version != 2 {
+				t.Fatalf("CAS replace = %+v, %v; want version 2", rec, err)
+			}
+			// A stale version conflicts.
+			if _, err := st.Put(serve.KindJob, serve.Record{ID: "j-1", Version: 1, Data: json.RawMessage(`{}`)}); !errors.Is(err, serve.ErrVersionConflict) {
+				t.Fatalf("stale CAS err = %v, want ErrVersionConflict", err)
+			}
+			// Updating a missing id conflicts.
+			if _, err := st.Put(serve.KindJob, serve.Record{ID: "j-9", Version: 3, Data: json.RawMessage(`{}`)}); !errors.Is(err, serve.ErrVersionConflict) {
+				t.Fatalf("update-missing err = %v, want ErrVersionConflict", err)
+			}
+
+			got, err := st.Get(serve.KindJob, "j-1")
+			if err != nil || string(got.Data) != `{"n":2}` || got.Version != 2 {
+				t.Fatalf("Get = %+v, %v; want version 2 with n=2", got, err)
+			}
+
+			// Kinds are separate namespaces.
+			if _, err := st.Put(serve.KindSession, serve.Record{ID: "j-1", Data: json.RawMessage(`{}`)}); err != nil {
+				t.Fatalf("same id in another kind: %v", err)
+			}
+
+			// Listing is sorted by id.
+			if _, err := st.Put(serve.KindJob, serve.Record{ID: "a-job", Data: json.RawMessage(`{}`)}); err != nil {
+				t.Fatal(err)
+			}
+			recs, err := st.List(serve.KindJob)
+			if err != nil || len(recs) != 2 || recs[0].ID != "a-job" || recs[1].ID != "j-1" {
+				t.Fatalf("List = %+v, %v; want [a-job j-1]", recs, err)
+			}
+
+			// Delete is effective and idempotent.
+			if err := st.Delete(serve.KindJob, "j-1"); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Delete(serve.KindJob, "j-1"); err != nil {
+				t.Fatalf("second delete: %v", err)
+			}
+			if _, err := st.Get(serve.KindJob, "j-1"); !errors.Is(err, serve.ErrNotFound) {
+				t.Fatalf("Get after delete err = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+// TestFSStoreReopen: a second store over the same directory sees the
+// first one's records with their versions — the persistence property
+// MemStore intentionally lacks.
+func TestFSStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := serve.NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st1.Put(serve.KindDataset, serve.Record{ID: "ds-1", Data: json.RawMessage(`{"x":true}`)}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st1.Put(serve.KindJob, serve.Record{ID: "j-1", Data: json.RawMessage(`{"n":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st1.Put(serve.KindJob, serve.Record{ID: "j-1", Version: rec.Version, Data: json.RawMessage(`{"n":2}`)}); err != nil {
+		t.Fatal(err)
+	}
+	st1.Close()
+
+	st2, err := serve.NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got, err := st2.Get(serve.KindJob, "j-1")
+	if err != nil || got.Version != 2 || string(got.Data) != `{"n":2}` {
+		t.Fatalf("reopened Get = %+v, %v; want version 2 with n=2", got, err)
+	}
+	if recs, err := st2.List(serve.KindDataset); err != nil || len(recs) != 1 || recs[0].ID != "ds-1" {
+		t.Fatalf("reopened List = %+v, %v", recs, err)
+	}
+}
+
+// TestFSStoreIgnoresTmpLeftovers: a *.tmp file from a crashed write is
+// not a record; the original document survives.
+func TestFSStoreIgnoresTmpLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	st, err := serve.NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(serve.KindJob, serve.Record{ID: "j-1", Data: json.RawMessage(`{"n":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: a half-written temp file next to the
+	// real document.
+	tmp := filepath.Join(dir, string(serve.KindJob), "j-2.json.tmp")
+	if err := os.WriteFile(tmp, []byte(`{"id":"j-2","ver`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := st.List(serve.KindJob)
+	if err != nil || len(recs) != 1 || recs[0].ID != "j-1" {
+		t.Fatalf("List with tmp leftover = %+v, %v; want only j-1", recs, err)
+	}
+}
+
+// TestFSStoreRejectsTraversal: record ids cannot escape the kind
+// directory.
+func TestFSStoreRejectsTraversal(t *testing.T) {
+	st, err := serve.NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "..", "a/b", `a\b`} {
+		if _, err := st.Put(serve.KindJob, serve.Record{ID: id, Data: json.RawMessage(`{}`)}); err == nil {
+			t.Errorf("Put accepted malicious id %q", id)
+		}
+		if _, err := st.Get(serve.KindJob, id); err == nil {
+			t.Errorf("Get accepted malicious id %q", id)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Command servecheck is the end-to-end integration check of the
+// durable serving layer, driven against a real ldserve binary. It
+// proves the restart round-trip the serve package promises:
+//
+//  1. boot ldserve with a temp -data-dir and an API key,
+//  2. upload a dataset, open a session, run a GA job to completion
+//     through the typed Go client (SSE stream included),
+//  3. stop the server with SIGTERM (graceful drain),
+//  4. boot a brand-new ldserve process on the same -data-dir,
+//  5. fetch GET /v1/jobs/{id} and verify the persisted GAResult is
+//     JSON-identical to the one observed before the restart — and
+//     that auth survived too (a keyless request still gets 401).
+//
+// CI builds ldserve and runs
+//
+//	go run ./tools/servecheck -ldserve bin/ldserve
+//
+// Any failure exits nonzero with a diagnostic.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/serve"
+)
+
+func main() {
+	var (
+		bin     = flag.String("ldserve", "bin/ldserve", "path to the ldserve binary")
+		dataDir = flag.String("data-dir", "", "data directory (default: a fresh temp dir)")
+		apiKey  = flag.String("api-key", "servecheck-secret", "API key to run the server with")
+	)
+	flag.Parse()
+
+	if *dataDir == "" {
+		dir, err := os.MkdirTemp("", "servecheck-*")
+		if err != nil {
+			fatalf("temp dir: %v", err)
+		}
+		defer os.RemoveAll(dir)
+		*dataDir = dir
+	}
+	addr := freeAddr()
+	base := "http://" + addr
+	ctx := context.Background()
+	client := serve.NewClient(base, nil, serve.WithAPIKey(*apiKey))
+
+	// Life 1: upload → session → job → done.
+	proc := startServer(*bin, addr, *dataDir, *apiKey)
+	ds, err := client.CreateDataset(ctx, serve.DatasetRequest{Format: serve.FormatPreset, Preset: 51, Seed: 1})
+	if err != nil {
+		fatalf("upload: %v", err)
+	}
+	sess, err := client.CreateSession(ctx, serve.SessionRequest{DatasetID: ds.ID})
+	if err != nil {
+		fatalf("session: %v", err)
+	}
+	job, err := client.StartJob(ctx, sess.ID, serve.JobRequest{Config: smallConfig()})
+	if err != nil {
+		fatalf("job: %v", err)
+	}
+	generations := 0
+	final, err := client.StreamEvents(ctx, job.ID, func(ev serve.Event) error {
+		if ev.Type == serve.EventGeneration {
+			generations++
+		}
+		return nil
+	})
+	if err != nil {
+		fatalf("stream: %v", err)
+	}
+	if final == nil || final.State != serve.JobDone || final.Result == nil {
+		fatalf("job did not finish: %+v", final)
+	}
+	before, err := json.Marshal(final.Result)
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	fmt.Printf("servecheck: job %s done after %d generations (%d streamed), result %d bytes\n",
+		job.ID, final.Result.Generations, generations, len(before))
+	stopServer(proc)
+
+	// Life 2: the same data dir, a brand-new process.
+	proc = startServer(*bin, addr, *dataDir, *apiKey)
+	defer stopServer(proc)
+
+	// Auth survived the restart: a keyless request is rejected.
+	if _, err := serve.NewClient(base, nil).Job(ctx, job.ID); !errors.Is(err, serve.ErrUnauthorized) {
+		fatalf("keyless request after restart: err = %v, want unauthorized", err)
+	}
+	ji, err := client.Job(ctx, job.ID)
+	if err != nil {
+		fatalf("restored job fetch: %v", err)
+	}
+	if ji.State != serve.JobDone || ji.Result == nil {
+		fatalf("restored job = %+v, want done with result", ji)
+	}
+	after, err := json.Marshal(ji.Result)
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	if !bytes.Equal(before, after) {
+		fatalf("result changed across restart:\nbefore %s\nafter  %s", before, after)
+	}
+	// The restored session is live: listings agree and new work runs.
+	jl, err := client.Jobs(ctx, serve.JobsQuery{SessionID: sess.ID})
+	if err != nil || len(jl.Jobs) != 1 || jl.Jobs[0].ID != job.ID {
+		fatalf("restored listing = %+v, %v", jl, err)
+	}
+	job2, err := client.StartJob(ctx, sess.ID, serve.JobRequest{Config: smallConfig()})
+	if err != nil {
+		fatalf("job on restored session: %v", err)
+	}
+	if _, err := client.StreamEvents(ctx, job2.ID, nil); err != nil {
+		fatalf("second job stream: %v", err)
+	}
+	fmt.Println("servecheck: restart round-trip OK — persisted result is JSON-identical, auth enforced, session live")
+}
+
+// smallConfig is a GA configuration that finishes in well under a
+// second on the 51-SNP preset.
+func smallConfig() repro.GAConfig {
+	return repro.GAConfig{
+		MinSize: 2, MaxSize: 3, PopulationSize: 24,
+		PairsPerGeneration: 8, StagnationLimit: 12,
+		ImmigrantStagnation: 5, MaxGenerations: 200, Seed: 11,
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "servecheck: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// freeAddr reserves a loopback port for the server.
+func freeAddr() string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("reserve port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startServer boots ldserve and waits for /healthz.
+func startServer(bin, addr, dataDir, apiKey string) *exec.Cmd {
+	abs, err := filepath.Abs(bin)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cmd := exec.Command(abs,
+		"-addr", addr,
+		"-data-dir", dataDir,
+		"-api-key", apiKey,
+		"-drain", "2s",
+		"-shutdown-timeout", "5s",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		fatalf("start %s: %v", bin, err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			return cmd
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	fatalf("server on %s never came up", addr)
+	return nil
+}
+
+// stopServer sends SIGTERM (the graceful drain path) and waits.
+func stopServer(cmd *exec.Cmd) {
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		<-done
+		fatalf("server ignored SIGTERM for 30s")
+	}
+}
