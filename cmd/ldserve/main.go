@@ -59,6 +59,7 @@ func main() {
 		rate        = flag.Float64("rate", 0, "per-key (or per-host) rate limit in requests/second; 0 = unlimited")
 		burst       = flag.Int("burst", 10, "rate-limit burst size (with -rate)")
 		metrics     = flag.Bool("metrics", true, "serve request/latency/evaluation counters on GET /metrics")
+		debugRT     = flag.Bool("debug-runtime", false, "serve goroutine/heap/GC counters on GET /debug/runtime (required by tools/loadcheck)")
 		quiet       = flag.Bool("quiet", false, "disable per-request logging")
 	)
 	var keys []serve.APIKey
@@ -98,6 +99,9 @@ func main() {
 	}
 	if *metrics {
 		opts = append(opts, serve.WithMetrics())
+	}
+	if *debugRT {
+		opts = append(opts, serve.WithRuntimeStats())
 	}
 	srv, err := serve.NewServer(reg, opts...)
 	if err != nil {

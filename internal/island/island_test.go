@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fitness"
+	"repro/internal/testleak"
 )
 
 // hashEval is a deterministic synthetic fitness: fast, dataset-free,
@@ -41,6 +42,7 @@ const testSNPs = 24
 // A single island must reproduce the synchronous GA bit for bit:
 // same Result, same trace stream.
 func TestSingleIslandMatchesSync(t *testing.T) {
+	testleak.Check(t)
 	cfg := testConfig(7)
 	var syncTrace, islandTrace []core.TraceEntry
 
@@ -80,6 +82,7 @@ func TestSingleIslandMatchesSync(t *testing.T) {
 // With migration never firing, a seeded multi-island run is fully
 // deterministic: two identical runs produce identical results.
 func TestIsolatedIslandsDeterministic(t *testing.T) {
+	testleak.Check(t)
 	cfg := testConfig(11)
 	run := func() *core.Result {
 		m, err := New(hashEval(), testSNPs, cfg, Config{
@@ -113,6 +116,7 @@ func TestIsolatedIslandsDeterministic(t *testing.T) {
 // drained, every size keeps a best, and per-island stats line up with
 // the partition.
 func TestMigrationRing(t *testing.T) {
+	testleak.Check(t)
 	cfg := testConfig(3)
 	m, err := New(hashEval(), testSNPs, cfg, Config{Islands: 3, MigrationInterval: 1})
 	if err != nil {
@@ -157,6 +161,7 @@ func TestMigrationRing(t *testing.T) {
 // island keeps emitting, the full link conflates (drops count up),
 // and the run still terminates with results from both islands.
 func TestConflationUnderSlowIsland(t *testing.T) {
+	testleak.Check(t)
 	cfg := testConfig(5)
 	cfg.MinSize, cfg.MaxSize = 2, 3
 	cfg.PopulationSize = 30
@@ -216,6 +221,7 @@ func TestConflationUnderSlowIsland(t *testing.T) {
 // Cancellation mid-run returns each island's partial best-so-far and
 // the context's error.
 func TestCancellationReturnsPartialPerIsland(t *testing.T) {
+	testleak.Check(t)
 	cfg := testConfig(9)
 	cfg.StagnationLimit = 10000 // only cancellation stops the run
 	cfg.MaxGenerations = 1000000
@@ -285,6 +291,7 @@ func TestIslandClamp(t *testing.T) {
 
 // A model, like a GA, runs once.
 func TestModelRunsOnce(t *testing.T) {
+	testleak.Check(t)
 	m, err := New(hashEval(), testSNPs, testConfig(2), Config{Islands: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -300,6 +307,7 @@ func TestModelRunsOnce(t *testing.T) {
 // Multi-island trace entries are stamped with their island number and
 // cover only the island's hosted sizes.
 func TestTraceStamping(t *testing.T) {
+	testleak.Check(t)
 	cfg := testConfig(4)
 	var mu sync.Mutex
 	bySizeCount := map[int]int{}

@@ -236,6 +236,14 @@ func (c *Client) Metrics(ctx context.Context) (MetricsInfo, error) {
 	return mi, err
 }
 
+// Runtime fetches the /debug/runtime process snapshot of a server
+// built with WithRuntimeStats: goroutine count, heap and GC counters.
+func (c *Client) Runtime(ctx context.Context) (RuntimeInfo, error) {
+	var ri RuntimeInfo
+	err := c.do(ctx, http.MethodGet, "/debug/runtime", nil, &ri)
+	return ri, err
+}
+
 // StartJob submits one background GA run on the session.
 func (c *Client) StartJob(ctx context.Context, sessionID string, req JobRequest) (JobInfo, error) {
 	var ji JobInfo

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -22,6 +23,29 @@ type Metrics struct {
 	latCount atomic.Int64
 	latSumNS atomic.Int64
 	latMaxNS atomic.Int64
+	// buckets[i] counts completed requests with duration <=
+	// latencyBoundsNS[i]; the final slot is the overflow bucket.
+	buckets [len(latencyBoundsNS) + 1]atomic.Int64
+}
+
+// latencyBoundsNS are the upper bounds (inclusive, nanoseconds) of the
+// latency histogram buckets — fixed so two BENCH snapshots taken weeks
+// apart bucket identically. The spread covers everything from a cached
+// status read (sub-millisecond) to a long-lived SSE stream (seconds).
+var latencyBoundsNS = [...]int64{
+	int64(1 * time.Millisecond),
+	int64(2500 * time.Microsecond),
+	int64(5 * time.Millisecond),
+	int64(10 * time.Millisecond),
+	int64(25 * time.Millisecond),
+	int64(50 * time.Millisecond),
+	int64(100 * time.Millisecond),
+	int64(250 * time.Millisecond),
+	int64(500 * time.Millisecond),
+	int64(1 * time.Second),
+	int64(2500 * time.Millisecond),
+	int64(5 * time.Second),
+	int64(10 * time.Second),
 }
 
 // NewMetrics returns a zeroed collector; its uptime clock starts now.
@@ -51,6 +75,14 @@ func (m *Metrics) Middleware() Middleware {
 				ns := time.Since(start).Nanoseconds()
 				m.latCount.Add(1)
 				m.latSumNS.Add(ns)
+				idx := len(latencyBoundsNS) // overflow bucket
+				for i, bound := range latencyBoundsNS {
+					if ns <= bound {
+						idx = i
+						break
+					}
+				}
+				m.buckets[idx].Add(1)
 				for {
 					cur := m.latMaxNS.Load()
 					if ns <= cur || m.latMaxNS.CompareAndSwap(cur, ns) {
@@ -75,6 +107,19 @@ type RequestTotals struct {
 	ByStatus map[string]int64 `json:"by_status"`
 }
 
+// LatencyBucket is one histogram bucket of LatencySummary: the count
+// of completed requests whose duration fell at or below UpToNS and
+// above the previous bucket's bound. The bounds are fixed (the same in
+// every process), so trajectories snapshotted weeks apart — the
+// BENCH_serve.json history — bucket identically and can be diffed.
+type LatencyBucket struct {
+	// UpToNS is the bucket's inclusive upper bound in nanoseconds;
+	// math.MaxInt64 marks the overflow bucket.
+	UpToNS int64 `json:"up_to_ns"`
+	// Count is the number of requests that landed in this bucket.
+	Count int64 `json:"count"`
+}
+
 // LatencySummary is the latency section of MetricsInfo. All values
 // are nanoseconds over completed requests (SSE streams count their
 // full open duration, so the maximum usually reflects the longest
@@ -88,6 +133,48 @@ type LatencySummary struct {
 	AvgNS int64 `json:"avg_ns"`
 	// MaxNS is the largest single duration observed.
 	MaxNS int64 `json:"max_ns"`
+	// P50NS, P90NS and P99NS estimate the request-duration quantiles
+	// from the histogram (linear interpolation inside the bucket the
+	// rank falls in; the overflow bucket interpolates toward MaxNS).
+	// 0 before any request.
+	P50NS int64 `json:"p50_ns"`
+	// P90NS is documented with P50NS above.
+	P90NS int64 `json:"p90_ns"`
+	// P99NS is documented with P50NS above.
+	P99NS int64 `json:"p99_ns"`
+	// Histogram is the fixed-bound latency histogram; buckets with
+	// zero requests are included so the shape is always the same.
+	Histogram []LatencyBucket `json:"histogram"`
+}
+
+// quantile estimates the q-quantile (0 < q < 1) from the histogram
+// counts, interpolating linearly within the containing bucket.
+func quantile(counts []int64, total, maxNS int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen float64
+	var lower int64
+	for i, c := range counts {
+		upper := maxNS
+		if i < len(latencyBoundsNS) {
+			upper = latencyBoundsNS[i]
+		}
+		if upper > maxNS && maxNS > lower {
+			upper = maxNS // no observation can exceed the recorded max
+		}
+		if seen+float64(c) >= rank {
+			if c == 0 {
+				return upper
+			}
+			frac := (rank - seen) / float64(c)
+			return lower + int64(frac*float64(upper-lower))
+		}
+		seen += float64(c)
+		lower = upper
+	}
+	return maxNS
 }
 
 // MetricsInfo is the body of GET /metrics: request and latency
@@ -132,5 +219,24 @@ func (m *Metrics) Info(evals EngineTotals) MetricsInfo {
 	if info.Latency.Count > 0 {
 		info.Latency.AvgNS = info.Latency.SumNS / info.Latency.Count
 	}
+	counts := make([]int64, len(m.buckets))
+	info.Latency.Histogram = make([]LatencyBucket, len(m.buckets))
+	for i := range m.buckets {
+		counts[i] = m.buckets[i].Load()
+		bound := int64(math.MaxInt64)
+		if i < len(latencyBoundsNS) {
+			bound = latencyBoundsNS[i]
+		}
+		info.Latency.Histogram[i] = LatencyBucket{UpToNS: bound, Count: counts[i]}
+	}
+	// The quantiles come from the same snapshot the histogram was read
+	// into, so they are mutually consistent even under live traffic.
+	var histTotal int64
+	for _, c := range counts {
+		histTotal += c
+	}
+	info.Latency.P50NS = quantile(counts, histTotal, info.Latency.MaxNS, 0.50)
+	info.Latency.P90NS = quantile(counts, histTotal, info.Latency.MaxNS, 0.90)
+	info.Latency.P99NS = quantile(counts, histTotal, info.Latency.MaxNS, 0.99)
 	return info
 }

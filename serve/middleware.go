@@ -264,8 +264,10 @@ func (l *rateLimiter) prune(now time.Time) {
 // authenticated API key when AuthMiddleware runs outside it, the
 // client host otherwise. A rejected request gets 429
 // (CodeRateLimited) with a Retry-After header saying, in seconds,
-// when the next token arrives. /healthz and /metrics are exempt:
-// probes and scrapers must not eat the clients' budget.
+// when the next token arrives (always at least 1, rounded up, so a
+// sub-second refill never tells the client to retry "now"). /healthz,
+// /metrics and /debug/runtime are exempt: probes and scrapers must
+// not eat the clients' budget.
 func RateLimitMiddleware(rps float64, burst int) Middleware {
 	if burst < 1 {
 		burst = 1
@@ -273,7 +275,7 @@ func RateLimitMiddleware(rps float64, burst int) Middleware {
 	l := &rateLimiter{rps: rps, burst: float64(burst), buckets: make(map[string]*tokenBucket)}
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+			if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" || r.URL.Path == "/debug/runtime" {
 				next.ServeHTTP(w, r)
 				return
 			}

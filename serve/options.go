@@ -10,21 +10,23 @@ import (
 // ServerOption configures NewServer, mirroring the repro facade's
 // functional-option style: WithStore makes the server durable,
 // WithAuth / WithRateLimit / WithLogger / WithMetrics wire the
-// production middlewares, WithMiddleware appends custom ones.
+// production middlewares, WithRuntimeStats adds the /debug/runtime
+// process-health endpoint, WithMiddleware appends custom ones.
 type ServerOption func(*serverSettings) error
 
 // serverSettings is the merged option state of one NewServer call.
 type serverSettings struct {
-	store     Store
-	auth      []APIKey
-	authSet   bool
-	rateRPS   float64
-	rateBurst int
-	rateSet   bool
-	logger    *slog.Logger
-	loggerSet bool
-	metrics   bool
-	extra     []Middleware
+	store        Store
+	auth         []APIKey
+	authSet      bool
+	rateRPS      float64
+	rateBurst    int
+	rateSet      bool
+	logger       *slog.Logger
+	loggerSet    bool
+	metrics      bool
+	runtimeStats bool
+	extra        []Middleware
 }
 
 // WithStore installs st as the registry's durable record store and
@@ -111,6 +113,19 @@ func WithLogger(l *slog.Logger) ServerOption {
 func WithMetrics() ServerOption {
 	return func(s *serverSettings) error {
 		s.metrics = true
+		return nil
+	}
+}
+
+// WithRuntimeStats mounts the GET /debug/runtime endpoint serving a
+// RuntimeInfo document — goroutine count, heap, GC counters — the
+// process-health companion to /metrics. The loadcheck harness requires
+// it: its zero-goroutine-growth SLO is asserted against this endpoint.
+// Like /metrics it is exempt from rate limiting but NOT from
+// authentication.
+func WithRuntimeStats() ServerOption {
+	return func(s *serverSettings) error {
+		s.runtimeStats = true
 		return nil
 	}
 }

@@ -1,0 +1,109 @@
+package serve
+
+// Internal-package tests of the rate limiter: the bucket-map bound
+// under a spray of distinct principals, and the Retry-After rounding
+// contract at sub-second refill rates. These reach into rateLimiter
+// directly (with a synthetic clock), which the black-box
+// middleware_test.go cannot.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRateLimiterBucketMapBoundedFastRefill: with a refill fast enough
+// that every bucket is full again by prune time, the lossless
+// full-bucket pass alone keeps the map bounded — no live state is
+// discarded.
+func TestRateLimiterBucketMapBoundedFastRefill(t *testing.T) {
+	l := &rateLimiter{rps: 1000, burst: 1, buckets: make(map[string]*tokenBucket)}
+	now := time.Unix(0, 0)
+	peak := 0
+	for i := 0; i < 10_000; i++ {
+		now = now.Add(time.Millisecond)
+		if ok, _ := l.take(fmt.Sprintf("host-%d", i), now); !ok {
+			t.Fatalf("fresh principal host-%d rejected", i)
+		}
+		if len(l.buckets) > peak {
+			peak = len(l.buckets)
+		}
+	}
+	if peak > 4096 {
+		t.Fatalf("bucket map peaked at %d entries, bound is 4096", peak)
+	}
+}
+
+// TestRateLimiterBucketMapBoundedSlowRefill: with a glacial refill no
+// bucket is ever full, so the bound must come from the LRU halving —
+// and it must evict the oldest-touched principals, keeping the
+// newest.
+func TestRateLimiterBucketMapBoundedSlowRefill(t *testing.T) {
+	l := &rateLimiter{rps: 0.0001, burst: 1, buckets: make(map[string]*tokenBucket)}
+	now := time.Unix(0, 0)
+	peak := 0
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		now = now.Add(time.Millisecond)
+		l.take(fmt.Sprintf("host-%d", i), now)
+		if len(l.buckets) > peak {
+			peak = len(l.buckets)
+		}
+	}
+	if peak > 4096 {
+		t.Fatalf("bucket map peaked at %d entries, bound is 4096", peak)
+	}
+	if _, ok := l.buckets[fmt.Sprintf("host-%d", n-1)]; !ok {
+		t.Fatal("most recently seen principal was evicted; halving must drop the oldest-touched first")
+	}
+	if _, ok := l.buckets["host-0"]; ok {
+		t.Fatal("oldest principal survived the LRU halving")
+	}
+}
+
+// TestRateLimiterWaitSubSecond: the computed wait for a sub-second
+// refill is a genuine fraction of a second — the raw value the
+// middleware must round up, never truncate to 0.
+func TestRateLimiterWaitSubSecond(t *testing.T) {
+	l := &rateLimiter{rps: 4, burst: 1, buckets: make(map[string]*tokenBucket)}
+	now := time.Unix(0, 0)
+	if ok, _ := l.take("k", now); !ok {
+		t.Fatal("first request must pass on a fresh bucket")
+	}
+	ok, wait := l.take("k", now)
+	if ok {
+		t.Fatal("second immediate request must be rejected at burst 1")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("wait = %v, want a sub-second refill delay", wait)
+	}
+}
+
+// TestRateLimitRetryAfterRoundsUp: a 429 from a sub-second refill
+// carries Retry-After: 1 — the header is whole seconds, and "0" would
+// tell the client to hammer immediately.
+func TestRateLimitRetryAfterRoundsUp(t *testing.T) {
+	h := Chain(
+		http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(http.StatusNoContent) }),
+		RateLimitMiddleware(4, 1),
+	)
+	do := func() *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, "/v1/jobs", nil)
+		req.RemoteAddr = "192.0.2.7:4711" // one principal for both requests
+		h.ServeHTTP(rr, req)
+		return rr
+	}
+	if rr := do(); rr.Code != http.StatusNoContent {
+		t.Fatalf("first request: %d, want 204", rr.Code)
+	}
+	rr := do()
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request: %d, want 429", rr.Code)
+	}
+	if got := rr.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want %q (sub-second wait rounded up, at least 1)", got, "1")
+	}
+}

@@ -1,0 +1,192 @@
+package serve_test
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/testleak"
+	"repro/serve"
+)
+
+// retryDialer is a net dialer that keeps retrying a refused connection
+// for a bounded window — it bridges the listener gap of a server
+// restart, the way a production client behind a reconnecting load
+// balancer would.
+type retryDialer struct {
+	window time.Duration
+}
+
+// DialContext dials addr, retrying connection failures until the
+// window closes or ctx ends.
+func (d retryDialer) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	deadline := time.Now().Add(d.window)
+	for {
+		conn, err := (&net.Dialer{Timeout: 250 * time.Millisecond}).DialContext(ctx, network, addr)
+		if err == nil {
+			return conn, nil
+		}
+		if ctx.Err() != nil || time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestClientStreamReconnectAcrossServerRestart: a client streaming SSE
+// progress survives the server process being replaced underneath it.
+// Mid-stream, the first server is closed abruptly (severing the
+// connection — a transient transport failure, so Client.StreamEvents
+// reconnects once) and its registry shut down, which cancels the
+// running job and persists the canceled partial result to the shared
+// FSStore. A second server over the same store then answers the
+// client's reconnect: the restored job is finished, so the resumed
+// stream immediately delivers the done event with the persisted
+// outcome. The callback must see no replayed generations, and the
+// final document must be the canceled partial. Run under -race in CI:
+// the restart races the stream teardown on purpose.
+func TestClientStreamReconnectAcrossServerRestart(t *testing.T) {
+	testleak.Check(t)
+	dir := t.TempDir()
+
+	newLife := func(ln net.Listener) (*serve.Registry, *http.Server) {
+		st, err := serve.NewFSStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := serve.NewRegistry(serve.RegistryConfig{SweepInterval: -1})
+		srv, err := serve.NewServer(reg, serve.WithStore(st))
+		if err != nil {
+			reg.Close()
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		return reg, hs
+	}
+
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln1.Addr().String()
+	reg1, hs1 := newLife(ln1)
+
+	client := serve.NewClient("http://"+addr, &http.Client{Transport: &http.Transport{
+		DialContext: retryDialer{window: 15 * time.Second}.DialContext,
+	}})
+	ctx := context.Background()
+	ds, err := client.CreateDataset(ctx, serve.DatasetRequest{Format: serve.FormatPreset, Preset: 51, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := client.CreateSession(ctx, serve.SessionRequest{DatasetID: ds.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A job that never converges on its own: only the registry
+	// shutdown stops it, so the stream is guaranteed to be live when
+	// the restart hits.
+	job, err := client.StartJob(ctx, sess.ID, serve.JobRequest{Config: repro.GAConfig{
+		MinSize: 2, MaxSize: 3, PopulationSize: 24,
+		PairsPerGeneration: 8, StagnationLimit: 1 << 30,
+		ImmigrantStagnation: 5, MaxGenerations: 1 << 30, Seed: 42,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		final *serve.JobInfo
+		err   error
+	}
+	var mu sync.Mutex
+	arrivals := make(map[int][]int) // island → generations in arrival order
+	received := make(chan struct{}, 16)
+	got := make(chan outcome, 1)
+	go func() {
+		final, err := client.StreamEvents(ctx, job.ID, func(ev serve.Event) error {
+			if ev.Type == serve.EventGeneration {
+				mu.Lock()
+				arrivals[ev.Entry.Island] = append(arrivals[ev.Entry.Island], ev.Entry.Generation)
+				mu.Unlock()
+				select {
+				case received <- struct{}{}:
+				default:
+				}
+			}
+			return nil
+		})
+		got <- outcome{final, err}
+	}()
+
+	// Let the stream establish itself: at least two generation events.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-received:
+		case <-time.After(30 * time.Second):
+			t.Fatal("no generation events before the restart")
+		}
+	}
+
+	// The restart: sever every connection (the client sees a transport
+	// failure mid-read and goes into its one reconnect), then shut the
+	// registry down — cancelling the job and persisting its canceled
+	// partial result — and bring up a fresh server on the same store
+	// and address.
+	hs1.Close()
+	reg1.Close()
+	var ln2 net.Listener
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	reg2, hs2 := newLife(ln2)
+	defer reg2.Close()
+	defer hs2.Close()
+
+	var oc outcome
+	select {
+	case oc = <-got:
+	case <-time.After(60 * time.Second):
+		t.Fatal("stream did not finish after the restart")
+	}
+	if oc.err != nil {
+		t.Fatalf("stream err = %v, want a clean resume to the persisted outcome", oc.err)
+	}
+	if oc.final == nil {
+		t.Fatal("stream ended without a done event after reconnect")
+	}
+	if oc.final.State != serve.JobCanceled || oc.final.Result == nil {
+		t.Fatalf("final = state %q result %v, want the canceled partial persisted by the first life",
+			oc.final.State, oc.final.Result != nil)
+	}
+	if len(oc.final.Result.BestBySize) == 0 {
+		t.Fatal("persisted partial result carries no per-size bests")
+	}
+
+	// The reconnect must not replay: per island, arrival order is
+	// strictly increasing across the restart boundary.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(arrivals) == 0 {
+		t.Fatal("no generation entries recorded")
+	}
+	for island, gens := range arrivals {
+		for i := 1; i < len(gens); i++ {
+			if gens[i] <= gens[i-1] {
+				t.Fatalf("island %d replayed a generation across the reconnect: %v", island, gens)
+			}
+		}
+	}
+}

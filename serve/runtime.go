@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// RuntimeInfo is the body of GET /debug/runtime (enabled by
+// WithRuntimeStats / ldserve -debug-runtime): a /debug/vars-style
+// snapshot of the Go runtime — goroutine count, heap and GC counters —
+// read with runtime.ReadMemStats. It is the observability seam the
+// loadcheck harness asserts its leak SLOs against: a drained server's
+// Goroutines must return to its idle baseline, or something (an SSE
+// handler, an engine worker, a job pump) is leaking.
+//
+// The endpoint is read-only and cheap (ReadMemStats stops the world
+// for microseconds), but it exposes process internals, so it sits
+// behind the same authentication as the rest of the API; only rate
+// limiting exempts it, like /metrics, so a monitoring poller cannot
+// eat the clients' budget.
+type RuntimeInfo struct {
+	// GoVersion is the runtime.Version() of the serving process —
+	// recorded so performance snapshots are only compared like for
+	// like.
+	GoVersion string `json:"go_version"`
+	// NumCPU is the number of logical CPUs usable by the process.
+	NumCPU int `json:"num_cpu"`
+	// GOMAXPROCS is the scheduler's processor limit.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Goroutines is the number of goroutines that currently exist.
+	Goroutines int `json:"goroutines"`
+	// HeapAllocBytes is the live heap (allocated and not yet freed).
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	// HeapSysBytes is the heap memory obtained from the OS.
+	HeapSysBytes uint64 `json:"heap_sys_bytes"`
+	// HeapObjects is the number of live heap objects.
+	HeapObjects uint64 `json:"heap_objects"`
+	// TotalAllocBytes is the cumulative bytes allocated since start
+	// (monotone; does not decrease on free).
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	// NumGC is the number of completed GC cycles.
+	NumGC uint32 `json:"num_gc"`
+	// GCPauseTotalNS is the cumulative stop-the-world pause time.
+	GCPauseTotalNS uint64 `json:"gc_pause_total_ns"`
+	// GCCPUFraction is the fraction of CPU time used by the GC since
+	// start.
+	GCCPUFraction float64 `json:"gc_cpu_fraction"`
+	// UptimeNS is the time since the server was built.
+	UptimeNS int64 `json:"uptime_ns"`
+}
+
+// readRuntimeInfo snapshots the runtime counters.
+func readRuntimeInfo(since time.Time) RuntimeInfo {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeInfo{
+		GoVersion:       runtime.Version(),
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Goroutines:      runtime.NumGoroutine(),
+		HeapAllocBytes:  ms.HeapAlloc,
+		HeapSysBytes:    ms.HeapSys,
+		HeapObjects:     ms.HeapObjects,
+		TotalAllocBytes: ms.TotalAlloc,
+		NumGC:           ms.NumGC,
+		GCPauseTotalNS:  ms.PauseTotalNs,
+		GCCPUFraction:   ms.GCCPUFraction,
+		UptimeNS:        time.Since(since).Nanoseconds(),
+	}
+}
+
+// getRuntime serves GET /debug/runtime.
+func (s *Server) getRuntime(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, readRuntimeInfo(s.started))
+}

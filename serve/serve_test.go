@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/testleak"
 	"repro/serve"
 )
 
@@ -24,6 +25,7 @@ func testGAConfig(seed uint64) repro.GAConfig {
 
 func newTestServer(t *testing.T, cfg serve.RegistryConfig, opts ...serve.ServerOption) (*serve.Client, *serve.Registry) {
 	t.Helper()
+	testleak.Check(t)
 	if cfg.SweepInterval == 0 {
 		cfg.SweepInterval = -1 // tests sweep explicitly
 	}

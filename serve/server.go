@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro"
 )
@@ -22,6 +23,7 @@ type Server struct {
 	mux     *http.ServeMux
 	handler http.Handler
 	metrics *Metrics
+	started time.Time
 }
 
 // NewServer builds the handler over the registry, applying the
@@ -47,7 +49,7 @@ func NewServer(reg *Registry, opts ...ServerOption) (*Server, error) {
 		}
 	}
 
-	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s := &Server{reg: reg, mux: http.NewServeMux(), started: time.Now()}
 	s.mux.HandleFunc("POST /v1/datasets", s.postDataset)
 	s.mux.HandleFunc("GET /v1/datasets", s.listDatasets)
 	s.mux.HandleFunc("GET /v1/datasets/{id}", s.getDataset)
@@ -69,6 +71,9 @@ func NewServer(reg *Registry, opts ...ServerOption) (*Server, error) {
 		s.metrics = NewMetrics()
 		s.mux.HandleFunc("GET /metrics", s.getMetrics)
 		mws = append(mws, s.metrics.Middleware())
+	}
+	if st.runtimeStats {
+		s.mux.HandleFunc("GET /debug/runtime", s.getRuntime)
 	}
 	if st.loggerSet {
 		mws = append(mws, LoggingMiddleware(st.logger))

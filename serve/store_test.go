@@ -3,8 +3,10 @@ package serve_test
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/serve"
@@ -96,6 +98,69 @@ func TestStoreConformance(t *testing.T) {
 			}
 			if _, err := st.Get(serve.KindJob, "j-1"); !errors.Is(err, serve.ErrNotFound) {
 				t.Fatalf("Get after delete err = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+// TestStoreConformanceCASContention: N writers race a CAS update at
+// every version step; the contract demands exactly one winner per
+// version and ErrVersionConflict (no other error, no silent success)
+// for everyone else. Runs over every implementation — for FSStore this
+// also proves the version check and the file write are atomic with
+// respect to each other.
+func TestStoreConformanceCASContention(t *testing.T) {
+	const (
+		writers = 8
+		rounds  = 25
+	)
+	for name, mk := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			st := mk(t)
+			defer st.Close()
+			rec, err := st.Put(serve.KindJob, serve.Record{ID: "j-cas", Data: json.RawMessage(`{"round":0}`)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 1; round <= rounds; round++ {
+				payload := json.RawMessage(fmt.Sprintf(`{"round":%d}`, round))
+				results := make(chan error, writers)
+				var wg sync.WaitGroup
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						_, err := st.Put(serve.KindJob, serve.Record{ID: "j-cas", Version: rec.Version, Data: payload})
+						results <- err
+					}()
+				}
+				wg.Wait()
+				close(results)
+				wins, conflicts := 0, 0
+				for err := range results {
+					switch {
+					case err == nil:
+						wins++
+					case errors.Is(err, serve.ErrVersionConflict):
+						conflicts++
+					default:
+						t.Fatalf("round %d: unexpected error %v", round, err)
+					}
+				}
+				if wins != 1 || conflicts != writers-1 {
+					t.Fatalf("round %d: %d winners and %d conflicts, want exactly 1 and %d",
+						round, wins, conflicts, writers-1)
+				}
+				rec, err = st.Get(serve.KindJob, "j-cas")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rec.Version != int64(round+1) {
+					t.Fatalf("round %d: version = %d, want %d (one bump per round)", round, rec.Version, round+1)
+				}
+				if string(rec.Data) != string(payload) {
+					t.Fatalf("round %d: data = %s, want the winner's payload %s", round, rec.Data, payload)
+				}
 			}
 		})
 	}

@@ -3,11 +3,11 @@ package repro_test
 import (
 	"context"
 	"errors"
-	"runtime"
 	"testing"
 	"time"
 
 	"repro"
+	"repro/internal/testleak"
 )
 
 // longRunConfig is a configuration that keeps the GA busy long enough
@@ -18,20 +18,6 @@ func longRunConfig(seed uint64) repro.GAConfig {
 	cfg.StagnationLimit = 100000
 	cfg.MaxGenerations = 100000
 	return cfg
-}
-
-// settleGoroutines waits for the goroutine count to drop back to the
-// baseline (plus slack), failing the test on leaks.
-func settleGoroutines(t *testing.T, base int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= base {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Fatalf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), base)
 }
 
 // TestSessionCancelStopsWithinOneGeneration: under every backend, a
@@ -48,7 +34,7 @@ func TestSessionCancelStopsWithinOneGeneration(t *testing.T) {
 		{"pvm", repro.BackendPVM},
 	} {
 		t.Run(bc.name, func(t *testing.T) {
-			base := runtime.NumGoroutine()
+			testleak.Check(t)
 			s, err := repro.NewSession(d, repro.WithBackend(bc.backend), repro.WithWorkers(3))
 			if err != nil {
 				t.Fatal(err)
@@ -80,7 +66,6 @@ func TestSessionCancelStopsWithinOneGeneration(t *testing.T) {
 				t.Fatal("partial result carries no per-size bests")
 			}
 			s.Close()
-			settleGoroutines(t, base+2)
 		})
 	}
 }
@@ -107,7 +92,7 @@ func TestSessionDeadlineWrapsErrCanceled(t *testing.T) {
 // returns a usable partial result in bounded time, closes its progress
 // stream, and leaks no goroutines.
 func TestJobStopYieldsPartialResult(t *testing.T) {
-	base := runtime.NumGoroutine()
+	testleak.Check(t)
 	d := backendTestDataset(t)
 	s, err := repro.NewSession(d, repro.WithWorkers(2),
 		repro.WithGAConfig(longRunConfig(7)))
@@ -169,7 +154,6 @@ func TestJobStopYieldsPartialResult(t *testing.T) {
 		t.Fatal("Wait after Stop returned a different outcome")
 	}
 	s.Close()
-	settleGoroutines(t, base+2)
 }
 
 // TestJobCompletionStreamsProgress: an uncancelled Job streams ordered
