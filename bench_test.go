@@ -286,3 +286,55 @@ func BenchmarkRobust249(b *testing.B) {
 	}
 	b.ReportMetric(jac, "jaccard")
 }
+
+// BenchmarkShardedEval pins the cost of sharded evaluation against the
+// monolithic pipeline: the same batch of width-2 windows over a wide
+// synthetic study, scored by the resident native backend, an in-memory
+// sharded engine, and a spill-backed sharded engine. A fresh engine per
+// iteration keeps the memo cache cold — this measures the gather path,
+// not the cache. tools/loadcheck snapshots the same comparison into
+// BENCH_engine.json.
+func BenchmarkShardedEval(b *testing.B) {
+	d, err := GenerateDataset(GeneratorConfig{
+		NumSNPs: 2000, NumAffected: 60, NumUnaffected: 60,
+		RiskHaplotypeFreq: 0.3,
+		Disease: DiseaseModel{
+			CausalSites: []int{600, 1400}, RiskAlleles: []uint8{1, 1},
+			BaseRisk: 0.15, HaplotypeEffect: 0.6,
+		},
+		Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var windows [][]int
+	for s := 0; s+2 <= d.NumSNPs(); s += 3 {
+		windows = append(windows, []int{s, s + 1})
+	}
+	const shardSize = 256
+	spillDir := b.TempDir()
+	engines := map[string]func() (ParallelEvaluator, error){
+		"monolithic": func() (ParallelEvaluator, error) { return NewBackend(d, T1, BackendNative, 0) },
+		"sharded":    func() (ParallelEvaluator, error) { return NewShardedEngine(d, T1, shardSize, "", 0) },
+		"spill":      func() (ParallelEvaluator, error) { return NewShardedEngine(d, T1, shardSize, spillDir, 0) },
+	}
+	for _, name := range []string{"monolithic", "sharded", "spill"} {
+		mk := engines[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ev, err := mk()
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, errs := ev.EvaluateBatch(windows)
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				ev.Close()
+			}
+			b.ReportMetric(float64(len(windows)*b.N)/b.Elapsed().Seconds(), "evals/s")
+		})
+	}
+}

@@ -10,6 +10,7 @@
 //
 //	ldgen -preset 51 -seed 1 -out data.txt -freq freq.tsv -ld ld.tsv
 //	ldgen -snps 80 -affected 60 -unaffected 60 -unknown 0 -out data.txt
+//	ldgen -snps 20000 -rows 600 -out big.txt
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 		affected   = flag.Int("affected", 53, "affected individuals")
 		unaffected = flag.Int("unaffected", 53, "unaffected individuals")
 		unknown    = flag.Int("unknown", 70, "unknown-status individuals")
+		rows       = flag.Int("rows", 0, "total individuals; splits into the three status groups in the proportions of -affected/-unaffected/-unknown (ignored with -preset)")
 		missing    = flag.Float64("missing", 0.01, "missing genotype rate")
 		seed       = flag.Uint64("seed", 1, "generator seed")
 		out        = flag.String("out", "data.txt", "genotype table output path")
@@ -61,6 +63,17 @@ func main() {
 		cfg.NumUnaffected = *unaffected
 		cfg.NumUnknown = *unknown
 		cfg.MissingRate = *missing
+		if *rows > 0 {
+			total := cfg.NumAffected + cfg.NumUnaffected + cfg.NumUnknown
+			aff := cfg.NumAffected * *rows / total
+			un := cfg.NumUnaffected * *rows / total
+			if aff < 1 || un < 1 {
+				fatalf("-rows %d leaves an empty case or control group", *rows)
+			}
+			cfg.NumAffected = aff
+			cfg.NumUnaffected = un
+			cfg.NumUnknown = *rows - aff - un
+		}
 		if *snps != 51 {
 			// The paper-preset causal sites only fit the 51-SNP map;
 			// re-plant a 3-SNP model spread over the custom map.

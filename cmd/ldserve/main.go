@@ -54,10 +54,11 @@ func main() {
 		sessionTTL  = flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle this long (with no running job)")
 		datasetTTL  = flag.Duration("dataset-ttl", time.Hour, "evict datasets unreferenced this long (releases their fitness caches)")
 		maxJobs     = flag.Int("max-jobs", 4, "max concurrently running jobs per session (excess gets 429)")
-		sweep       = flag.Duration("sweep", time.Minute, "idle-eviction janitor period")
+		sweep       = flag.Duration("sweep", 30*time.Second, "idle-eviction janitor period")
 		dataDir     = flag.String("data-dir", "", "persist dataset/session/job records here (restored on restart); empty = in-memory only")
+		spillDir    = flag.String("spill-dir", "", "spill sharded sessions' shards to write-once files here (one subdirectory per dataset); empty = shards stay in memory")
 		rate        = flag.Float64("rate", 0, "per-key (or per-host) rate limit in requests/second; 0 = unlimited")
-		burst       = flag.Int("burst", 10, "rate-limit burst size (with -rate)")
+		burst       = flag.Int("burst", 25, "rate-limit burst size (with -rate); sized so one client's session-setup burst (upload, session, job, stream, first polls) fits without draining the bucket")
 		metrics     = flag.Bool("metrics", true, "serve request/latency/evaluation counters on GET /metrics")
 		debugRT     = flag.Bool("debug-runtime", false, "serve goroutine/heap/GC counters on GET /debug/runtime (required by tools/loadcheck)")
 		quiet       = flag.Bool("quiet", false, "disable per-request logging")
@@ -78,6 +79,7 @@ func main() {
 		DatasetTTL:        *datasetTTL,
 		MaxJobsPerSession: *maxJobs,
 		SweepInterval:     *sweep,
+		SpillDir:          *spillDir,
 	})
 
 	var opts []serve.ServerOption

@@ -33,6 +33,22 @@ type Options struct {
 	// genotype Fingerprint. New sets it automatically when the inner
 	// evaluator is a *fitness.Pipeline.
 	Fingerprint uint64
+	// KeyFingerprint, when non-nil, replaces the flat Fingerprint in
+	// cache keys with a per-evaluation digest of the given (canonical)
+	// site set — the hook a shard-aware evaluator uses to key the memo
+	// cache by fingerprint+range, so entries group by the shards they
+	// touch. It must be pure and safe for concurrent use; it selects
+	// keys only and never changes the values cached under them. New
+	// sets it automatically when the inner evaluator implements
+	// KeyFingerprinter.
+	KeyFingerprint func(sites []int) uint64
+}
+
+// KeyFingerprinter is implemented by inner evaluators that derive
+// their own cache-key fingerprint per site set (the shard-aware
+// evaluator); New adopts it as Options.KeyFingerprint automatically.
+type KeyFingerprinter interface {
+	KeyFingerprint(sites []int) uint64
 }
 
 // job is one unit of worker work: score sites, write the slot, signal.
@@ -65,6 +81,7 @@ type Engine struct {
 	workers     int
 	cache       *shardedCache // nil when disabled
 	fingerprint uint64
+	keyFP       func(sites []int) uint64 // nil: use the flat fingerprint
 	start       time.Time
 
 	requests  atomic.Int64
@@ -103,10 +120,16 @@ func New(inner fitness.Evaluator, opts Options) (*Engine, error) {
 			opts.Fingerprint = p.Dataset().Fingerprint()
 		}
 	}
+	if opts.KeyFingerprint == nil {
+		if kf, ok := inner.(KeyFingerprinter); ok {
+			opts.KeyFingerprint = kf.KeyFingerprint
+		}
+	}
 	e := &Engine{
 		inner:       inner,
 		workers:     opts.Workers,
 		fingerprint: opts.Fingerprint,
+		keyFP:       opts.KeyFingerprint,
 		start:       time.Now(),
 		perWorker:   make([]atomic.Int64, opts.Workers),
 		inflight:    make(map[string]*flight),
@@ -213,7 +236,11 @@ func (e *Engine) EvaluateBatchContext(ctx context.Context, batch [][]int) ([]flo
 	keys := make([]string, len(unique))
 	if e.cache != nil {
 		for u, sites := range unique {
-			keys[u] = cacheKey(e.fingerprint, sites)
+			fp := e.fingerprint
+			if e.keyFP != nil {
+				fp = e.keyFP(sites)
+			}
+			keys[u] = cacheKey(fp, sites)
 		}
 	}
 	pending := make([]int, len(unique))

@@ -176,6 +176,25 @@ func (p *Pipeline) MonteCarloP(sites []int, replicates int, src *rng.RNG) (clump
 	return clump.MonteCarlo{Replicates: replicates, Source: src}.Run(table)
 }
 
+// Score runs the tail of the Figure 3 pipeline shared by every
+// evaluator front-end (the monolithic Pipeline and the shard-aware
+// evaluator): concatenate the two per-group EH-DIALL estimations into
+// the 2 x 2^k contingency table and return the selected CLUMP
+// statistic. Keeping this in one place is what makes the sharded path
+// bit-identical to the monolithic one — both feed the same estimations
+// through the same arithmetic.
+func Score(aff, un *ehdiall.Result, stat clump.Statistic) (float64, error) {
+	table, err := ConcatTable(aff, un)
+	if err != nil {
+		return 0, err
+	}
+	cres, err := clump.Statistics(table)
+	if err != nil {
+		return 0, err
+	}
+	return cres.Get(stat), nil
+}
+
 // ConcatTable performs the paper's "Concatenation" step: the expected
 // haplotype counts of the affected group become row 0 and those of the
 // unaffected group row 1 of a 2 x 2^k table.

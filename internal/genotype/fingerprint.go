@@ -40,3 +40,23 @@ func (d *Dataset) Fingerprint() uint64 {
 	}
 	return h
 }
+
+// RangeFingerprint derives the fingerprint of one column range
+// [start, end) of a dataset from the parent fingerprint: an FNV-1a
+// digest of the parent and the two bounds. Shard layers use it to give
+// every shard its own identity — stable across runs, distinct between
+// shards of one dataset and between equal ranges of different datasets
+// — without rehashing any genotype data.
+func RangeFingerprint(parent uint64, start, end int) uint64 {
+	h := fnv64Offset
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(v >> (8 * i)))
+			h *= fnv64Prime
+		}
+	}
+	mix(parent)
+	mix(uint64(start))
+	mix(uint64(end))
+	return h
+}

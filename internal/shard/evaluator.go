@@ -1,0 +1,220 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/clump"
+	"repro/internal/ehdiall"
+	"repro/internal/fitness"
+	"repro/internal/genotype"
+)
+
+// Evaluator scores haplotypes over sharded columns: it gathers the few
+// columns a candidate SNP subset touches from its Source, rebuilds the
+// complete-case genotype patterns exactly as
+// genotype.Dataset.ColumnPatterns does, and runs the same EH-DIALL →
+// concatenation → CLUMP arithmetic as fitness.Pipeline — so its values
+// are bit-identical to the monolithic path while its working set is
+// the touched shards, not the table.
+//
+// Evaluator implements fitness.Evaluator and engine.KeyFingerprinter:
+// wrapped in an engine, its memo-cache keys carry the fingerprints of
+// the touched shards (fingerprint+range) instead of the flat dataset
+// fingerprint, so cache entries are grouped by the shards that produce
+// them. Safe for concurrent use; per-call scratch (gathered columns,
+// pattern buffers) comes from a pool, one set per concurrent worker.
+type Evaluator struct {
+	src        Source
+	affected   []int
+	unaffected []int
+	stat       clump.Statistic
+	em         ehdiall.Config
+	scratch    sync.Pool // *scratch
+}
+
+// scratch is one worker's reusable evaluation buffers.
+type scratch struct {
+	cols [][]genotype.Genotype // gathered columns, one per site
+	flat []genotype.Genotype   // backing array for pats
+	pats [][]genotype.Genotype // complete-case patterns of one group
+}
+
+// NewEvaluator builds the shard-aware evaluator for the dataset served
+// by src. The row partition (affected/unaffected) comes from the
+// dataset, exactly as fitness.NewPipeline derives it; Unknown-status
+// individuals are ignored.
+func NewEvaluator(src Source, d *genotype.Dataset, stat clump.Statistic, em ehdiall.Config) (*Evaluator, error) {
+	if src == nil {
+		return nil, fmt.Errorf("shard: nil source")
+	}
+	if d == nil {
+		return nil, fmt.Errorf("shard: nil dataset")
+	}
+	if stat < clump.T1 || stat > clump.T4 {
+		return nil, fmt.Errorf("shard: invalid statistic %v", stat)
+	}
+	plan := src.Plan()
+	if plan.Parent != d.Fingerprint() || plan.NumSNPs != d.NumSNPs() || plan.Rows != d.NumIndividuals() {
+		return nil, fmt.Errorf("shard: source plan does not describe this dataset")
+	}
+	aff := d.ByStatus(genotype.Affected)
+	un := d.ByStatus(genotype.Unaffected)
+	if len(aff) == 0 || len(un) == 0 {
+		return nil, fmt.Errorf("shard: dataset needs both affected and unaffected individuals (have %d/%d)", len(aff), len(un))
+	}
+	return &Evaluator{src: src, affected: aff, unaffected: un, stat: stat, em: em}, nil
+}
+
+// Source returns the evaluator's shard source.
+func (e *Evaluator) Source() Source { return e.src }
+
+// NumSNPs returns the number of SNP columns available to haplotypes.
+func (e *Evaluator) NumSNPs() int { return e.src.Plan().NumSNPs }
+
+func (e *Evaluator) checkSites(sites []int) error {
+	if len(sites) == 0 {
+		return fmt.Errorf("shard: empty haplotype")
+	}
+	if len(sites) > ehdiall.MaxSNPs {
+		return fmt.Errorf("shard: haplotype size %d exceeds %d", len(sites), ehdiall.MaxSNPs)
+	}
+	n := e.src.Plan().NumSNPs
+	prev := -1
+	for _, s := range sites {
+		if s <= prev {
+			return fmt.Errorf("shard: sites not strictly increasing: %v", sites)
+		}
+		if s < 0 || s >= n {
+			return fmt.Errorf("shard: site %d out of range [0,%d)", s, n)
+		}
+		prev = s
+	}
+	return nil
+}
+
+// KeyFingerprint derives the memo-cache fingerprint of one canonical
+// site set: an FNV-1a digest of the fingerprints of the shards the
+// sites touch, in order. Site sets confined to the same shards share a
+// fingerprint (the site indices themselves are the rest of the cache
+// key), sets touching different shards never collide on it, and the
+// value is stable across runs and processes — restored caches stay
+// valid. Implements engine.KeyFingerprinter.
+func (e *Evaluator) KeyFingerprint(sites []int) uint64 {
+	plan := e.src.Plan()
+	const (
+		offset uint64 = 14695981039346656037
+		prime  uint64 = 1099511628211
+	)
+	h := offset
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(v >> (8 * i)))
+			h *= prime
+		}
+	}
+	last := -1
+	for _, s := range sites {
+		if s < 0 || s >= plan.NumSNPs {
+			mix(plan.Parent) // out-of-range: engine rejects later; keep pure
+			continue
+		}
+		if si := plan.ShardOf(s); si != last {
+			mix(plan.Metas[si].Fingerprint)
+			last = si
+		}
+	}
+	return h
+}
+
+// Evaluate implements fitness.Evaluator: gather, estimate per group,
+// concatenate, score.
+func (e *Evaluator) Evaluate(sites []int) (float64, error) {
+	if err := e.checkSites(sites); err != nil {
+		return 0, err
+	}
+	sc, _ := e.scratch.Get().(*scratch)
+	if sc == nil {
+		sc = &scratch{}
+	}
+	defer e.scratch.Put(sc)
+	if err := e.gather(sites, sc); err != nil {
+		return 0, err
+	}
+	affRes, err := e.estimate(e.affected, sites, sc)
+	if err != nil {
+		return 0, err
+	}
+	unRes, err := e.estimate(e.unaffected, sites, sc)
+	if err != nil {
+		return 0, err
+	}
+	return fitness.Score(affRes, unRes, e.stat)
+}
+
+// gather fetches the touched columns into sc.cols. Sites arrive
+// strictly increasing, so shard indices are non-decreasing and each
+// distinct shard is requested exactly once per call.
+func (e *Evaluator) gather(sites []int, sc *scratch) error {
+	if cap(sc.cols) < len(sites) {
+		sc.cols = make([][]genotype.Genotype, len(sites))
+	}
+	sc.cols = sc.cols[:len(sites)]
+	var cur *Shard
+	for i, s := range sites {
+		si := e.src.Plan().ShardOf(s)
+		if cur == nil || cur.Meta.Index != si {
+			sh, err := e.src.Shard(si)
+			if err != nil {
+				return err
+			}
+			cur = sh
+		}
+		sc.cols[i] = cur.Column(s)
+	}
+	return nil
+}
+
+// estimate rebuilds the group's complete-case patterns from the
+// gathered columns — value-identical to
+// genotype.Dataset.ColumnPatterns over the same rows and sites — and
+// runs the EH-DIALL EM on them. Pattern buffers live in sc and are
+// reused across calls; ehdiall.Estimate does not retain them.
+func (e *Evaluator) estimate(rows []int, sites []int, sc *scratch) (*ehdiall.Result, error) {
+	k := len(sites)
+	if need := len(rows) * k; cap(sc.flat) < need {
+		sc.flat = make([]genotype.Genotype, need)
+	}
+	if cap(sc.pats) < len(rows) {
+		sc.pats = make([][]genotype.Genotype, len(rows))
+	}
+	pats := sc.pats[:0]
+	flat := sc.flat[:0]
+	for _, r := range rows {
+		pat := flat[len(flat) : len(flat)+k]
+		ok := true
+		for i, col := range sc.cols {
+			g := col[r]
+			if g == genotype.Missing {
+				ok = false
+				break
+			}
+			pat[i] = g
+		}
+		if ok {
+			flat = flat[:len(flat)+k]
+			pats = append(pats, pat)
+		}
+	}
+	res, err := ehdiall.Estimate(pats, k, e.em)
+	if err != nil {
+		if errors.Is(err, ehdiall.ErrNoData) {
+			return nil, fitness.ErrEmptyGroup
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+var _ fitness.Evaluator = (*Evaluator)(nil)

@@ -1,0 +1,162 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/clump"
+	"repro/internal/ehdiall"
+	"repro/internal/engine"
+	"repro/internal/fitness"
+)
+
+// windowsUpTo enumerates every strictly increasing site set of width 2
+// and 3 (stride 3 on the anchors to keep the test quick but crossing
+// shard boundaries).
+func windowsUpTo(n int) [][]int {
+	var out [][]int
+	for s := 0; s+1 < n; s += 3 {
+		out = append(out, []int{s, s + 1})
+		if s+2 < n {
+			out = append(out, []int{s, s + 1, s + 2})
+		}
+	}
+	// A few wide sets spanning several shards.
+	if n > 20 {
+		out = append(out,
+			[]int{0, 7, 15},
+			[]int{1, 9, 17, n - 1},
+			[]int{2, n / 2, n - 2},
+		)
+	}
+	return out
+}
+
+// TestEvaluatorParity proves the headline invariant: the sharded
+// evaluator returns bit-identical values to fitness.Pipeline for every
+// statistic, over both in-memory and spill-backed sources.
+func TestEvaluatorParity(t *testing.T) {
+	d := testDataset(t, 51)
+	sources := map[string]func() (Source, error){
+		"mem":   func() (Source, error) { return NewMem(d, 8, 3) },
+		"spill": func() (Source, error) { return NewSpill(d, t.TempDir(), 8, 3) },
+	}
+	for _, stat := range []clump.Statistic{clump.T1, clump.T2, clump.T3, clump.T4} {
+		pipe, err := fitness.NewPipeline(d, stat, ehdiall.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, mk := range sources {
+			src, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev, err := NewEvaluator(src, d, stat, ehdiall.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range windowsUpTo(51) {
+				want, werr := pipe.Evaluate(w)
+				got, gerr := ev.Evaluate(w)
+				if (werr == nil) != (gerr == nil) {
+					t.Fatalf("%s/%v sites %v: err %v vs %v", name, stat, w, werr, gerr)
+				}
+				if werr == nil && got != want {
+					t.Fatalf("%s/%v sites %v: sharded %v != monolithic %v", name, stat, w, got, want)
+				}
+			}
+			src.Close()
+		}
+	}
+}
+
+// TestEvaluatorRejectsBadSites mirrors the pipeline's input contract.
+func TestEvaluatorRejectsBadSites(t *testing.T) {
+	d := testDataset(t, 20)
+	src, err := NewMem(d, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	ev, err := NewEvaluator(src, d, clump.T1, ehdiall.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]int{nil, {}, {3, 3}, {5, 4}, {-1, 2}, {0, 20}, make([]int, ehdiall.MaxSNPs+1)} {
+		if _, err := ev.Evaluate(bad); err == nil {
+			t.Fatalf("Evaluate(%v) succeeded", bad)
+		}
+	}
+}
+
+// TestEngineParity wraps both evaluators in the batch engine and
+// checks EvaluateBatch agrees entry for entry, including with the memo
+// cache warm (second pass re-reads cached values keyed by shard
+// fingerprints).
+func TestEngineParity(t *testing.T) {
+	d := testDataset(t, 51)
+	src, err := NewMem(d, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	ev, err := NewEvaluator(src, d, clump.T4, ehdiall.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := engine.New(ev, engine.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	mono, err := engine.NewForDataset(d, clump.T4, engine.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mono.Close()
+
+	batch := windowsUpTo(51)
+	for pass := 0; pass < 2; pass++ {
+		wantV, wantE := mono.EvaluateBatch(batch)
+		gotV, gotE := sharded.EvaluateBatch(batch)
+		for i := range batch {
+			if (wantE[i] == nil) != (gotE[i] == nil) {
+				t.Fatalf("pass %d sites %v: err %v vs %v", pass, batch[i], wantE[i], gotE[i])
+			}
+			if wantE[i] == nil && gotV[i] != wantV[i] {
+				t.Fatalf("pass %d sites %v: sharded %v != monolithic %v", pass, batch[i], gotV[i], wantV[i])
+			}
+		}
+	}
+	if hits := sharded.Report().CacheHits; hits == 0 {
+		t.Fatal("second pass produced no cache hits")
+	}
+}
+
+// TestKeyFingerprint checks the shard-derived cache fingerprint:
+// stable, sensitive to which shards are touched, and insensitive to
+// which sites inside a shard (sites are the rest of the cache key).
+func TestKeyFingerprint(t *testing.T) {
+	d := testDataset(t, 51)
+	src, err := NewMem(d, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	ev, err := NewEvaluator(src, d, clump.T1, ehdiall.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.KeyFingerprint([]int{0, 1}) != ev.KeyFingerprint([]int{2, 5}) {
+		t.Fatal("same-shard site sets disagree on fingerprint")
+	}
+	if ev.KeyFingerprint([]int{0, 1}) == ev.KeyFingerprint([]int{8, 9}) {
+		t.Fatal("different shards share a fingerprint")
+	}
+	if ev.KeyFingerprint([]int{0, 8}) == ev.KeyFingerprint([]int{0, 16}) {
+		t.Fatal("different shard combinations share a fingerprint")
+	}
+	if ev.KeyFingerprint([]int{3, 9}) != ev.KeyFingerprint([]int{3, 9}) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	var _ engine.KeyFingerprinter = ev
+}

@@ -1,0 +1,217 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/genotype"
+	"repro/internal/popgen"
+)
+
+// testDataset generates a small dataset with missing calls, so the
+// complete-case path is exercised.
+func testDataset(t *testing.T, numSNPs int) *genotype.Dataset {
+	t.Helper()
+	d, err := popgen.Generate(popgen.Config{
+		NumSNPs: numSNPs, NumAffected: 24, NumUnaffected: 24, NumUnknown: 4,
+		MissingRate:       0.03,
+		RiskHaplotypeFreq: 0.3,
+		Disease: popgen.DiseaseModel{
+			CausalSites: []int{3, numSNPs/2 + 1}, RiskAlleles: []uint8{1, 1},
+			BaseRisk: 0.15, HaplotypeEffect: 0.6,
+		},
+		Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPlan(t *testing.T) {
+	d := testDataset(t, 51)
+	plan, err := PlanFor(d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumShards() != 7 {
+		t.Fatalf("NumShards = %d, want 7", plan.NumShards())
+	}
+	if got := plan.Metas[6]; got.Start != 48 || got.End != 51 {
+		t.Fatalf("last shard = [%d,%d), want [48,51)", got.Start, got.End)
+	}
+	seen := make(map[uint64]bool)
+	covered := 0
+	for i, m := range plan.Metas {
+		if m.Index != i {
+			t.Fatalf("meta %d has index %d", i, m.Index)
+		}
+		if seen[m.Fingerprint] {
+			t.Fatalf("shard %d repeats a fingerprint", i)
+		}
+		seen[m.Fingerprint] = true
+		covered += m.Width()
+		for s := m.Start; s < m.End; s++ {
+			if plan.ShardOf(s) != i {
+				t.Fatalf("ShardOf(%d) = %d, want %d", s, plan.ShardOf(s), i)
+			}
+		}
+	}
+	if covered != 51 {
+		t.Fatalf("shards cover %d columns, want 51", covered)
+	}
+	// A different parent yields different shard fingerprints for the
+	// same ranges.
+	plan2, err := NewPlan(plan.Parent+1, 51, plan.Rows, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.Metas[0].Fingerprint == plan.Metas[0].Fingerprint {
+		t.Fatal("shard fingerprint does not depend on the parent fingerprint")
+	}
+	if DefaultShardSize != 4096 {
+		t.Fatalf("DefaultShardSize = %d, want 4096", DefaultShardSize)
+	}
+	pd, err := PlanFor(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.ShardSize != DefaultShardSize || pd.NumShards() != 1 {
+		t.Fatalf("default plan: size %d shards %d", pd.ShardSize, pd.NumShards())
+	}
+}
+
+// columnsEqual checks that the source serves every column of the
+// dataset, byte for byte.
+func columnsEqual(t *testing.T, name string, d *genotype.Dataset, src Source) {
+	t.Helper()
+	plan := src.Plan()
+	for i := 0; i < plan.NumShards(); i++ {
+		sh, err := src.Shard(i)
+		if err != nil {
+			t.Fatalf("%s: shard %d: %v", name, i, err)
+		}
+		if sh.Meta != plan.Metas[i] {
+			t.Fatalf("%s: shard %d meta mismatch", name, i)
+		}
+		for s := sh.Meta.Start; s < sh.Meta.End; s++ {
+			col := sh.Column(s)
+			if len(col) != d.NumIndividuals() {
+				t.Fatalf("%s: shard %d column %d has %d rows", name, i, s, len(col))
+			}
+			for r := range col {
+				if col[r] != d.Individuals[r].Genotypes[s] {
+					t.Fatalf("%s: shard %d column %d row %d: %v != %v",
+						name, i, s, r, col[r], d.Individuals[r].Genotypes[s])
+				}
+			}
+		}
+	}
+}
+
+func TestSourcesServeDatasetColumns(t *testing.T) {
+	d := testDataset(t, 51)
+	mem, err := NewMem(d, 8, 2) // LRU far smaller than the shard count
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	spill, err := NewSpill(d, t.TempDir(), 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spill.Close()
+	columnsEqual(t, "mem", d, mem)
+	columnsEqual(t, "spill", d, spill)
+	// Revisit after eviction: the data must be identical, not just
+	// present.
+	columnsEqual(t, "mem-revisit", d, mem)
+	columnsEqual(t, "spill-revisit", d, spill)
+	if got := mem.(*lruSource).resident(); got > 2 {
+		t.Fatalf("mem LRU holds %d shards, cap 2", got)
+	}
+	if got := spill.(*spillSource).resident(); got > 2 {
+		t.Fatalf("spill LRU holds %d shards, cap 2", got)
+	}
+}
+
+func TestSpillFilesAreWriteOnceAndReusable(t *testing.T) {
+	d := testDataset(t, 51)
+	dir := t.TempDir()
+	src, err := NewSpill(d, dir, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < src.Plan().NumShards(); i++ {
+		if _, err := src.Shard(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Close()
+	files, err := filepath.Glob(filepath.Join(dir, "shard-*.bin"))
+	if err != nil || len(files) != 7 {
+		t.Fatalf("spilled %d files (err %v), want 7", len(files), err)
+	}
+	before, err := os.Stat(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second source over the same directory reuses the files
+	// (write-once: no rewrite of a valid file).
+	src2, err := NewSpill(d, dir, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src2.Close()
+	columnsEqual(t, "reused", d, src2)
+	after, err := os.Stat(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) || after.Size() != before.Size() {
+		t.Fatal("valid spill file was rewritten")
+	}
+
+	// A corrupted file is detected and rewritten from the table.
+	if err := os.WriteFile(files[2], []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src3, err := NewSpill(d, dir, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src3.Close()
+	columnsEqual(t, "healed", d, src3)
+
+	// A different dataset spilled into the same directory replaces the
+	// stale files rather than serving the old dataset's genotypes.
+	d2 := testDataset(t, 51)
+	d2.Individuals[0].Genotypes[0] ^= 1 // different content, same shape
+	src4, err := NewSpill(d2, dir, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src4.Close()
+	columnsEqual(t, "replaced", d2, src4)
+}
+
+func TestSourceShardOutOfRange(t *testing.T) {
+	d := testDataset(t, 20)
+	src, err := NewMem(d, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if _, err := src.Shard(-1); err == nil {
+		t.Fatal("Shard(-1) succeeded")
+	}
+	if _, err := src.Shard(src.Plan().NumShards()); err == nil {
+		t.Fatal("Shard(NumShards) succeeded")
+	}
+	src.Close()
+	if _, err := src.Shard(0); err == nil {
+		t.Fatal("Shard on a closed source succeeded")
+	}
+}

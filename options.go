@@ -20,25 +20,29 @@ type Option func(*settings) error
 // settings is the merged option state. Each field carries a set flag
 // so defaults stay explicit and level checks are possible.
 type settings struct {
-	stat        Statistic
-	statSet     bool
-	backend     Backend
-	backendSet  bool
-	workers     int
-	workersSet  bool
-	eval        Evaluator
-	evalSet     bool
-	jobLimit    int
-	jobLimitSet bool
-	gaCfg       GAConfig
-	gaSet       bool
-	trace       func(TraceEntry)
-	traceSet    bool
-	islands     int
-	islandsSet  bool
-	migInterval int
-	migCount    int
-	migSet      bool
+	stat         Statistic
+	statSet      bool
+	backend      Backend
+	backendSet   bool
+	workers      int
+	workersSet   bool
+	eval         Evaluator
+	evalSet      bool
+	jobLimit     int
+	jobLimitSet  bool
+	gaCfg        GAConfig
+	gaSet        bool
+	trace        func(TraceEntry)
+	traceSet     bool
+	islands      int
+	islandsSet   bool
+	migInterval  int
+	migCount     int
+	migSet       bool
+	shardSize    int
+	shardSizeSet bool
+	spillDir     string
+	spillDirSet  bool
 }
 
 func (s *settings) apply(opts []Option) error {
@@ -56,8 +60,8 @@ func (s *settings) apply(opts []Option) error {
 // sessionOnly reports an error if any session-level option was given
 // (used to reject them at run level).
 func (s *settings) sessionOnly() error {
-	if s.statSet || s.backendSet || s.workersSet || s.evalSet || s.jobLimitSet {
-		return fmt.Errorf("%w: WithStatistic, WithBackend, WithWorkers, WithEvaluator and WithJobLimit are session-level options; create a new Session to change the evaluation backend", ErrBadConfig)
+	if s.statSet || s.backendSet || s.workersSet || s.evalSet || s.jobLimitSet || s.shardSizeSet || s.spillDirSet {
+		return fmt.Errorf("%w: WithStatistic, WithBackend, WithWorkers, WithEvaluator, WithJobLimit, WithShardSize and WithSpillDir are session-level options; create a new Session to change the evaluation backend", ErrBadConfig)
 	}
 	return nil
 }
@@ -138,6 +142,42 @@ func WithJobLimit(n int) Option {
 		}
 		s.jobLimit = n
 		s.jobLimitSet = true
+		return nil
+	}
+}
+
+// WithShardSize routes the session's evaluation through a sharded
+// view of the dataset: SNP columns are partitioned into shards of n
+// columns (0 = DefaultShardSize) loaded on demand with a small LRU of
+// hot shards, so evaluation touches only the columns a candidate
+// needs. Results are bit-identical to the monolithic backend. Only the
+// native backend shards; WithBackend(BackendPool/BackendPVM) and
+// WithEvaluator do not combine with it. See also WithSpillDir.
+func WithShardSize(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("%w: negative shard size %d", ErrBadConfig, n)
+		}
+		s.shardSize = n
+		s.shardSizeSet = true
+		return nil
+	}
+}
+
+// WithSpillDir spills the session's shards to write-once files under
+// dir (created if needed): shards are materialized to disk on first
+// use and re-read on demand, so a large table never has to be fully
+// resident in memory. Implies sharding (at DefaultShardSize unless
+// WithShardSize chooses another); a restarted process pointed at the
+// same directory reuses the spilled files. Combines and conflicts
+// exactly as WithShardSize does.
+func WithSpillDir(dir string) Option {
+	return func(s *settings) error {
+		if dir == "" {
+			return fmt.Errorf("%w: empty spill directory", ErrBadConfig)
+		}
+		s.spillDir = dir
+		s.spillDirSet = true
 		return nil
 	}
 }

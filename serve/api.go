@@ -132,6 +132,16 @@ type SessionRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// Statistic is the CLUMP fitness: "T1" (default) … "T4".
 	Statistic string `json:"statistic,omitempty"`
+	// ShardSize, when at least 1, gives the session a sharded
+	// evaluation backend (repro.WithShardSize): the dataset's SNP
+	// columns are partitioned into shards of this many columns, loaded
+	// on demand — and spilled to disk when the server runs with a spill
+	// directory — so large tables never fully reside in memory. Values
+	// are bit-identical to the monolithic backend. Only the native
+	// backend shards; combining with "pool" or "pvm" is a bad_request.
+	// Sharded sessions are the ones that accept sweep jobs (see
+	// JobRequest.Sweep).
+	ShardSize int `json:"shard_size,omitempty"`
 }
 
 // SessionInfo describes a live session.
@@ -152,6 +162,9 @@ type SessionInfo struct {
 	MaxJobs int `json:"max_jobs"`
 	// ActiveJobs is the number of jobs currently running.
 	ActiveJobs int `json:"active_jobs"`
+	// ShardSize is the session backend's SNP columns per shard; 0 (and
+	// omitted) for a monolithic backend.
+	ShardSize int `json:"shard_size,omitempty"`
 }
 
 // JobRequest is the body of POST /v1/sessions/{id}/jobs. Config zero
@@ -180,6 +193,42 @@ type JobRequest struct {
 	MigrationInterval int `json:"migration_interval,omitempty"`
 	// MigrationCount is documented with MigrationInterval above.
 	MigrationCount int `json:"migration_count,omitempty"`
+	// Sweep, when set, makes the job a sharded window sweep instead of
+	// a GA run: every haplotype window of the session's dataset is
+	// scored shard by shard, with progress checkpointed through the
+	// server's store after each completed shard — a server restarted
+	// mid-sweep resumes the job from its last completed shard instead
+	// of marking it interrupted. Requires a sharded session
+	// (SessionRequest.ShardSize >= 1); combining with Islands or the
+	// migration fields is a bad_request, and Config is ignored (a
+	// sweep runs no GA). The outcome is JobInfo.Sweep (a sweep has no
+	// GAResult).
+	Sweep *SweepSpec `json:"sweep,omitempty"`
+}
+
+// SweepSpec configures a sweep job: the window shape scanned over the
+// dataset.
+type SweepSpec struct {
+	// Size is the window width in SNPs (default 2, max 20).
+	Size int `json:"size,omitempty"`
+	// Stride is the step between window anchors (default 1). Anchors
+	// are global multiples of Stride, so the window set is independent
+	// of the shard size.
+	Stride int `json:"stride,omitempty"`
+}
+
+// ShardProgress is the live shard bookkeeping of a sweep job
+// (JobInfo.Shards).
+type ShardProgress struct {
+	// Total is the plan's shard count; Done the shards completed so
+	// far (checkpoint-resumed ones included).
+	Total int `json:"total"`
+	Done  int `json:"done"`
+	// Resumed counts shards restored from a checkpoint instead of
+	// evaluated in this server's lifetime (set once the sweep ends).
+	Resumed int `json:"resumed,omitempty"`
+	// Evaluated counts windows evaluated in this server's lifetime.
+	Evaluated int64 `json:"evaluated"`
 }
 
 // Job states reported by JobInfo.State.
@@ -208,8 +257,14 @@ type JobInfo struct {
 	// best-so-far, elapsed time, engine counters.
 	Report repro.JobReport `json:"report"`
 	// Result is set once State is not "running". For "canceled" it is
-	// the partial outcome accumulated before the stop.
+	// the partial outcome accumulated before the stop. Sweep jobs have
+	// no GAResult; their outcome is Sweep.
 	Result *repro.GAResult `json:"result,omitempty"`
+	// Shards carries a sweep job's shard progress (nil for GA jobs).
+	Shards *ShardProgress `json:"shards,omitempty"`
+	// Sweep is a sweep job's outcome, set once State is not "running"
+	// (partial for "canceled"; every completed shard is final).
+	Sweep *repro.SweepResult `json:"sweep,omitempty"`
 	// Error is the terminal error text for "canceled" and "failed".
 	Error string `json:"error,omitempty"`
 }

@@ -39,7 +39,7 @@ type FSStore struct {
 // dir. The three kind subdirectories are created eagerly so a later
 // read of an empty store does not fail.
 func NewFSStore(dir string) (*FSStore, error) {
-	for _, kind := range []Kind{KindDataset, KindSession, KindJob} {
+	for _, kind := range []Kind{KindDataset, KindSession, KindJob, KindCheckpoint} {
 		if err := os.MkdirAll(filepath.Join(dir, string(kind)), 0o755); err != nil {
 			return nil, fmt.Errorf("serve: fsstore: %w", err)
 		}

@@ -8,13 +8,34 @@ import (
 	"repro"
 )
 
-// jobEntry is the registry's record of one background run: the Job
+// runHandle is what jobEntry needs from a background run: the shape
+// of *repro.Job, also implemented by sweepHandle, so GA jobs and
+// sharded sweep jobs share the pump/SSE/stop/drain plumbing.
+type runHandle interface {
+	// Progress streams conflated TraceEntries and is closed after Done.
+	Progress() <-chan repro.TraceEntry
+	// Done is closed when the run ends (before Progress closes).
+	Done() <-chan struct{}
+	// Wait blocks for the outcome; a sweep's GAResult is always nil.
+	Wait() (*repro.GAResult, error)
+	// Stop cancels and waits.
+	Stop() (*repro.GAResult, error)
+	// Report snapshots live progress.
+	Report() repro.JobReport
+}
+
+var _ runHandle = (*repro.Job)(nil)
+var _ runHandle = (*sweepHandle)(nil)
+
+// jobEntry is the registry's record of one background run: the run
 // handle, its cancel function (DELETE and drain both go through the
 // context path), and the progress fan-out state.
 type jobEntry struct {
 	id        string
 	sessionID string
-	job       *repro.Job
+	job       runHandle
+	sweep     *sweepHandle // non-nil for sweep jobs (same object as job)
+	req       *JobRequest  // persisted with the record so restore can resume sweeps
 	cancel    context.CancelFunc
 	storeVer  int64 // job record's store version (guarded by Registry.mu)
 
@@ -117,13 +138,16 @@ func (je *jobEntry) subscribe() (<-chan repro.TraceEntry, func(), error) {
 	return ch, off, nil
 }
 
-// info assembles the job's wire status from the live Job handle.
+// info assembles the job's wire status from the live run handle.
 func (je *jobEntry) info() JobInfo {
 	ji := JobInfo{
 		ID:        je.id,
 		SessionID: je.sessionID,
 		State:     JobRunning,
 		Report:    je.job.Report(),
+	}
+	if je.sweep != nil {
+		ji.Shards = je.sweep.shardProgress()
 	}
 	select {
 	case <-je.job.Done():
@@ -132,6 +156,9 @@ func (je *jobEntry) info() JobInfo {
 	}
 	res, err := je.job.Wait() // done: returns immediately
 	ji.Result = res
+	if je.sweep != nil {
+		ji.Sweep = je.sweep.result()
+	}
 	switch {
 	case err == nil:
 		ji.State = JobDone

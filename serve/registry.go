@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -15,6 +16,7 @@ import (
 
 	"repro"
 	"repro/internal/cli"
+	"repro/internal/shard"
 )
 
 // RegistryConfig tunes the lifecycle policies of a Registry. The zero
@@ -32,8 +34,17 @@ type RegistryConfig struct {
 	// (repro.WithJobLimit); exceeding it yields HTTP 429. Default 4.
 	MaxJobsPerSession int
 	// SweepInterval is the janitor period for idle eviction. Default
-	// 1m; negative disables the janitor (tests call Sweep directly).
+	// 30s — a sweep pass holds the registry lock only for in-memory
+	// bookkeeping (store deletions happen after it is released), so
+	// frequent passes are cheap and reclaim idle backends' memoized
+	// caches sooner. Negative disables the janitor (tests call Sweep
+	// directly).
 	SweepInterval time.Duration
+	// SpillDir, when non-empty, is the base directory sharded session
+	// backends (SessionRequest.ShardSize >= 1) spill their shards to —
+	// one write-once subdirectory per dataset, reused across restarts.
+	// Empty keeps shards in memory. ldserve wires -spill-dir here.
+	SpillDir string
 }
 
 func (c RegistryConfig) withDefaults() RegistryConfig {
@@ -47,7 +58,7 @@ func (c RegistryConfig) withDefaults() RegistryConfig {
 		c.MaxJobsPerSession = 4
 	}
 	if c.SweepInterval == 0 {
-		c.SweepInterval = time.Minute
+		c.SweepInterval = 30 * time.Second
 	}
 	return c
 }
@@ -88,9 +99,10 @@ type Registry struct {
 }
 
 type backendKey struct {
-	backend repro.Backend
-	stat    repro.Statistic
-	workers int
+	backend   repro.Backend
+	stat      repro.Statistic
+	workers   int
+	shardSize int // 0 = monolithic
 }
 
 type datasetEntry struct {
@@ -110,6 +122,8 @@ type sessionEntry struct {
 	backend   string
 	statistic string
 	maxJobs   int
+	shardSize int                  // effective columns per shard; 0 = monolithic
+	sharded   *repro.ShardedEngine // the shared backend, when sharded (sweep jobs need it)
 	jobIDs    []string
 	lastUsed  time.Time
 	ver       int64 // store record version
@@ -139,6 +153,16 @@ type datasetRecord struct {
 type sessionRecord struct {
 	Info    SessionInfo    `json:"info"`
 	Request SessionRequest `json:"request"`
+}
+
+// jobRecord is the stored document of one job: the status document
+// plus the original request. The request is what lets restore relaunch
+// a sweep job that was running at crash time — resuming from its
+// checkpoint — instead of marking it interrupted. Records written by
+// older versions carry no request and unmarshal with Request nil.
+type jobRecord struct {
+	JobInfo
+	Request *JobRequest `json:"request,omitempty"`
 }
 
 // NewRegistry builds a registry and, unless cfg.SweepInterval is
@@ -251,25 +275,38 @@ func (r *Registry) restoreLocked() error {
 		return err
 	}
 	for _, rec := range jobRecs {
-		var info JobInfo
-		if err := json.Unmarshal(rec.Data, &info); err != nil {
+		var jr jobRecord
+		if err := json.Unmarshal(rec.Data, &jr); err != nil {
 			return fmt.Errorf("serve: restore: job %s: %w", rec.ID, err)
 		}
+		info := jr.JobInfo
 		if n, ok := seqOf(rec.ID, "j-"); ok && n > r.jobSeq {
 			r.jobSeq = n
 		}
 		se, ok := r.sessions[info.SessionID]
 		if !ok {
 			r.deleteRecord(KindJob, rec.ID) // session gone: orphan
+			r.deleteRecord(KindCheckpoint, rec.ID)
 			continue
 		}
 		if info.State == JobRunning {
-			// The previous process died mid-run: no result was ever
-			// persisted. Mark the record so clients see what happened.
+			// The previous process died mid-run. A sweep job whose
+			// session came back sharded is restartable work, not a lost
+			// result: relaunch it under its original id — its storeSink
+			// loads the checkpoint and skips every completed shard.
+			if jr.Request != nil && jr.Request.Sweep != nil && se.sharded != nil {
+				if je, err := r.resumeSweepLocked(rec.ID, rec.Version, se, *jr.Request); err == nil {
+					r.jobs[rec.ID] = je
+					se.jobIDs = append(se.jobIDs, rec.ID)
+					continue
+				}
+			}
+			// Anything else never persisted a result: mark the record
+			// so clients see what happened.
 			info.State = JobInterrupted
 			info.Error = "job interrupted by server restart before completion; resubmit to recompute"
 			info.Report.Running = false
-			b, err := json.Marshal(info)
+			b, err := json.Marshal(jobRecord{JobInfo: info, Request: jr.Request})
 			if err != nil {
 				return fmt.Errorf("serve: restore: job %s: %w", rec.ID, err)
 			}
@@ -283,6 +320,62 @@ func (r *Registry) restoreLocked() error {
 		se.jobIDs = append(se.jobIDs, rec.ID)
 	}
 	return nil
+}
+
+// resumeSweepLocked relaunches a restored sweep job under its original
+// id, resuming from its checkpoint record. The caller registers the
+// returned entry.
+func (r *Registry) resumeSweepLocked(id string, ver int64, se *sessionEntry, req JobRequest) (*jobEntry, error) {
+	cfg := shard.SweepConfig{Size: req.Sweep.Size, Stride: req.Sweep.Stride}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var sink shard.Sink = shard.DiscardSink{}
+	if !r.storeDiscards() {
+		sink = newStoreSink(r.store, id)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	h := startSweep(ctx, cancel, se.sharded, cfg, sink)
+	je := &jobEntry{
+		id:        id,
+		sessionID: se.id,
+		job:       h,
+		sweep:     h,
+		req:       &req,
+		cancel:    cancel,
+		storeVer:  ver,
+	}
+	r.jobsWG.Add(1)
+	go je.pump(r)
+	return je, nil
+}
+
+// spillDirFor is the per-dataset shard spill directory ("" when the
+// server keeps shards in memory).
+func (r *Registry) spillDirFor(datasetID string) string {
+	if r.cfg.SpillDir == "" {
+		return ""
+	}
+	return filepath.Join(r.cfg.SpillDir, datasetID)
+}
+
+// liveSweepsLocked counts the session's sweep jobs still running.
+// Sweeps bypass Session.Start, so the session's own ActiveJobs misses
+// them; the job limit and idle eviction must add this count.
+func (r *Registry) liveSweepsLocked(se *sessionEntry) int {
+	n := 0
+	for _, jid := range se.jobIDs {
+		je, ok := r.jobs[jid]
+		if !ok || je.sweep == nil {
+			continue
+		}
+		select {
+		case <-je.job.Done():
+		default:
+			n++
+		}
+	}
+	return n
 }
 
 // seqOf parses the numeric suffix of a "s-12" / "j-7" style id.
@@ -476,10 +569,20 @@ func (r *Registry) addSessionLocked(id string, req SessionRequest, de *datasetEn
 	if req.Workers < 0 {
 		return nil, fmt.Errorf("%w: negative worker count %d", repro.ErrBadConfig, req.Workers)
 	}
-	key := backendKey{backend: be, stat: stat, workers: req.Workers}
+	if req.ShardSize < 0 {
+		return nil, fmt.Errorf("%w: negative shard size %d", repro.ErrBadConfig, req.ShardSize)
+	}
+	if req.ShardSize > 0 && be != repro.BackendNative {
+		return nil, fmt.Errorf("%w: only the native backend shards (backend %q with shard_size %d)", repro.ErrBadConfig, req.Backend, req.ShardSize)
+	}
+	key := backendKey{backend: be, stat: stat, workers: req.Workers, shardSize: req.ShardSize}
 	ev, ok := de.backends[key]
 	if !ok {
-		ev, err = repro.NewBackend(de.data, stat, be, req.Workers)
+		if req.ShardSize > 0 {
+			ev, err = repro.NewShardedEngine(de.data, stat, req.ShardSize, r.spillDirFor(de.id), req.Workers)
+		} else {
+			ev, err = repro.NewBackend(de.data, stat, be, req.Workers)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -500,6 +603,10 @@ func (r *Registry) addSessionLocked(id string, req SessionRequest, de *datasetEn
 		statistic: cli.StatisticName(stat),
 		maxJobs:   r.cfg.MaxJobsPerSession,
 		lastUsed:  time.Now(),
+	}
+	if eng, ok := ev.(*repro.ShardedEngine); ok && req.ShardSize > 0 {
+		se.sharded = eng
+		se.shardSize = eng.Plan().ShardSize
 	}
 	r.sessions[se.id] = se
 	de.sessions++
@@ -524,7 +631,8 @@ func (r *Registry) sessionInfoLocked(se *sessionEntry) SessionInfo {
 		Workers:    se.sess.Workers(),
 		Statistic:  se.statistic,
 		MaxJobs:    se.maxJobs,
-		ActiveJobs: se.sess.ActiveJobs(),
+		ActiveJobs: se.sess.ActiveJobs() + r.liveSweepsLocked(se),
+		ShardSize:  se.shardSize,
 	}
 }
 
@@ -613,6 +721,11 @@ func (r *Registry) StartJob(sessionID string, req JobRequest) (JobInfo, error) {
 		r.mu.Unlock()
 		return JobInfo{}, err
 	}
+	if req.Sweep != nil {
+		info, err := r.startSweepLocked(se, req)
+		r.mu.Unlock()
+		return info, err
+	}
 	r.jobSeq++
 	id := fmt.Sprintf("j-%d", r.jobSeq)
 	r.mu.Unlock()
@@ -639,13 +752,14 @@ func (r *Registry) StartJob(sessionID string, req JobRequest) (JobInfo, error) {
 		id:        id,
 		sessionID: sessionID,
 		job:       job,
+		req:       &req,
 		cancel:    cancel,
 	}
 	// Persist the record in state "running" before the job becomes
 	// visible, keeping the (possibly fsync'd) write outside the
 	// registry lock so it never stalls concurrent readers.
 	info := je.info()
-	ver, err := r.putRecord(KindJob, id, 0, info)
+	ver, err := r.putRecord(KindJob, id, 0, jobRecord{JobInfo: info, Request: &req})
 	if err != nil {
 		job.Stop()
 		return JobInfo{}, fmt.Errorf("serve: persist job: %w", err)
@@ -670,6 +784,57 @@ func (r *Registry) StartJob(sessionID string, req JobRequest) (JobInfo, error) {
 	return info, nil
 }
 
+// startSweepLocked launches a sharded window sweep as a job on the
+// session's ShardedEngine. Unlike GA jobs this runs entirely under the
+// registry lock — sweep starts are rare, and the lock is what makes
+// the job-limit check and the job's visibility atomic (the same
+// precedent as AddDataset's under-lock Put). Sweeps bypass
+// Session.Start, so the per-session job limit is enforced here.
+func (r *Registry) startSweepLocked(se *sessionEntry, req JobRequest) (JobInfo, error) {
+	if req.Islands != 0 || req.MigrationInterval != 0 || req.MigrationCount != 0 {
+		return JobInfo{}, fmt.Errorf("%w: sweep jobs run no GA; island and migration options do not apply", repro.ErrBadConfig)
+	}
+	if se.sharded == nil {
+		return JobInfo{}, fmt.Errorf("%w: sweep jobs require a sharded session (create it with shard_size >= 1)", repro.ErrBadConfig)
+	}
+	cfg := shard.SweepConfig{Size: req.Sweep.Size, Stride: req.Sweep.Stride}
+	if err := cfg.Validate(); err != nil {
+		return JobInfo{}, fmt.Errorf("%w: %v", repro.ErrBadConfig, err)
+	}
+	if se.maxJobs > 0 && se.sess.ActiveJobs()+r.liveSweepsLocked(se) >= se.maxJobs {
+		return JobInfo{}, fmt.Errorf("%w: session %s already runs %d jobs", repro.ErrSessionBusy, se.id, se.maxJobs)
+	}
+	r.jobSeq++
+	id := fmt.Sprintf("j-%d", r.jobSeq)
+	var sink shard.Sink = shard.DiscardSink{}
+	if !r.storeDiscards() {
+		sink = newStoreSink(r.store, id)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	h := startSweep(ctx, cancel, se.sharded, cfg, sink)
+	je := &jobEntry{
+		id:        id,
+		sessionID: se.id,
+		job:       h,
+		sweep:     h,
+		req:       &req,
+		cancel:    cancel,
+	}
+	info := je.info()
+	ver, err := r.putRecord(KindJob, id, 0, jobRecord{JobInfo: info, Request: &req})
+	if err != nil {
+		h.Stop() // deadlock-free under r.mu: the sweep goroutine never takes it
+		r.deleteRecord(KindCheckpoint, id)
+		return JobInfo{}, fmt.Errorf("serve: persist job: %w", err)
+	}
+	je.storeVer = ver
+	r.jobs[id] = je
+	se.jobIDs = append(se.jobIDs, id)
+	r.jobsWG.Add(1)
+	go je.pump(r)
+	return info, nil
+}
+
 // persistJobFinal re-writes the job's record with its terminal state
 // and result; the pump calls it once when the run ends. The fsync'd
 // write happens outside the registry lock; the CAS version protects
@@ -687,7 +852,7 @@ func (r *Registry) persistJobFinal(je *jobEntry) {
 	}
 	ver := je.storeVer
 	r.mu.Unlock()
-	newVer, err := r.putRecord(KindJob, je.id, ver, info)
+	newVer, err := r.putRecord(KindJob, je.id, ver, jobRecord{JobInfo: info, Request: je.req})
 	if err != nil {
 		if !errors.Is(err, ErrVersionConflict) {
 			r.persistFails.Add(1)
@@ -695,6 +860,13 @@ func (r *Registry) persistJobFinal(je *jobEntry) {
 				"job", je.id, "state", info.State, "err", err)
 		}
 		return
+	}
+	// A terminal sweep — done, canceled or failed — never resumes, so
+	// its checkpoint record is garbage now. Only a crash (which leaves
+	// the job record in state "running") keeps the checkpoint, and that
+	// pair is exactly what restore resumes from.
+	if je.sweep != nil {
+		r.deleteRecord(KindCheckpoint, je.id)
 	}
 	r.mu.Lock()
 	if _, ok := r.jobs[je.id]; ok {
@@ -955,17 +1127,27 @@ func (r *Registry) usable() error {
 // store records too, so an evicted id stays gone across restarts. The
 // janitor calls this periodically; tests may call it directly with a
 // synthetic clock.
+//
+// The store deletions of evicted session trees happen after the
+// mutex is released: under FSStore each is a filesystem unlink, and
+// a churn-heavy sweep (hundreds of sessions, each with job and
+// checkpoint records) would otherwise stall every concurrent request
+// for the whole pass. Session and job ids are monotonic and never
+// reused within a process, so the late deletes cannot hit a
+// recreated record. Dataset records stay under the lock: their ids
+// are content fingerprints, and a concurrent re-upload of the same
+// study may legitimately re-create the id the moment the lock drops.
 func (r *Registry) Sweep(now time.Time) (evictedSessions, evictedDatasets int) {
+	var orphans []recordRef
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for id, se := range r.sessions {
-		if now.Sub(se.lastUsed) <= r.cfg.SessionTTL || se.sess.ActiveJobs() > 0 {
+		if now.Sub(se.lastUsed) <= r.cfg.SessionTTL || se.sess.ActiveJobs() > 0 || r.liveSweepsLocked(se) > 0 {
 			continue
 		}
 		if r.sessionStreamedLocked(se) {
 			continue // a live event stream pins the session
 		}
-		r.dropSessionLocked(id, se, now)
+		orphans = append(orphans, r.dropSessionLocked(id, se, now)...)
 		evictedSessions++
 	}
 	for id, de := range r.datasets {
@@ -978,6 +1160,10 @@ func (r *Registry) Sweep(now time.Time) (evictedSessions, evictedDatasets int) {
 		delete(r.datasets, id)
 		r.deleteRecord(KindDataset, id)
 		evictedDatasets++
+	}
+	r.mu.Unlock()
+	for _, ref := range orphans {
+		r.deleteRecord(ref.kind, ref.id)
 	}
 	return evictedSessions, evictedDatasets
 }
@@ -993,23 +1179,33 @@ func (r *Registry) sessionStreamedLocked(se *sessionEntry) bool {
 	return false
 }
 
-// dropSessionLocked closes one session and forgets its job records —
-// in memory and in the store.
-func (r *Registry) dropSessionLocked(id string, se *sessionEntry, now time.Time) {
+// recordRef names one store record, so eviction can collect the
+// records to forget under the lock and delete them after it.
+type recordRef struct {
+	kind Kind
+	id   string
+}
+
+// dropSessionLocked closes one session and forgets its job records in
+// memory, returning the store records the caller must delete once the
+// lock is released.
+func (r *Registry) dropSessionLocked(id string, se *sessionEntry, now time.Time) []recordRef {
 	se.sess.Close()
+	refs := make([]recordRef, 0, 2*len(se.jobIDs)+1)
 	for _, jid := range se.jobIDs {
 		delete(r.jobs, jid)
 		delete(r.archive, jid)
-		r.deleteRecord(KindJob, jid)
+		refs = append(refs, recordRef{KindJob, jid}, recordRef{KindCheckpoint, jid})
 	}
 	delete(r.sessions, id)
-	r.deleteRecord(KindSession, id)
+	refs = append(refs, recordRef{KindSession, id})
 	if de, ok := r.datasets[se.datasetID]; ok {
 		de.sessions--
 		if de.lastUsed.Before(now) {
 			de.lastUsed = now // dataset TTL counts from the last session's end
 		}
 	}
+	return refs
 }
 
 // Close drains the registry, waits for every job to wind down (their

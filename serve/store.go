@@ -30,6 +30,12 @@ const (
 	// previous process never finished; restore rewrites it as
 	// JobInterrupted.
 	KindJob Kind = "jobs"
+	// KindCheckpoint holds one record per sweep job (same id as the
+	// job): the shard.Checkpoint document, CAS-rewritten after every
+	// completed shard. A restarted server resumes the sweep from it
+	// instead of marking the job interrupted; the record is deleted
+	// when the sweep completes.
+	KindCheckpoint Kind = "checkpoints"
 )
 
 // Record is one durable document in a Store: an id, an opaque JSON

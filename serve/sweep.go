@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/shard"
+)
+
+// sweepHandle runs one sharded window sweep (shard.RunSweep) behind
+// the same handle shape as a GA job (*repro.Job), so the jobEntry
+// plumbing — progress pump, SSE fan-out, stop, drain — serves both
+// without branching. Progress is published as TraceEntry snapshots:
+// Generation carries completed shards, Evaluations the windows
+// evaluated in this life.
+type sweepHandle struct {
+	started  time.Time
+	cancel   context.CancelFunc
+	progress chan repro.TraceEntry
+	done     chan struct{}
+
+	mu     sync.Mutex
+	status shard.SweepStatus
+	res    *shard.SweepResult
+	err    error
+}
+
+// startSweep launches the sweep over the session's sharded engine.
+// sink persists checkpoints (a storeSink over the registry store, or
+// shard.DiscardSink when the registry discards records).
+func startSweep(ctx context.Context, cancel context.CancelFunc, eng *repro.ShardedEngine, cfg shard.SweepConfig, sink shard.Sink) *sweepHandle {
+	h := &sweepHandle{
+		started:  time.Now(),
+		cancel:   cancel,
+		progress: make(chan repro.TraceEntry, 16),
+		done:     make(chan struct{}),
+	}
+	go h.run(ctx, eng, cfg, sink)
+	return h
+}
+
+func (h *sweepHandle) run(ctx context.Context, eng *repro.ShardedEngine, cfg shard.SweepConfig, sink shard.Sink) {
+	res, err := shard.RunSweep(ctx, eng, eng.Plan(), cfg, sink, func(st shard.SweepStatus) {
+		h.mu.Lock()
+		h.status = st
+		h.mu.Unlock()
+		conflatedSend(h.progress, repro.TraceEntry{
+			Generation:  st.ShardsDone,
+			Evaluations: st.Evaluated,
+		})
+	})
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		err = fmt.Errorf("%w: sweep stopped after %d of %d shards", repro.ErrCanceled, res.Done, res.Shards)
+	}
+	h.mu.Lock()
+	h.res, h.err = res, err
+	h.mu.Unlock()
+	close(h.done)     // result is readable before the stream ends…
+	close(h.progress) // …so pump's drain-to-close guarantee holds
+}
+
+// Progress implements runHandle; same conflation semantics as
+// Job.Progress (the channel is fed by conflatedSend).
+func (h *sweepHandle) Progress() <-chan repro.TraceEntry { return h.progress }
+
+// Done implements runHandle.
+func (h *sweepHandle) Done() <-chan struct{} { return h.done }
+
+// Wait implements runHandle. A sweep produces no GAResult — its
+// outcome is the SweepResult, surfaced by jobEntry.info as
+// JobInfo.Sweep.
+func (h *sweepHandle) Wait() (*repro.GAResult, error) {
+	<-h.done
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return nil, h.err
+}
+
+// Stop implements runHandle: cancel and wait for the wind-down. The
+// completed shards stay checkpointed, so a resubmitted sweep resumes.
+func (h *sweepHandle) Stop() (*repro.GAResult, error) {
+	h.cancel()
+	return h.Wait()
+}
+
+// Report implements runHandle: shard progress in GA-report clothing.
+func (h *sweepHandle) Report() repro.JobReport {
+	rep := repro.JobReport{Elapsed: time.Since(h.started)}
+	select {
+	case <-h.done:
+	default:
+		rep.Running = true
+	}
+	h.mu.Lock()
+	rep.Generation = h.status.ShardsDone
+	rep.Evaluations = h.status.Evaluated
+	h.mu.Unlock()
+	return rep
+}
+
+// result returns the finished sweep's outcome (nil while running).
+func (h *sweepHandle) result() *shard.SweepResult {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.res
+}
+
+// shardProgress snapshots the sweep for JobInfo.Shards, preferring
+// the final result once the run has ended.
+func (h *sweepHandle) shardProgress() *ShardProgress {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.res != nil {
+		return &ShardProgress{
+			Total:     h.res.Shards,
+			Done:      h.res.Done,
+			Resumed:   h.res.Resumed,
+			Evaluated: h.res.Evaluated,
+		}
+	}
+	return &ShardProgress{
+		Total:     h.status.ShardsTotal,
+		Done:      h.status.ShardsDone,
+		Evaluated: h.status.Evaluated,
+	}
+}
+
+// storeSink persists sweep checkpoints as CAS-versioned records in the
+// registry's store, keyed by the job id. Concurrent writers (a
+// restarted server racing a not-quite-dead predecessor on a shared
+// store) are reconciled by merging their completed-shard sets and
+// retrying the Put, so no completed shard is ever lost.
+type storeSink struct {
+	store Store
+	jobID string
+	ver   int64
+}
+
+func newStoreSink(store Store, jobID string) *storeSink {
+	return &storeSink{store: store, jobID: jobID}
+}
+
+// Load implements shard.Sink.
+func (s *storeSink) Load() (*shard.Checkpoint, error) {
+	rec, err := s.store.Get(KindCheckpoint, s.jobID)
+	if errors.Is(err, ErrNotFound) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var cp shard.Checkpoint
+	if err := json.Unmarshal(rec.Data, &cp); err != nil {
+		return nil, nil // corrupt checkpoint: start the sweep fresh
+	}
+	s.ver = rec.Version
+	return &cp, nil
+}
+
+// Save implements shard.Sink with a bounded CAS retry loop.
+func (s *storeSink) Save(cp *shard.Checkpoint) error {
+	for attempt := 0; ; attempt++ {
+		b, err := json.Marshal(cp)
+		if err != nil {
+			return err
+		}
+		rec, err := s.store.Put(KindCheckpoint, Record{ID: s.jobID, Version: s.ver, Data: b})
+		if err == nil {
+			s.ver = rec.Version
+			return nil
+		}
+		if !errors.Is(err, ErrVersionConflict) || attempt >= 3 {
+			return err
+		}
+		// Lost a CAS race: merge the other writer's completed shards
+		// into ours and retry at the current version.
+		cur, gerr := s.store.Get(KindCheckpoint, s.jobID)
+		if gerr != nil {
+			if errors.Is(gerr, ErrNotFound) {
+				s.ver = 0 // deleted under us: recreate
+				continue
+			}
+			return gerr
+		}
+		s.ver = cur.Version
+		var other shard.Checkpoint
+		if jerr := json.Unmarshal(cur.Data, &other); jerr == nil &&
+			other.Parent == cp.Parent && other.NumSNPs == cp.NumSNPs &&
+			other.Rows == cp.Rows && other.ShardSize == cp.ShardSize &&
+			other.Size == cp.Size && other.Stride == cp.Stride {
+			cp.Completed = shard.MergeCompleted(cp.Completed, other.Completed)
+		}
+	}
+}

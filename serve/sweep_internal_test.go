@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/shard"
+)
+
+// sinkStores enumerates the Store implementations the storeSink
+// conformance suite runs against — the in-memory store and the
+// file-backed one, which is what a real ldserve checkpoint rides on.
+func sinkStores(t *testing.T) map[string]Store {
+	t.Helper()
+	fs, err := NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"mem": NewMemStore(), "fs": fs}
+}
+
+func testCheckpoint(completed ...shard.ShardResult) *shard.Checkpoint {
+	return &shard.Checkpoint{
+		Parent:    "00000000deadbeef",
+		NumSNPs:   14,
+		Rows:      60,
+		ShardSize: 4,
+		Size:      2,
+		Stride:    1,
+		Completed: completed,
+	}
+}
+
+// TestStoreSinkRoundTrip: checkpoint records survive the save/load
+// cycle across sink instances — the restart contract: a fresh sink
+// (a restarted server) loads exactly what the dead one last saved, and
+// a job that never checkpointed loads nil.
+func TestStoreSinkRoundTrip(t *testing.T) {
+	for name, st := range sinkStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer st.Close()
+			s := newStoreSink(st, "j-1")
+			if cp, err := s.Load(); err != nil || cp != nil {
+				t.Fatalf("Load before any save = %+v, %v; want nil, nil", cp, err)
+			}
+			want := testCheckpoint(shard.ShardResult{Shard: 0, Windows: 4, Best: []int{1, 2}, Fitness: 3.5})
+			if err := s.Save(want); err != nil {
+				t.Fatal(err)
+			}
+			want.Completed = append(want.Completed, shard.ShardResult{Shard: 1, Windows: 4, Best: []int{5, 6}, Fitness: 1.25})
+			if err := s.Save(want); err != nil {
+				t.Fatal(err)
+			}
+			// A brand-new sink — the restarted process — sees the last save.
+			got, err := newStoreSink(st, "j-1").Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("reloaded checkpoint\n got %+v\nwant %+v", got, want)
+			}
+			// Other jobs' checkpoints are invisible.
+			if cp, err := newStoreSink(st, "j-2").Load(); err != nil || cp != nil {
+				t.Fatalf("foreign job Load = %+v, %v; want nil, nil", cp, err)
+			}
+		})
+	}
+}
+
+// TestStoreSinkCorruptRecord: an unparseable checkpoint record loads as
+// nil (sweep starts fresh) instead of failing the job.
+func TestStoreSinkCorruptRecord(t *testing.T) {
+	for name, st := range sinkStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer st.Close()
+			if _, err := st.Put(KindCheckpoint, Record{ID: "j-1", Data: []byte(`[1,2,3]`)}); err != nil {
+				t.Fatal(err)
+			}
+			if cp, err := newStoreSink(st, "j-1").Load(); err != nil || cp != nil {
+				t.Fatalf("Load of corrupt record = %+v, %v; want nil, nil", cp, err)
+			}
+		})
+	}
+}
+
+// TestStoreSinkCASMerge: two sinks racing on the same checkpoint — a
+// restarted server against its not-quite-dead predecessor — lose no
+// completed shard: the CAS loser merges the winner's Completed set and
+// retries, so the union lands.
+func TestStoreSinkCASMerge(t *testing.T) {
+	for name, st := range sinkStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer st.Close()
+			a, b := newStoreSink(st, "j-1"), newStoreSink(st, "j-1")
+			if _, err := a.Load(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Load(); err != nil { // both loaded "nothing yet"
+				t.Fatal(err)
+			}
+			if err := a.Save(testCheckpoint(shard.ShardResult{Shard: 0, Windows: 4})); err != nil {
+				t.Fatal(err)
+			}
+			// b's Save is stale (version 0 against a's record): it must
+			// conflict, merge a's shard 0, and land the union.
+			cpB := testCheckpoint(shard.ShardResult{Shard: 1, Windows: 4})
+			if err := b.Save(cpB); err != nil {
+				t.Fatal(err)
+			}
+			got, err := newStoreSink(st, "j-1").Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Completed) != 2 || got.Completed[0].Shard != 0 || got.Completed[1].Shard != 1 {
+				t.Fatalf("merged Completed = %+v, want shards [0 1]", got.Completed)
+			}
+			// The loser's in-memory checkpoint absorbed the merge too, so
+			// its sweep now also skips shard 0.
+			if len(cpB.Completed) != 2 {
+				t.Fatalf("loser's checkpoint not merged: %+v", cpB.Completed)
+			}
+		})
+	}
+}
+
+// TestStoreSinkCASMergeIgnoresForeign: a conflicting record that pins a
+// different plan or config contributes nothing to the merge — resuming
+// another sweep's shards would corrupt this one's result.
+func TestStoreSinkCASMergeIgnoresForeign(t *testing.T) {
+	for name, st := range sinkStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer st.Close()
+			a, b := newStoreSink(st, "j-1"), newStoreSink(st, "j-1")
+			if _, err := a.Load(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Load(); err != nil {
+				t.Fatal(err)
+			}
+			foreign := testCheckpoint(shard.ShardResult{Shard: 0, Windows: 9})
+			foreign.ShardSize = 8 // different plan
+			if err := a.Save(foreign); err != nil {
+				t.Fatal(err)
+			}
+			cpB := testCheckpoint(shard.ShardResult{Shard: 1, Windows: 4})
+			if err := b.Save(cpB); err != nil {
+				t.Fatal(err)
+			}
+			if len(cpB.Completed) != 1 || cpB.Completed[0].Shard != 1 {
+				t.Fatalf("foreign shards leaked into the merge: %+v", cpB.Completed)
+			}
+		})
+	}
+}
+
+// TestStoreSinkConcurrentWriters: many writers each contribute their
+// own shard under real contention; every shard survives into the final
+// record. Callers whose bounded retry budget runs out re-Load and try
+// again, exactly like a restarted sweep would.
+func TestStoreSinkConcurrentWriters(t *testing.T) {
+	const writers = 6
+	for name, st := range sinkStores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer st.Close()
+			var wg sync.WaitGroup
+			errs := make([]error, writers)
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					s := newStoreSink(st, "j-1")
+					for {
+						cp, err := s.Load()
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						if cp == nil {
+							cp = testCheckpoint()
+						}
+						cp.Completed = shard.MergeCompleted(cp.Completed,
+							[]shard.ShardResult{{Shard: w, Windows: w + 1}})
+						if err := s.Save(cp); err == nil {
+							return
+						} else if !errors.Is(err, ErrVersionConflict) {
+							errs[w] = err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			for w, err := range errs {
+				if err != nil {
+					t.Fatalf("writer %d: %v", w, err)
+				}
+			}
+			got, err := newStoreSink(st, "j-1").Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Completed) != writers {
+				t.Fatalf("final checkpoint has %d shards, want %d: %+v", len(got.Completed), writers, got.Completed)
+			}
+			for w, r := range got.Completed {
+				if r.Shard != w || r.Windows != w+1 {
+					t.Fatalf("shard %d entry corrupted: %+v", w, fmt.Sprint(got.Completed))
+				}
+			}
+		})
+	}
+}

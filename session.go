@@ -33,6 +33,11 @@ type Session struct {
 	trace    func(TraceEntry)
 	jobLimit int // max concurrent Start jobs; 0 = unbounded
 
+	// Sharded-backend shape (WithShardSize / WithSpillDir); shardSize
+	// is 0 when the session evaluates monolithically.
+	shardSize int
+	spillDir  string
+
 	// Island-mode defaults (WithIslands / WithMigration at session
 	// level); run-level options override them per run.
 	islands     int
@@ -87,6 +92,23 @@ func NewSession(d *Dataset, opts ...Option) (*Session, error) {
 	if st.backendSet {
 		s.backend = st.backend
 	}
+	if st.shardSizeSet || st.spillDirSet {
+		if st.evalSet {
+			return nil, fmt.Errorf("%w: WithShardSize/WithSpillDir build the session backend; WithEvaluator does not combine with them", ErrBadConfig)
+		}
+		if st.backendSet && st.backend != BackendNative {
+			return nil, fmt.Errorf("%w: only the native backend shards; WithShardSize/WithSpillDir do not combine with WithBackend(%d)", ErrBadConfig, st.backend)
+		}
+		eng, err := NewShardedEngine(d, s.stat, st.shardSize, st.spillDir, st.workers)
+		if err != nil {
+			return nil, err
+		}
+		s.eval = eng
+		s.owned = eng
+		s.shardSize = eng.Plan().ShardSize
+		s.spillDir = st.spillDir
+		return s, nil
+	}
 	if st.evalSet {
 		s.eval = st.eval
 		return s, nil
@@ -129,6 +151,15 @@ func (s *Session) ActiveJobs() int {
 // JobLimit returns the session's concurrent background job cap (0 =
 // unbounded); see WithJobLimit.
 func (s *Session) JobLimit() int { return s.jobLimit }
+
+// ShardSize returns the session backend's SNP columns per shard, or 0
+// when the session evaluates monolithically (no WithShardSize /
+// WithSpillDir).
+func (s *Session) ShardSize() int { return s.shardSize }
+
+// SpillDir returns the directory the session's shards spill to, or ""
+// when shards stay in memory.
+func (s *Session) SpillDir() string { return s.spillDir }
 
 // Workers returns the evaluation backend's worker count, or 0 when the
 // backend does not expose one.

@@ -1,0 +1,92 @@
+package repro_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+// TestShardedSessionParity: a session sharded at an awkward size (and
+// one spilling to disk) must produce the bit-identical GAResult to the
+// monolithic native backend for a fixed seed, for every statistic.
+func TestShardedSessionParity(t *testing.T) {
+	d := backendTestDataset(t)
+	cfg := backendTestConfig()
+	for _, stat := range []repro.Statistic{repro.T1, repro.T4} {
+		mono, err := repro.NewSession(d, repro.WithStatistic(stat), repro.WithWorkers(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mono.Run(context.Background(), repro.WithGAConfig(cfg))
+		mono.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sharded, err := repro.NewSession(d,
+			repro.WithStatistic(stat), repro.WithWorkers(3), repro.WithShardSize(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sharded.ShardSize() != 5 {
+			t.Fatalf("ShardSize() = %d, want 5", sharded.ShardSize())
+		}
+		got, err := sharded.Run(context.Background(), repro.WithGAConfig(cfg))
+		sharded.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, "sharded", want, got)
+
+		dir := filepath.Join(t.TempDir(), "spill")
+		spilled, err := repro.NewSession(d,
+			repro.WithStatistic(stat), repro.WithWorkers(3),
+			repro.WithShardSize(5), repro.WithSpillDir(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spilled.SpillDir() != dir {
+			t.Fatalf("SpillDir() = %q, want %q", spilled.SpillDir(), dir)
+		}
+		got, err = spilled.Run(context.Background(), repro.WithGAConfig(cfg))
+		spilled.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, "spilled", want, got)
+	}
+}
+
+func TestShardOptionsValidation(t *testing.T) {
+	d := backendTestDataset(t)
+	if _, err := repro.NewSession(d, repro.WithShardSize(-1)); err == nil {
+		t.Fatal("negative shard size accepted")
+	}
+	if _, err := repro.NewSession(d, repro.WithSpillDir("")); err == nil {
+		t.Fatal("empty spill dir accepted")
+	}
+	if _, err := repro.NewSession(d, repro.WithShardSize(8), repro.WithBackend(repro.BackendPVM)); err == nil {
+		t.Fatal("sharding combined with the PVM backend")
+	}
+	ev, err := repro.NewEvaluator(d, repro.T1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.NewSession(d, repro.WithShardSize(8), repro.WithEvaluator(ev)); err == nil {
+		t.Fatal("sharding combined with WithEvaluator")
+	}
+	s, err := repro.NewSession(d, repro.WithShardSize(0), repro.WithSpillDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.ShardSize() != repro.DefaultShardSize {
+		t.Fatalf("ShardSize() = %d, want DefaultShardSize", s.ShardSize())
+	}
+	// Shard options are session-level: a run-level use must fail.
+	if _, err := s.Run(context.Background(), repro.WithShardSize(8)); err == nil {
+		t.Fatal("run-level WithShardSize accepted")
+	}
+}

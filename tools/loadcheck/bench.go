@@ -208,6 +208,9 @@ type EngineBench struct {
 	CoalesceRate float64 `json:"coalesce_rate"`
 	// Engine is the backend's final cumulative counter report.
 	Engine repro.EngineReport `json:"engine"`
+	// Sharded pins sharded-vs-monolithic window-batch throughput on a
+	// wide synthetic study (see ShardedBench).
+	Sharded *ShardedBench `json:"sharded,omitempty"`
 }
 
 // EngineRun is one sequential GA run of the benchmark phase.
@@ -297,5 +300,11 @@ func runEngineBench(n int) (EngineBench, error) {
 		doc.CoalesceRate = float64(all.Coalesced-seq.Coalesced) / float64(dr)
 	}
 	doc.Engine = all
+
+	sharded, err := runShardedBench()
+	if err != nil {
+		return EngineBench{}, fmt.Errorf("sharded bench: %w", err)
+	}
+	doc.Sharded = &sharded
 	return doc, nil
 }

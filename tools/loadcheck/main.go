@@ -69,6 +69,7 @@ func main() {
 		out        = flag.String("out", ".", "directory the BENCH_*.json files are written to")
 		relax      = flag.Float64("relax", 1, "multiplier on the latency SLO bounds (loaded CI boxes need headroom)")
 		engineRuns = flag.Int("engine-runs", 4, "sequential GA runs in the engine benchmark phase")
+		shardSNPs  = flag.Int("shard-snps", 12000, "SNP count of the sharded kill-and-restart scenario's study; 0 skips the scenario")
 		apiKey     = flag.String("api-key", "loadcheck-secret", "API key to run the server with")
 	)
 	flag.Parse()
@@ -185,6 +186,13 @@ func main() {
 		fatalf("final metrics read: %v", err)
 	}
 	stopServer(proc)
+
+	// The sharded kill-and-restart drill gets its own server pair (and
+	// its own directories): a SIGKILL mid-sweep must resume, not
+	// interrupt, on the next boot.
+	if *shardSNPs > 0 {
+		runShardScenario(binPath, *apiKey, *shardSNPs)
+	}
 
 	// The engine benchmark runs after the server is gone, so the two
 	// phases never compete for cores.
@@ -359,8 +367,8 @@ func freeAddr() string {
 // store, auth, metrics, /debug/runtime, a short session TTL with a
 // fast janitor (the sessioner fleet relies on TTL eviction), quiet
 // logging — and waits for the listener.
-func startServer(bin, addr, dataDir, apiKey string) *exec.Cmd {
-	cmd := exec.Command(bin,
+func startServer(bin, addr, dataDir, apiKey string, extra ...string) *exec.Cmd {
+	args := []string{
 		"-addr", addr,
 		"-data-dir", dataDir,
 		"-api-key", apiKey,
@@ -372,7 +380,8 @@ func startServer(bin, addr, dataDir, apiKey string) *exec.Cmd {
 		"-max-jobs", "8",
 		"-drain", "2s",
 		"-shutdown-timeout", "10s",
-	)
+	}
+	cmd := exec.Command(bin, append(args, extra...)...)
 	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
 	if err := cmd.Start(); err != nil {
 		fatalf("start %s: %v", bin, err)

@@ -1,0 +1,251 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/serve"
+)
+
+// wideStudy generates the sharding workload: a study wide enough that
+// a sweep over it takes long enough to be killed mid-run, uploaded as
+// a multi-megabyte table (the "large upload" path).
+func wideStudy(numSNPs int) (*repro.Dataset, string) {
+	third := numSNPs / 3
+	d, err := repro.GenerateDataset(repro.GeneratorConfig{
+		NumSNPs: numSNPs, NumAffected: 60, NumUnaffected: 60, NumUnknown: 30,
+		MissingRate:       0.01,
+		RiskHaplotypeFreq: 0.3,
+		Disease: repro.DiseaseModel{
+			CausalSites: []int{third, 2 * third}, RiskAlleles: []uint8{1, 1},
+			BaseRisk: 0.15, HaplotypeEffect: 0.6,
+		},
+		Seed: 4242,
+	})
+	if err != nil {
+		fatalf("generate wide study: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := repro.WriteDataset(&buf, d); err != nil {
+		fatalf("serialize wide study: %v", err)
+	}
+	return d, buf.String()
+}
+
+// runShardScenario is the kill-and-restart acceptance drill for
+// sharded sweeps: boot a durable, spill-backed ldserve, upload a wide
+// study, start a checkpointed sweep job on a sharded session, SIGKILL
+// the server mid-sweep (no drain, no final persist — the record stays
+// "running"), restart over the same directories, and require that the
+// job resumes from its checkpoint: same id, shards restored instead of
+// recomputed, strictly fewer windows evaluated in life 2, and a final
+// best window. Any violation exits nonzero.
+func runShardScenario(bin, apiKey string, numSNPs int) {
+	dataDir, err := os.MkdirTemp("", "loadcheck-shard-*")
+	if err != nil {
+		fatalf("shard scenario temp dir: %v", err)
+	}
+	defer os.RemoveAll(dataDir)
+	spillDir := filepath.Join(dataDir, "spill")
+	ctx := context.Background()
+
+	addr := freeAddr()
+	proc := startServer(bin, addr, filepath.Join(dataDir, "records"), apiKey, "-spill-dir", spillDir)
+	client := serve.NewClient("http://"+addr, http.DefaultClient, serve.WithAPIKey(apiKey))
+
+	_, table := wideStudy(numSNPs)
+	ds, err := client.CreateDataset(ctx, serve.DatasetRequest{Format: serve.FormatTable, Content: table})
+	if err != nil {
+		fatalf("shard scenario upload: %v", err)
+	}
+	sess, err := client.CreateSession(ctx, serve.SessionRequest{DatasetID: ds.ID, ShardSize: 128})
+	if err != nil {
+		fatalf("shard scenario session: %v", err)
+	}
+	job, err := client.StartJob(ctx, sess.ID, serve.JobRequest{Sweep: &serve.SweepSpec{Size: 4}})
+	if err != nil {
+		fatalf("shard scenario sweep start: %v", err)
+	}
+	fmt.Printf("loadcheck: shard scenario — %d-SNP upload (%d KiB), sweep %s on session %s\n",
+		numSNPs, len(table)>>10, job.ID, sess.ID)
+
+	// Wait for at least two checkpointed shards, then pull the plug.
+	deadline := time.Now().Add(60 * time.Second)
+	var killed serve.JobInfo
+	for {
+		ji, err := client.Job(ctx, job.ID)
+		if err != nil {
+			fatalf("shard scenario poll: %v", err)
+		}
+		if ji.State != serve.JobRunning {
+			fatalf("sweep finished before the kill (state %s) — raise -shard-snps", ji.State)
+		}
+		if ji.Shards != nil && ji.Shards.Done >= 2 {
+			killed = ji
+			break
+		}
+		if time.Now().After(deadline) {
+			fatalf("sweep made no progress before the kill deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	proc.Process.Signal(syscall.SIGKILL)
+	proc.Wait()
+	proc.Process = nil
+	fmt.Printf("loadcheck: shard scenario — SIGKILL after %d/%d shards\n",
+		killed.Shards.Done, killed.Shards.Total)
+
+	// The spill directory must hold the write-once shard files the
+	// restarted backend will reuse.
+	spilled, err := filepath.Glob(filepath.Join(spillDir, "ds-*", "shard-*.bin"))
+	if err != nil || len(spilled) == 0 {
+		fatalf("no spilled shard files under %s (err %v)", spillDir, err)
+	}
+
+	// Life 2: same directories, fresh port. Restore must relaunch the
+	// job under its original id.
+	addr2 := freeAddr()
+	proc2 := startServer(bin, addr2, filepath.Join(dataDir, "records"), apiKey, "-spill-dir", spillDir)
+	defer stopServer(proc2)
+	client2 := serve.NewClient("http://"+addr2, http.DefaultClient, serve.WithAPIKey(apiKey))
+
+	deadline = time.Now().Add(120 * time.Second)
+	var final serve.JobInfo
+	for {
+		ji, err := client2.Job(ctx, job.ID)
+		if err != nil {
+			fatalf("shard scenario life-2 poll: %v", err)
+		}
+		if ji.State != serve.JobRunning {
+			final = ji
+			break
+		}
+		if time.Now().After(deadline) {
+			fatalf("resumed sweep never finished")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	sw := final.Sweep
+	switch {
+	case final.State != serve.JobDone || sw == nil:
+		fatalf("resumed sweep = state %s, sweep %v; want done with an outcome", final.State, sw)
+	case sw.Resumed < 2:
+		fatalf("life 2 resumed %d shards, want >= 2 (the kill happened after %d)", sw.Resumed, killed.Shards.Done)
+	case sw.Done != sw.Shards:
+		fatalf("resumed sweep completed %d of %d shards", sw.Done, sw.Shards)
+	case sw.Evaluated >= int64(sw.TotalWindows):
+		fatalf("life 2 evaluated %d of %d windows — the checkpoint bought nothing", sw.Evaluated, sw.TotalWindows)
+	case len(sw.Best.Best) == 0:
+		fatalf("resumed sweep found no best window: %+v", sw)
+	}
+	fmt.Printf("loadcheck: shard scenario OK — resumed %d shards, evaluated %d of %d windows in life 2, best %v (fitness %.3f)\n",
+		sw.Resumed, sw.Evaluated, sw.TotalWindows, sw.Best.Best, sw.Best.Fitness)
+}
+
+// ShardedBench pins sharded-vs-monolithic evaluation throughput: the
+// same batch of windows scored through the monolithic native backend,
+// an in-memory sharded engine, and a spill-backed sharded engine (all
+// cold caches, per-CPU workers). The ratio is the cost of gathering
+// columns shard by shard instead of slicing one resident table — the
+// price paid for datasets too wide to keep resident.
+type ShardedBench struct {
+	// NumSNPs and Rows describe the synthetic study.
+	NumSNPs int `json:"num_snps"`
+	// Rows is documented with NumSNPs above.
+	Rows int `json:"rows"`
+	// ShardSize is the columns-per-shard of the sharded engines.
+	ShardSize int `json:"shard_size"`
+	// Windows is the batch size (width-2 windows, stride 3).
+	Windows int `json:"windows"`
+	// MonolithicNS / MonolithicEvalsPerSec time the resident backend.
+	MonolithicNS int64 `json:"monolithic_ns"`
+	// MonolithicEvalsPerSec is documented with MonolithicNS above.
+	MonolithicEvalsPerSec float64 `json:"monolithic_evals_per_sec"`
+	// ShardedNS / ShardedEvalsPerSec time the in-memory sharded engine.
+	ShardedNS int64 `json:"sharded_ns"`
+	// ShardedEvalsPerSec is documented with ShardedNS above.
+	ShardedEvalsPerSec float64 `json:"sharded_evals_per_sec"`
+	// SpillNS / SpillEvalsPerSec time the spill-backed engine (shard
+	// files written once, then loaded through the LRU on demand).
+	SpillNS int64 `json:"spill_ns"`
+	// SpillEvalsPerSec is documented with SpillNS above.
+	SpillEvalsPerSec float64 `json:"spill_evals_per_sec"`
+	// ShardedVsMonolithic is sharded throughput over monolithic
+	// throughput (1.0 = free sharding).
+	ShardedVsMonolithic float64 `json:"sharded_vs_monolithic"`
+}
+
+// runShardedBench measures the three engines on one cold batch each.
+// The BenchmarkShardedEval bench in the repo root is the iterated
+// (go test -bench) twin of this snapshot.
+func runShardedBench() (ShardedBench, error) {
+	const (
+		numSNPs   = 3000
+		shardSize = 256
+	)
+	d, _ := wideStudy(numSNPs)
+	var windows [][]int
+	for s := 0; s+2 <= d.NumSNPs(); s += 3 {
+		windows = append(windows, []int{s, s + 1})
+	}
+	doc := ShardedBench{
+		NumSNPs: d.NumSNPs(), Rows: d.NumIndividuals(),
+		ShardSize: shardSize, Windows: len(windows),
+	}
+
+	timeBatch := func(ev repro.ParallelEvaluator) (int64, float64, error) {
+		defer ev.Close()
+		t0 := time.Now()
+		_, errs := ev.EvaluateBatch(windows)
+		for _, err := range errs {
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		wall := time.Since(t0)
+		return wall.Nanoseconds(), float64(len(windows)) / wall.Seconds(), nil
+	}
+
+	mono, err := repro.NewBackend(d, repro.T1, repro.BackendNative, 0)
+	if err != nil {
+		return doc, err
+	}
+	if doc.MonolithicNS, doc.MonolithicEvalsPerSec, err = timeBatch(mono); err != nil {
+		return doc, err
+	}
+
+	mem, err := repro.NewShardedEngine(d, repro.T1, shardSize, "", 0)
+	if err != nil {
+		return doc, err
+	}
+	if doc.ShardedNS, doc.ShardedEvalsPerSec, err = timeBatch(mem); err != nil {
+		return doc, err
+	}
+
+	spillDir, err := os.MkdirTemp("", "loadcheck-spill-*")
+	if err != nil {
+		return doc, err
+	}
+	defer os.RemoveAll(spillDir)
+	spill, err := repro.NewShardedEngine(d, repro.T1, shardSize, spillDir, 0)
+	if err != nil {
+		return doc, err
+	}
+	if doc.SpillNS, doc.SpillEvalsPerSec, err = timeBatch(spill); err != nil {
+		return doc, err
+	}
+
+	if doc.MonolithicEvalsPerSec > 0 {
+		doc.ShardedVsMonolithic = doc.ShardedEvalsPerSec / doc.MonolithicEvalsPerSec
+	}
+	runtime.GC() // the wide study is garbage now; don't bill it to the caller
+	return doc, nil
+}
