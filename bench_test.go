@@ -252,6 +252,70 @@ func BenchmarkIslandGA(b *testing.B) {
 	}
 }
 
+// BenchmarkRace pins the racing coordinator's cache-sharing dividend:
+// the same 4-lane portfolio (ga and stpga, each on T1 and AA) run
+// once as a race over a single session — lanes of one statistic
+// sharing one memo cache — and once as four sequential runs on fresh
+// sessions. Racing must compute strictly fewer backend evaluations
+// than the sequential arm; the committed numbers land in
+// BENCH_engine.json via loadcheck's racing phase.
+func BenchmarkRace(b *testing.B) {
+	d := benchDataset(b)
+	lanes := []RaceLaneSpec{
+		{Optimizer: "ga", Statistic: "T1"},
+		{Optimizer: "stpga", Statistic: "T1"},
+		{Optimizer: "ga", Statistic: "AA"},
+		{Optimizer: "stpga", Statistic: "AA"},
+	}
+	cfg := GAConfig{
+		MinSize: 2, MaxSize: 3, PopulationSize: 24,
+		PairsPerGeneration: 8, StagnationLimit: 12,
+		ImmigrantStagnation: 5, MaxGenerations: 200, Seed: 21,
+	}
+	ctx := context.Background()
+	runPortfolio := func(b *testing.B, portfolios [][]RaceLaneSpec) int64 {
+		var computed int64
+		for _, portfolio := range portfolios {
+			s, err := NewSession(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			job, err := s.Race(ctx, RaceSpec{Lanes: portfolio, SubsetSize: 3, Config: &cfg})
+			if err != nil {
+				s.Close()
+				b.Fatal(err)
+			}
+			if _, err := job.Wait(); err != nil {
+				s.Close()
+				b.Fatal(err)
+			}
+			if rep := job.Report(); rep.Engine != nil {
+				computed += rep.Engine.Computed
+			}
+			s.Close()
+		}
+		return computed
+	}
+	for _, mode := range []struct {
+		name       string
+		portfolios [][]RaceLaneSpec
+	}{
+		{"race", [][]RaceLaneSpec{lanes}},
+		{"sequential", [][]RaceLaneSpec{
+			{lanes[0]}, {lanes[1]}, {lanes[2]}, {lanes[3]},
+		}},
+	} {
+		b.Run("mode="+mode.name, func(b *testing.B) {
+			var computed int64
+			for i := 0; i < b.N; i++ {
+				computed += runPortfolio(b, mode.portfolios)
+			}
+			b.ReportMetric(float64(computed)/float64(b.N), "computed/run")
+			b.ReportMetric(float64(computed)/b.Elapsed().Seconds(), "evals/s")
+		})
+	}
+}
+
 // BenchmarkLandscapeEnum regenerates the §3 exhaustive landscape study
 // for sizes 2 and 3 at 51 SNPs (sizes the paper also enumerated).
 func BenchmarkLandscapeEnum(b *testing.B) {

@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/fitness"
+	"repro/internal/rng"
+)
+
+// GreedyExchangeConfig tunes GreedyExchange. Zero values select
+// defaults.
+type GreedyExchangeConfig struct {
+	// Budget is the total evaluation budget (default 5000).
+	Budget int64
+	// CandidatePool is how many replacement SNPs are sampled per
+	// position in each exchange pass (default 16). STPGA scores the
+	// full exchange neighbourhood; sampling a pool keeps each pass
+	// cheap on wide datasets while preserving the greedy-exchange
+	// dynamics.
+	CandidatePool int
+	Seed          uint64
+}
+
+func (c GreedyExchangeConfig) withDefaults() GreedyExchangeConfig {
+	if c.Budget == 0 {
+		c.Budget = 5000
+	}
+	if c.CandidatePool == 0 {
+		c.CandidatePool = 16
+	}
+	return c
+}
+
+// GreedyExchange runs STPGA-style greedy exchange (Akdemir's
+// accelerated subset selection): starting from a random size-k subset,
+// each pass walks the positions in order and greedily applies the best
+// improving swap from a sampled pool of replacement SNPs; a pass with
+// no improvement triggers a random restart. Deterministic for a fixed
+// Seed. The method converges in far fewer evaluations than
+// population-based search on smooth landscapes, at the cost of relying
+// on restarts to escape deceptive ones.
+func GreedyExchange(ev fitness.Evaluator, numSNPs, k int, cfg GreedyExchangeConfig) (Result, error) {
+	if k < 1 || k > numSNPs {
+		return Result{}, fmt.Errorf("baseline: k = %d out of range", k)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Budget < 1 || cfg.CandidatePool < 1 {
+		return Result{}, fmt.Errorf("baseline: invalid greedy-exchange config %+v", cfg)
+	}
+	r := rng.New(cfg.Seed)
+	ec := &evalCounter{ev: ev}
+	res := Result{BestFitness: math.Inf(-1)}
+
+	for ec.n < cfg.Budget {
+		cur := r.Sample(numSNPs, k)
+		sort.Ints(cur)
+		curF, ok := ec.eval(cur)
+		if !ok {
+			continue // failed start; budget still drains, so this terminates
+		}
+		if curF > res.BestFitness {
+			res.BestFitness = curF
+			res.BestSites = append(res.BestSites[:0], cur...)
+		}
+		// Exchange passes until one completes without improvement.
+		for improved := true; improved && ec.n < cfg.Budget; {
+			improved = false
+			for pos := 0; pos < k && ec.n < cfg.Budget; pos++ {
+				member := make(map[int]bool, k)
+				for _, s := range cur {
+					member[s] = true
+				}
+				bestSwap, bestF := -1, curF
+				pool := cfg.CandidatePool
+				if pool > numSNPs-k {
+					pool = numSNPs - k
+				}
+				for m := 0; m < pool && ec.n < cfg.Budget; m++ {
+					cand := r.Intn(numSNPs)
+					if member[cand] {
+						continue // sampling with rejection; duplicates just shrink the pool
+					}
+					trial := append([]int(nil), cur...)
+					trial[pos] = cand
+					sort.Ints(trial)
+					if v, ok := ec.eval(trial); ok && v > bestF {
+						bestF, bestSwap = v, cand
+					}
+				}
+				if bestSwap >= 0 {
+					cur[pos] = bestSwap
+					sort.Ints(cur)
+					curF = bestF
+					improved = true
+					if curF > res.BestFitness {
+						res.BestFitness = curF
+						res.BestSites = append(res.BestSites[:0], cur...)
+					}
+				}
+			}
+		}
+	}
+	res.Evaluations = ec.n
+	if res.BestSites == nil {
+		return res, fmt.Errorf("baseline: every evaluation failed")
+	}
+	return res, nil
+}

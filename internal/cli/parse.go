@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro"
+	"repro/internal/clump"
 )
 
 // ParseBackend maps a backend name ("native", "pool", "pvm") to the
@@ -34,33 +35,25 @@ func BackendName(b repro.Backend) string {
 	return fmt.Sprintf("backend(%d)", b)
 }
 
-// ParseStatistic maps a CLUMP statistic name ("T1".."T4", case
-// insensitive in the first letter) to the facade constant.
+// ParseStatistic maps a statistic name ("T1".."T4", "AA", case
+// insensitive) to the facade constant. Unknown names are rejected
+// with the full valid set in the error, so callers never have to
+// discover it by reading source.
 func ParseStatistic(name string) (repro.Statistic, error) {
-	switch name {
-	case "T1", "t1":
-		return repro.T1, nil
-	case "T2", "t2":
-		return repro.T2, nil
-	case "T3", "t3":
-		return repro.T3, nil
-	case "T4", "t4":
-		return repro.T4, nil
-	}
-	return 0, fmt.Errorf("unknown statistic %q (want T1, T2, T3 or T4)", name)
+	return clump.Parse(name)
 }
 
 // StatisticName is the inverse of ParseStatistic.
 func StatisticName(s repro.Statistic) string {
-	switch s {
-	case repro.T1:
-		return "T1"
-	case repro.T2:
-		return "T2"
-	case repro.T3:
-		return "T3"
-	case repro.T4:
-		return "T4"
+	if !s.Valid() {
+		return fmt.Sprintf("statistic(%d)", s)
 	}
-	return fmt.Sprintf("statistic(%d)", s)
+	return s.String()
+}
+
+// StatisticList renders the valid statistic names ("T1, T2, T3, T4 or
+// AA") for flag usage text, shared by ldga and ldserve so the CLIs
+// and the parse errors always agree.
+func StatisticList() string {
+	return clump.NameList()
 }

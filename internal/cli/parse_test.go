@@ -1,0 +1,52 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestParseStatisticRoundTrip(t *testing.T) {
+	for _, want := range []repro.Statistic{repro.T1, repro.T2, repro.T3, repro.T4, repro.AA} {
+		name := StatisticName(want)
+		got, err := ParseStatistic(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseStatistic(%q) = %v, %v; want %v", name, got, err, want)
+		}
+		got, err = ParseStatistic(strings.ToLower(name))
+		if err != nil || got != want {
+			t.Fatalf("ParseStatistic(%q) = %v, %v; want %v", strings.ToLower(name), got, err, want)
+		}
+	}
+}
+
+// TestParseStatisticUnknownListsValidSet pins the contract that the
+// parse error names every valid statistic, so CLI and API users never
+// have to read source to discover the set.
+func TestParseStatisticUnknownListsValidSet(t *testing.T) {
+	_, err := ParseStatistic("chi2")
+	if err == nil {
+		t.Fatal("unknown statistic accepted")
+	}
+	if !strings.Contains(err.Error(), StatisticList()) {
+		t.Fatalf("error %q does not contain the valid set %q", err, StatisticList())
+	}
+	for _, name := range []string{"T1", "T2", "T3", "T4", "AA"} {
+		if !strings.Contains(StatisticList(), name) {
+			t.Fatalf("StatisticList() %q missing %q", StatisticList(), name)
+		}
+	}
+}
+
+func TestParseBackendRoundTrip(t *testing.T) {
+	for _, want := range []repro.Backend{repro.BackendNative, repro.BackendPool, repro.BackendPVM} {
+		got, err := ParseBackend(BackendName(want))
+		if err != nil || got != want {
+			t.Fatalf("ParseBackend(%q) = %v, %v; want %v", BackendName(want), got, err, want)
+		}
+	}
+	if _, err := ParseBackend("mpi"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

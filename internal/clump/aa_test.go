@@ -1,0 +1,162 @@
+package clump
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func aaOf(t *testing.T, rows [][]float64) float64 {
+	t.Helper()
+	res, err := Statistics(mustTable(t, rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.AA
+}
+
+func TestAABounded(t *testing.T) {
+	// q = |lambda|/(|lambda|+2) is in [0, 1) by construction, for any
+	// non-negative table including empty cells.
+	f := func(vals [8]uint8) bool {
+		tab := stats.NewTable(2, 4)
+		for j := 0; j < 4; j++ {
+			tab.Set(0, j, float64(vals[j]))
+			tab.Set(1, j, float64(vals[4+j]))
+		}
+		res, err := Statistics(tab)
+		if err != nil {
+			return false
+		}
+		return res.AA >= 0 && res.AA < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAAColumnPermutationInvariant(t *testing.T) {
+	base := [][]float64{{30, 5, 12, 3}, {4, 25, 9, 16}}
+	perm := [][]float64{{3, 12, 30, 5}, {16, 9, 4, 25}}
+	a, b := aaOf(t, base), aaOf(t, perm)
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("column permutation changed AA: %v vs %v", a, b)
+	}
+}
+
+func TestAARowSwapInvariant(t *testing.T) {
+	// Swapping the case and control rows negates every log odds ratio
+	// and complements the optimal bipartition; |lambda| and hence AA
+	// are unchanged.
+	base := [][]float64{{30, 5, 12, 3}, {4, 25, 9, 16}}
+	swap := [][]float64{{4, 25, 9, 16}, {30, 5, 12, 3}}
+	a, b := aaOf(t, base), aaOf(t, swap)
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("row swap changed AA: %v vs %v", a, b)
+	}
+}
+
+func TestAANearZeroUnderIndependence(t *testing.T) {
+	// Proportional rows: every 2-way clumping has odds ratio 1, so
+	// only the 0.5 correction keeps AA off exactly zero.
+	if aa := aaOf(t, [][]float64{{40, 40, 40}, {20, 20, 20}}); aa > 0.02 {
+		t.Fatalf("independent table AA = %v, want ~0", aa)
+	}
+}
+
+func TestAAMonotoneInAssociation(t *testing.T) {
+	// Shifting mass from the off-diagonal to the diagonal strengthens
+	// the association; AA must not decrease.
+	prev := -1.0
+	for _, d := range []float64{0, 5, 10, 15, 20} {
+		aa := aaOf(t, [][]float64{{20 + d, 20 - d}, {20 - d, 20 + d}})
+		if aa < prev-1e-12 {
+			t.Fatalf("AA not monotone: %v after %v (shift %v)", aa, prev, d)
+		}
+		prev = aa
+	}
+}
+
+func TestAAPerfectSplitApproachesOne(t *testing.T) {
+	// Columns {0,1} carry cases, {2,3} carry controls; the canonical
+	// association of the perfect split is high but finite (Haldane-
+	// Anscombe keeps it below 1).
+	aa := aaOf(t, [][]float64{{25, 25, 0, 0}, {0, 0, 25, 25}})
+	if aa < 0.7 || aa >= 1 {
+		t.Fatalf("perfect split AA = %v, want high but < 1", aa)
+	}
+}
+
+func TestAASingleColumnIsZero(t *testing.T) {
+	// One informative column admits no 2-way clumping.
+	if aa := aaOf(t, [][]float64{{10, 0}, {5, 0}}); aa != 0 {
+		t.Fatalf("degenerate table AA = %v, want 0", aa)
+	}
+}
+
+func TestAAHandComputedTwoColumns(t *testing.T) {
+	// Two columns: the only split is column 0 vs column 1.
+	aa := aaOf(t, [][]float64{{30, 10}, {15, 25}})
+	lambda := math.Log((30.5 * 25.5) / (10.5 * 15.5))
+	want := lambda / (lambda + 2)
+	if math.Abs(aa-want) > 1e-12 {
+		t.Fatalf("AA = %v, want %v", aa, want)
+	}
+}
+
+func TestAAResultAndPValuesGet(t *testing.T) {
+	if (Result{AA: 0.5}).Get(AA) != 0.5 {
+		t.Fatal("Result.Get(AA) wrong")
+	}
+	if (PValues{AA: 0.25}).Get(AA) != 0.25 {
+		t.Fatal("PValues.Get(AA) wrong")
+	}
+	if AA.String() != "AA" {
+		t.Fatalf("AA.String() = %q", AA.String())
+	}
+}
+
+func TestAAMonteCarlo(t *testing.T) {
+	strong := mustTable(t, [][]float64{{50, 5, 5}, {5, 30, 25}})
+	p, err := (MonteCarlo{Replicates: 500, Source: rng.New(7)}).Run(strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AA > 0.01 {
+		t.Fatalf("strong association AA p = %v, want < 0.01", p.AA)
+	}
+	if p.AA <= 0 || p.AA > 1 {
+		t.Fatalf("AA p-value out of (0,1]: %v", p.AA)
+	}
+}
+
+func TestParseAndNames(t *testing.T) {
+	for _, s := range All() {
+		if !s.Valid() {
+			t.Fatalf("%v not Valid", s)
+		}
+		got, err := Parse(s.String())
+		if err != nil || got != s {
+			t.Fatalf("Parse(%q) = %v, %v", s.String(), got, err)
+		}
+		lower, err := Parse(string([]byte{s.String()[0] | 0x20, s.String()[1] | 0x20}))
+		if err != nil || lower != s {
+			t.Fatalf("case-insensitive Parse of %v failed: %v, %v", s, lower, err)
+		}
+	}
+	if Statistic(0).Valid() || Statistic(6).Valid() {
+		t.Fatal("out-of-range statistic reported Valid")
+	}
+	if _, err := Parse("T9"); err == nil {
+		t.Fatal("Parse accepted unknown name")
+	} else if want := NameList(); !strings.Contains(err.Error(), want) {
+		t.Fatalf("parse error %q does not list the valid set %q", err, want)
+	}
+	if NameList() != "T1, T2, T3, T4 or AA" {
+		t.Fatalf("NameList() = %q", NameList())
+	}
+}

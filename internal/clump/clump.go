@@ -10,6 +10,11 @@
 //	T3 — largest chi-square of any single column against the rest.
 //	T4 — largest chi-square over 2-way clumpings of the columns.
 //
+// plus one modern addition on the same seam:
+//
+//	AA — canonical allelic-association measure (Scholz & Hasenclever)
+//	     over the same 2-way clumpings, on [0, 1).
+//
 // The paper's fitness is the statistic value itself (a "good"
 // haplotype is one highly correlated with the disease, i.e. a high
 // CLUMP value); the Monte-Carlo machinery is used for final reporting.
@@ -46,6 +51,8 @@ func (s Statistic) String() string {
 		return "T3"
 	case T4:
 		return "T4"
+	case AA:
+		return "AA"
 	default:
 		return fmt.Sprintf("Statistic(%d)", int(s))
 	}
@@ -55,12 +62,15 @@ func (s Statistic) String() string {
 // T2 to decide which columns are too sparse to stand alone.
 const minExpected = 5.0
 
-// Result carries all four statistics of a table.
+// Result carries all statistics of a table.
 type Result struct {
 	T1 float64
 	T2 float64
 	T3 float64
 	T4 float64
+	// AA is the canonical allelic-association measure on [0, 1); see
+	// the AA constant.
+	AA float64
 	// DF1 and DF2 are the degrees of freedom of T1 and T2. T3 and T4
 	// are maxima of 2x2 statistics; their null distribution is
 	// assessed by Monte Carlo, not by a chi-square df.
@@ -79,12 +89,15 @@ func (r Result) Get(s Statistic) float64 {
 		return r.T3
 	case T4:
 		return r.T4
+	case AA:
+		return r.AA
 	default:
 		panic("clump: unknown statistic " + s.String())
 	}
 }
 
-// Statistics computes T1..T4 for a 2 x M table of non-negative counts.
+// Statistics computes T1..T4 and AA for a 2 x M table of non-negative
+// counts.
 func Statistics(t *stats.Table) (Result, error) {
 	if t.Rows() != 2 {
 		return Result{}, fmt.Errorf("clump: table has %d rows, want 2", t.Rows())
@@ -94,6 +107,7 @@ func Statistics(t *stats.Table) (Result, error) {
 	res.T2, res.DF2 = clumpRare(t).ChiSquare()
 	res.T3 = maxSingleColumn(t)
 	res.T4 = maxTwoWay(t)
+	res.AA = maxCanonicalAssociation(t)
 	return res, nil
 }
 
@@ -212,8 +226,8 @@ type MonteCarlo struct {
 
 // PValues holds the empirical upper-tail p-values of the statistics.
 type PValues struct {
-	T1, T2, T3, T4 float64
-	Replicates     int
+	T1, T2, T3, T4, AA float64
+	Replicates         int
 }
 
 // Get returns the selected p-value.
@@ -227,6 +241,8 @@ func (p PValues) Get(s Statistic) float64 {
 		return p.T3
 	case T4:
 		return p.T4
+	case AA:
+		return p.AA
 	default:
 		panic("clump: unknown statistic " + s.String())
 	}
@@ -255,10 +271,10 @@ func (mc MonteCarlo) Run(t *stats.Table) (PValues, error) {
 	colTot := rounded.ColTotals()
 	n := int(rowTot[0] + rowTot[1])
 	if n == 0 {
-		return PValues{T1: 1, T2: 1, T3: 1, T4: 1, Replicates: reps}, nil
+		return PValues{T1: 1, T2: 1, T3: 1, T4: 1, AA: 1, Replicates: reps}, nil
 	}
 
-	exceed := [4]int{}
+	exceed := [5]int{}
 	sim := stats.NewTable(2, t.Cols())
 	for rep := 0; rep < reps; rep++ {
 		simulateMargins(sim, rowTot, colTot, mc.Source)
@@ -278,11 +294,14 @@ func (mc MonteCarlo) Run(t *stats.Table) (PValues, error) {
 		if st.T4 >= obs.T4 {
 			exceed[3]++
 		}
+		if st.AA >= obs.AA {
+			exceed[4]++
+		}
 	}
 	p := func(e int) float64 { return float64(e+1) / float64(reps+1) }
 	return PValues{
 		T1: p(exceed[0]), T2: p(exceed[1]), T3: p(exceed[2]), T4: p(exceed[3]),
-		Replicates: reps,
+		AA: p(exceed[4]), Replicates: reps,
 	}, nil
 }
 

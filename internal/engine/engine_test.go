@@ -362,3 +362,56 @@ func TestEnginePipelineParity(t *testing.T) {
 		t.Logf("report: %+v (no duplicate work observed, unusual but legal)", rep)
 	}
 }
+
+// TestEnginePipelineParityAllStatistics repeats the parity check for
+// every defined statistic, including AA: the engine (and its memo
+// cache) must be bit-identical to the serial pipeline regardless of
+// which CLUMP value is the fitness.
+func TestEnginePipelineParityAllStatistics(t *testing.T) {
+	d, err := popgen.Generate(popgen.Config{
+		NumSNPs: 12, NumAffected: 25, NumUnaffected: 25,
+		RiskHaplotypeFreq: 0.3,
+		Disease: popgen.DiseaseModel{
+			CausalSites: []int{2, 7}, RiskAlleles: []uint8{1, 1},
+			BaseRisk: 0.15, HaplotypeEffect: 0.6,
+		},
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stat := range clump.All() {
+		t.Run(stat.String(), func(t *testing.T) {
+			pipe, err := fitness.NewPipeline(d, stat, ehdiall.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := NewForDataset(d, stat, Options{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			r := rng.New(uint64(stat) * 13)
+			var batch [][]int
+			for i := 0; i < 16; i++ {
+				sites := r.Sample(d.NumSNPs(), 2+r.Intn(2))
+				genotype.SortSites(sites)
+				batch = append(batch, sites)
+			}
+			// Evaluate the batch twice: the second pass is served
+			// entirely from the memo cache and must stay bit-identical.
+			for pass := 0; pass < 2; pass++ {
+				values, errs := e.EvaluateBatch(batch)
+				for i, sites := range batch {
+					want, werr := pipe.Evaluate(sites)
+					if (errs[i] == nil) != (werr == nil) {
+						t.Fatalf("pass %d item %d: error mismatch: %v vs %v", pass, i, errs[i], werr)
+					}
+					if errs[i] == nil && values[i] != want {
+						t.Fatalf("pass %d item %d: engine %v, serial %v", pass, i, values[i], want)
+					}
+				}
+			}
+		})
+	}
+}

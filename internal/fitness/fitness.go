@@ -62,7 +62,7 @@ func NewPipeline(d *genotype.Dataset, stat clump.Statistic, em ehdiall.Config) (
 	if d == nil {
 		return nil, fmt.Errorf("fitness: nil dataset")
 	}
-	if stat < clump.T1 || stat > clump.T4 {
+	if !stat.Valid() {
 		return nil, fmt.Errorf("fitness: invalid statistic %v", stat)
 	}
 	aff := d.ByStatus(genotype.Affected)

@@ -86,6 +86,7 @@ func (p *Pipeline) WriteReport(w io.Writer, names []string, sites []int) error {
 		det.Clump.T2, det.Clump.DF2, stats.ChiSquareSurvival(nonZero(det.Clump.T2), maxInt(det.Clump.DF2, 1)))
 	fmt.Fprintf(w, "  T3 (best single column)    %8.3f  (significance by Monte Carlo)\n", det.Clump.T3)
 	fmt.Fprintf(w, "  T4 (best 2-way clumping)   %8.3f  (significance by Monte Carlo)\n", det.Clump.T4)
+	fmt.Fprintf(w, "  AA (canonical association) %8.3f  (significance by Monte Carlo)\n", det.Clump.AA)
 	fmt.Fprintf(w, "\nfitness (selected statistic): %.3f\n", det.Fitness)
 	return nil
 }

@@ -67,15 +67,13 @@ func (s *settings) sessionOnly() error {
 }
 
 // WithStatistic selects the CLUMP statistic used as fitness. Only the
-// four defined statistics are valid; in particular the Statistic zero
-// value is rejected rather than silently mapped to the default, so a
-// run is never configured by accident. Omit the option to get
-// DefaultStatistic (T1).
+// defined statistics (T1..T4, AA) are valid; in particular the
+// Statistic zero value is rejected rather than silently mapped to the
+// default, so a run is never configured by accident. Omit the option
+// to get DefaultStatistic (T1).
 func WithStatistic(stat Statistic) Option {
 	return func(s *settings) error {
-		switch stat {
-		case T1, T2, T3, T4:
-		default:
+		if !stat.Valid() {
 			return fmt.Errorf("%w: unknown statistic %d (omit WithStatistic for the default, T1)", ErrBadConfig, stat)
 		}
 		s.stat = stat

@@ -1,0 +1,155 @@
+package repro_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// The race types cross the wire verbatim — JobRequest carries a
+// RaceSpec in, JobInfo carries boards and results out, and the
+// leaderboard SSE frames are RaceBoard snapshots — so their field
+// names and value round-trips are pinned exactly like the GA types in
+// json_test.go.
+
+func raceLaneStatusFixture(n int) repro.RaceLaneStatus {
+	return repro.RaceLaneStatus{
+		Name:        "ga/T1",
+		Optimizer:   "ga",
+		Statistic:   "T1",
+		State:       repro.RaceLaneDone,
+		BestFitness: 119.39 + float64(n),
+		BestSites:   []int{7, int(11 + n)},
+		Score:       1,
+		Evaluations: int64(390 + n),
+		SharedHits:  33,
+		Error:       "",
+	}
+}
+
+func TestRaceSpecJSONRoundTrip(t *testing.T) {
+	cfg := repro.GAConfig{MinSize: 2, MaxSize: 3, PopulationSize: 24, Seed: 7}
+	in := repro.RaceSpec{
+		Lanes: []repro.RaceLaneSpec{
+			{Name: "fast", Optimizer: "exhaustive", Statistic: "T1"},
+			{Optimizer: "stpga", Statistic: "AA"},
+		},
+		SubsetSize: 3,
+		Config:     &cfg,
+		Budget:     6000,
+		CutAfter:   0.5,
+		Stagnation: 250,
+		Grace:      50,
+		KeepTop:    2,
+	}
+	got := roundTrip(t, in)
+	if !reflect.DeepEqual(in, got) {
+		t.Errorf("round trip mismatch:\n in: %+v\ngot: %+v", in, got)
+	}
+}
+
+func TestRaceBoardJSONRoundTrip(t *testing.T) {
+	in := repro.RaceBoard{
+		Seq:              42,
+		Leader:           "ga/T1",
+		Lanes:            []repro.RaceLaneStatus{raceLaneStatusFixture(0), raceLaneStatusFixture(1)},
+		TotalEvaluations: 8002,
+		TotalSharedHits:  5244,
+		Finished:         true,
+	}
+	if got := roundTrip(t, in); !reflect.DeepEqual(in, got) {
+		t.Errorf("round trip mismatch:\n in: %+v\ngot: %+v", in, got)
+	}
+}
+
+func TestRaceResultJSONRoundTrip(t *testing.T) {
+	cut := raceLaneStatusFixture(1)
+	cut.State = repro.RaceLaneCanceledByRace
+	in := repro.RaceResult{
+		Winner:           raceLaneStatusFixture(0),
+		Lanes:            []repro.RaceLaneStatus{raceLaneStatusFixture(0), cut},
+		TotalEvaluations: 8002,
+		TotalSharedHits:  5244,
+		Elapsed:          174 * time.Millisecond,
+	}
+	if got := roundTrip(t, in); !reflect.DeepEqual(in, got) {
+		t.Errorf("round trip mismatch:\n in: %+v\ngot: %+v", in, got)
+	}
+}
+
+// TestRaceWireFieldNamesStable pins the exact JSON key sets of the
+// race types, the same contract TestWireFieldNamesStable pins for the
+// GA types. Populated values are marshaled so omitempty fields are
+// pinned too.
+func TestRaceWireFieldNamesStable(t *testing.T) {
+	keysOf := func(v any) map[string]bool {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(b, &m); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		keys := make(map[string]bool, len(m))
+		for k := range m {
+			keys[k] = true
+		}
+		return keys
+	}
+	status := raceLaneStatusFixture(0)
+	status.Error = "lane failed"
+	cases := []struct {
+		name string
+		v    any
+		want []string
+	}{
+		{"RaceLaneSpec", repro.RaceLaneSpec{Name: "n", Optimizer: "ga", Statistic: "T1"},
+			[]string{"name", "optimizer", "statistic"}},
+		{"RaceSpec", repro.RaceSpec{
+			Lanes: []repro.RaceLaneSpec{{}}, SubsetSize: 3, Config: &repro.GAConfig{},
+			Budget: 1, CutAfter: 0.5, Stagnation: 1, Grace: 1, KeepTop: 1,
+		}, []string{
+			"lanes", "subset_size", "config", "budget", "cut_after",
+			"stagnation_evals", "grace", "keep_top"}},
+		{"RaceLaneStatus", status, []string{
+			"name", "optimizer", "statistic", "state", "best_fitness",
+			"best_sites", "score", "evaluations", "shared_hits", "error"}},
+		{"RaceBoard", repro.RaceBoard{
+			Seq: 1, Leader: "l", Lanes: []repro.RaceLaneStatus{}, TotalEvaluations: 1,
+			TotalSharedHits: 1, Finished: true,
+		}, []string{
+			"seq", "leader", "lanes", "total_evaluations",
+			"total_shared_hits", "finished"}},
+		{"RaceResult", repro.RaceResult{}, []string{
+			"winner", "lanes", "total_evaluations", "total_shared_hits",
+			"elapsed_ns"}},
+	}
+	for _, c := range cases {
+		got := keysOf(c.v)
+		for _, k := range c.want {
+			if !got[k] {
+				t.Errorf("%s: missing wire field %q", c.name, k)
+			}
+			delete(got, k)
+		}
+		for k := range got {
+			t.Errorf("%s: unexpected wire field %q", c.name, k)
+		}
+	}
+	// The lane states are wire strings, pinned by value.
+	for want, got := range map[string]string{
+		"running":          repro.RaceLaneRunning,
+		"done":             repro.RaceLaneDone,
+		"canceled":         repro.RaceLaneCanceled,
+		"canceled_by_race": repro.RaceLaneCanceledByRace,
+		"failed":           repro.RaceLaneFailed,
+	} {
+		if want != got {
+			t.Errorf("lane state %q changed to %q", want, got)
+		}
+	}
+}

@@ -122,6 +122,10 @@ const (
 	T2 = clump.T2
 	T3 = clump.T3
 	T4 = clump.T4
+	// AA is the canonical allelic-association measure of Scholz &
+	// Hasenclever: the strongest 2-way clumping of the haplotype
+	// table scored as a sample-size-free association on [0, 1).
+	AA = clump.AA
 )
 
 // Evaluator scores haplotypes; see NewEvaluator and

@@ -193,6 +193,19 @@ type JobRequest struct {
 	MigrationInterval int `json:"migration_interval,omitempty"`
 	// MigrationCount is documented with MigrationInterval above.
 	MigrationCount int `json:"migration_count,omitempty"`
+	// Race, when set, makes the job a portfolio race instead of a
+	// single GA run: every lane (an optimizer x statistic
+	// configuration) searches concurrently over the session's shared
+	// memoizing backend, with a live leaderboard and optional early
+	// cancellation of trailing lanes (see repro.RaceSpec for the
+	// policy knobs). Lanes on the session's own statistic share its
+	// warmed cache; other statistics get session-owned engines. When
+	// the spec's own config is null, Config above configures the GA
+	// lanes. Combining with Sweep, Islands or the migration fields is
+	// a bad_request. The outcome is JobInfo.Race (a race has no
+	// GAResult); DELETE returns the partial best-so-far per lane, and
+	// lanes cut by the policy carry state "canceled_by_race".
+	Race *repro.RaceSpec `json:"race,omitempty"`
 	// Sweep, when set, makes the job a sharded window sweep instead of
 	// a GA run: every haplotype window of the session's dataset is
 	// scored shard by shard, with progress checkpointed through the
@@ -217,13 +230,28 @@ type SweepSpec struct {
 	Stride int `json:"stride,omitempty"`
 }
 
+// RaceInfo is the race section of a racing job's status document
+// (JobInfo.Race): the latest leaderboard while running, plus the
+// final result once the race has ended.
+type RaceInfo struct {
+	// Board is the latest leaderboard snapshot: ranked lanes with
+	// their per-lane state, best-so-far, evaluations spent, and
+	// shared-cache hits.
+	Board repro.RaceBoard `json:"board"`
+	// Result is the race's outcome, set once State is not "running"
+	// (partial for "canceled": cut and canceled lanes keep their
+	// best-so-far).
+	Result *repro.RaceResult `json:"result,omitempty"`
+}
+
 // ShardProgress is the live shard bookkeeping of a sweep job
 // (JobInfo.Shards).
 type ShardProgress struct {
-	// Total is the plan's shard count; Done the shards completed so
-	// far (checkpoint-resumed ones included).
+	// Total is the plan's shard count.
 	Total int `json:"total"`
-	Done  int `json:"done"`
+	// Done is the shards completed so far (checkpoint-resumed ones
+	// included).
+	Done int `json:"done"`
 	// Resumed counts shards restored from a checkpoint instead of
 	// evaluated in this server's lifetime (set once the sweep ends).
 	Resumed int `json:"resumed,omitempty"`
@@ -265,6 +293,9 @@ type JobInfo struct {
 	// Sweep is a sweep job's outcome, set once State is not "running"
 	// (partial for "canceled"; every completed shard is final).
 	Sweep *repro.SweepResult `json:"sweep,omitempty"`
+	// Race carries a racing job's leaderboard and, once ended, its
+	// result (nil for GA and sweep jobs).
+	Race *RaceInfo `json:"race,omitempty"`
 	// Error is the terminal error text for "canceled" and "failed".
 	Error string `json:"error,omitempty"`
 }
@@ -367,6 +398,11 @@ const (
 	// island number and covers only the sizes that island hosts, and
 	// ordering is guaranteed only within one island's entries.
 	EventGeneration = "generation"
+	// EventLeaderboard carries one repro.RaceBoard: the conflated
+	// leaderboard stream of a racing job (JobRequest.Race). Racing
+	// jobs emit leaderboard frames instead of generation frames; the
+	// Seq field is monotone, so a resumed stream deduplicates by it.
+	EventLeaderboard = "leaderboard"
 	// EventDone carries the final JobInfo and ends the stream; per
 	// the drain-to-close guarantee above it always reports a
 	// finished state.
@@ -375,8 +411,9 @@ const (
 
 // Event is one server-sent event as surfaced by Client.StreamEvents.
 type Event struct {
-	Type  string            // EventGeneration or EventDone
+	Type  string            // EventGeneration, EventLeaderboard or EventDone
 	Entry *repro.TraceEntry // set for EventGeneration
+	Board *repro.RaceBoard  // set for EventLeaderboard
 	Job   *JobInfo          // set for EventDone
 }
 

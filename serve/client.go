@@ -297,6 +297,9 @@ func (c *Client) StopJob(ctx context.Context, id string) (JobInfo, error) {
 type streamState struct {
 	done *JobInfo
 	seen map[int]int
+	// boardSeq is the last leaderboard sequence number forwarded for a
+	// racing job; boards at or below it are resumed-stream replays.
+	boardSeq int64
 }
 
 // StreamEvents consumes the job's SSE progress stream, invoking fn
@@ -360,6 +363,12 @@ func (c *Client) streamOnce(ctx context.Context, jobID string, fn func(Event) er
 				return fmt.Errorf("serve: bad %s event: %w", event, err)
 			}
 			ev.Entry = &entry
+		case EventLeaderboard:
+			var b repro.RaceBoard
+			if err := json.Unmarshal(data.Bytes(), &b); err != nil {
+				return fmt.Errorf("serve: bad %s event: %w", event, err)
+			}
+			ev.Board = &b
 		case EventDone:
 			var ji JobInfo
 			if err := json.Unmarshal(data.Bytes(), &ji); err != nil {
@@ -370,6 +379,14 @@ func (c *Client) streamOnce(ctx context.Context, jobID string, fn func(Event) er
 		}
 		event = ""
 		data.Reset()
+		if ev.Board != nil {
+			// Board sequence numbers are monotone; replays of a resumed
+			// stream (the late-subscriber seed) are dropped.
+			if ev.Board.Seq <= st.boardSeq {
+				return nil
+			}
+			st.boardSeq = ev.Board.Seq
+		}
 		if ev.Entry != nil {
 			// Per-island ordering is the server's contract; entries at
 			// or below the high-water mark are replays of a resumed

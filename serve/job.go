@@ -35,6 +35,7 @@ type jobEntry struct {
 	sessionID string
 	job       runHandle
 	sweep     *sweepHandle // non-nil for sweep jobs (same object as job)
+	race      *raceHandle  // non-nil for racing jobs (same object as job)
 	req       *JobRequest  // persisted with the record so restore can resume sweeps
 	cancel    context.CancelFunc
 	storeVer  int64 // job record's store version (guarded by Registry.mu)
@@ -148,6 +149,9 @@ func (je *jobEntry) info() JobInfo {
 	}
 	if je.sweep != nil {
 		ji.Shards = je.sweep.shardProgress()
+	}
+	if je.race != nil {
+		ji.Race = je.race.raceInfo()
 	}
 	select {
 	case <-je.job.Done():

@@ -721,6 +721,16 @@ func (r *Registry) StartJob(sessionID string, req JobRequest) (JobInfo, error) {
 		r.mu.Unlock()
 		return JobInfo{}, err
 	}
+	if req.Race != nil {
+		if req.Sweep != nil || req.Islands != 0 || req.MigrationInterval != 0 || req.MigrationCount != 0 {
+			r.mu.Unlock()
+			return JobInfo{}, fmt.Errorf("%w: racing jobs run their own lanes; sweep, island and migration options do not apply", repro.ErrBadConfig)
+		}
+		r.jobSeq++
+		id := fmt.Sprintf("j-%d", r.jobSeq)
+		r.mu.Unlock()
+		return r.launchRace(se, id, req)
+	}
 	if req.Sweep != nil {
 		info, err := r.startSweepLocked(se, req)
 		r.mu.Unlock()
@@ -782,6 +792,91 @@ func (r *Registry) StartJob(sessionID string, req JobRequest) (JobInfo, error) {
 	r.mu.Unlock()
 	go je.pump(r)
 	return info, nil
+}
+
+// launchRace starts a racing job (repro.Session.Race) under the
+// allocated id, following the GA path's locking discipline: the
+// launch, which validates the spec and contends on the session lock,
+// and the fsync'd record write both run outside the registry lock.
+// The race claims one of the session's job slots itself, so the
+// per-session limit surfaces here as repro.ErrSessionBusy → HTTP 429.
+func (r *Registry) launchRace(se *sessionEntry, id string, req JobRequest) (JobInfo, error) {
+	spec := *req.Race
+	if spec.Config == nil {
+		// The wire's standard config field configures the GA lanes
+		// when the spec carries none of its own.
+		cfg := req.Config
+		spec.Config = &cfg
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rj, err := se.sess.Race(ctx, spec)
+	if err != nil {
+		cancel()
+		return JobInfo{}, err
+	}
+	h := startRace(rj)
+	je := &jobEntry{
+		id:        id,
+		sessionID: se.id,
+		job:       h,
+		race:      h,
+		req:       &req,
+		cancel:    cancel,
+	}
+	info := je.info()
+	ver, err := r.putRecord(KindJob, id, 0, jobRecord{JobInfo: info, Request: &req})
+	if err != nil {
+		h.Stop()
+		return JobInfo{}, fmt.Errorf("serve: persist job: %w", err)
+	}
+	je.storeVer = ver
+	r.mu.Lock()
+	if err := r.usable(); err != nil {
+		r.mu.Unlock()
+		h.Stop()
+		r.deleteRecord(KindJob, id)
+		return JobInfo{}, err
+	}
+	r.jobs[id] = je
+	se.jobIDs = append(se.jobIDs, id)
+	r.jobsWG.Add(1)
+	r.mu.Unlock()
+	go je.pump(r)
+	return info, nil
+}
+
+// SubscribeBoard attaches a conflated leaderboard stream to a racing
+// job, with the same semantics as Subscribe (latest board first, a
+// slow reader misses old boards, closed when the race ends). A
+// finished or restored race yields one frame — the final board — and
+// an immediate close, so every subscriber sees at least one
+// leaderboard. The third result is false — with no channel — when the
+// job exists but is not a race.
+func (r *Registry) SubscribeBoard(jobID string) (<-chan repro.RaceBoard, func(), bool, error) {
+	je, aj, err := r.jobRef(jobID)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if aj != nil {
+		if aj.info.Race == nil {
+			return nil, nil, false, nil
+		}
+		// Archived race: one frame carrying the persisted final board,
+		// then the close — the same shape a live-but-finished race
+		// hands a late subscriber.
+		closed := make(chan repro.RaceBoard, 1)
+		closed <- aj.info.Race.Board
+		close(closed)
+		return closed, func() {}, true, nil
+	}
+	if je.race == nil {
+		return nil, nil, false, nil
+	}
+	ch, off := je.race.subscribeBoard()
+	return ch, func() {
+		off()
+		r.touchSession(je.sessionID)
+	}, true, nil
 }
 
 // startSweepLocked launches a sharded window sweep as a job on the

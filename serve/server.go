@@ -293,6 +293,16 @@ func (s *Server) deleteJob(w http.ResponseWriter, r *http.Request) {
 // so the stream is just the terminating done event.
 func (s *Server) getEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	boards, boardOff, isRace, err := s.reg.SubscribeBoard(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if isRace {
+		defer boardOff()
+		s.streamRace(w, r, id, boards)
+		return
+	}
 	ch, off, err := s.reg.Subscribe(id)
 	if err != nil {
 		writeError(w, err)
@@ -300,18 +310,10 @@ func (s *Server) getEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	defer off()
 
-	fl, ok := w.(http.Flusher)
+	fl, ok := sseStart(w)
 	if !ok {
-		writeError(w, errors.New("serve: response writer does not support streaming"))
 		return
 	}
-	h := w.Header()
-	h.Set("Content-Type", "text/event-stream")
-	h.Set("Cache-Control", "no-cache")
-	h.Set("Connection", "keep-alive")
-	w.WriteHeader(http.StatusOK)
-	fl.Flush()
-
 	ctx := r.Context()
 	for {
 		select {
@@ -332,6 +334,52 @@ func (s *Server) getEvents(w http.ResponseWriter, r *http.Request) {
 			fl.Flush()
 		}
 	}
+}
+
+// streamRace streams a racing job's conflated leaderboard as
+// EventLeaderboard frames (id = board sequence number), terminated by
+// the standard EventDone carrying the JobInfo with its race outcome.
+func (s *Server) streamRace(w http.ResponseWriter, r *http.Request, id string, boards <-chan repro.RaceBoard) {
+	fl, ok := sseStart(w)
+	if !ok {
+		return
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case b, ok := <-boards:
+			if !ok {
+				ji, err := s.reg.Job(id)
+				if err != nil {
+					return // session evicted mid-stream
+				}
+				writeEvent(w, EventDone, "", ji)
+				fl.Flush()
+				return
+			}
+			writeEvent(w, EventLeaderboard, strconv.FormatInt(b.Seq, 10), b)
+			fl.Flush()
+		}
+	}
+}
+
+// sseStart negotiates the event-stream response; false means the
+// writer cannot stream and an error was already written.
+func sseStart(w http.ResponseWriter) (http.Flusher, bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errors.New("serve: response writer does not support streaming"))
+		return nil, false
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	return fl, true
 }
 
 // writeEvent emits one SSE frame. id may be empty.

@@ -48,6 +48,10 @@ type Session struct {
 	mu         sync.Mutex
 	closed     bool
 	activeJobs int // background jobs currently running
+	// raceEvals are per-statistic engines created lazily by Race for
+	// lanes scoring a statistic other than s.stat; session-owned, so
+	// Close releases them.
+	raceEvals map[Statistic]ParallelEvaluator
 }
 
 // NewSession builds a session over the dataset. Session-level options
@@ -195,6 +199,9 @@ func (s *Session) Close() error {
 	s.closed = true
 	if s.owned != nil {
 		s.owned.Close()
+	}
+	for _, ev := range s.raceEvals {
+		ev.Close()
 	}
 	return nil
 }

@@ -37,6 +37,9 @@ type ServeBench struct {
 	// Runtime summarizes the goroutine/heap series sampled from
 	// GET /debug/runtime through the soak.
 	Runtime RuntimeSeries `json:"runtime"`
+	// RateLimit records the rate-limit scenario (429 + Retry-After
+	// under load against a throttled profile); nil when skipped.
+	RateLimit *RateLimitBench `json:"rate_limit,omitempty"`
 	// SLO is the verdict block; Pass false means the run failed.
 	SLO SLOReport `json:"slo"`
 }
@@ -119,7 +122,7 @@ const (
 // buildServeBench assembles the document and evaluates every SLO.
 func buildServeBench(clients int, duration time.Duration, relax float64,
 	rec *recorder, metrics serve.MetricsInfo, smp *sampler,
-	baseline, final serve.RuntimeInfo, leakedJobs int) ServeBench {
+	baseline, final serve.RuntimeInfo, leakedJobs int, rate *RateLimitBench) ServeBench {
 
 	classes := rec.snapshot()
 	peakG, peakHeap, samples := smp.peaks()
@@ -164,6 +167,22 @@ func buildServeBench(clients int, duration time.Duration, relax float64,
 	check("goroutine_growth_after_drain", goroutineSlack,
 		float64(final.Goroutines-baseline.Goroutines), "count")
 	check("dedup_violations", 0, float64(rec.dedupViolations.Load()), "count")
+	if rate != nil {
+		doc.RateLimit = rate
+		// Orientation: check() passes on actual <= limit, so "the limit
+		// engaged" is phrased as zero scenarios without a 429.
+		notLimited := 0.0
+		if rate.Limited == 0 {
+			notLimited = 1
+		}
+		check("rate_limit_never_engaged", 0, notLimited, "count")
+		check("rate_limit_retry_after_missing", 0, float64(rate.RetryAfterMissing), "count")
+		notRecovered := 0.0
+		if !rate.RecoveredAfterWait {
+			notRecovered = 1
+		}
+		check("rate_limit_not_recovered", 0, notRecovered, "count")
+	}
 
 	doc.SLO.Pass = true
 	for _, c := range doc.SLO.Checks {
@@ -211,6 +230,117 @@ type EngineBench struct {
 	// Sharded pins sharded-vs-monolithic window-batch throughput on a
 	// wide synthetic study (see ShardedBench).
 	Sharded *ShardedBench `json:"sharded,omitempty"`
+	// Race pins racing-vs-sequential evaluation cost for a 4-lane
+	// portfolio over one shared memo cache (see RaceBench).
+	Race *RaceBench `json:"race,omitempty"`
+}
+
+// RaceBench is the racing phase of BENCH_engine.json: the same four
+// optimizer×statistic configurations (ga and stpga, each on T1 and
+// AA) run once as a portfolio race over a single session — lanes of a
+// statistic sharing one memo cache — and once as four sequential runs
+// on fresh sessions. The committed numbers are the cache-sharing
+// dividend the racing coordinator exists for: RacedComputed must stay
+// strictly below SequentialComputed.
+type RaceBench struct {
+	// Lanes is the portfolio size (4).
+	Lanes int `json:"lanes"`
+	// RacedComputed is the backend evaluations actually computed
+	// across all lanes and statistics during the race.
+	RacedComputed int64 `json:"raced_computed"`
+	// RacedWallNS is the race's wall-clock time.
+	RacedWallNS int64 `json:"raced_wall_ns"`
+	// SequentialComputed is the computed-evaluation total of the same
+	// four configurations run one after another on fresh sessions.
+	SequentialComputed int64 `json:"sequential_computed"`
+	// SequentialWallNS is the sequential runs' wall-clock total.
+	SequentialWallNS int64 `json:"sequential_wall_ns"`
+	// SavedFraction is 1 - RacedComputed/SequentialComputed.
+	SavedFraction float64 `json:"saved_fraction"`
+	// SharedHits counts race evaluations answered because another
+	// lane of the same statistic had already requested the same set.
+	SharedHits int64 `json:"shared_hits"`
+	// Winner names the race's winning lane.
+	Winner string `json:"winner"`
+}
+
+// raceBenchSpec is the portfolio both arms of the racing benchmark
+// run: two optimizers crossed with two statistics.
+func raceBenchSpec() []repro.RaceLaneSpec {
+	return []repro.RaceLaneSpec{
+		{Optimizer: "ga", Statistic: "T1"},
+		{Optimizer: "stpga", Statistic: "T1"},
+		{Optimizer: "ga", Statistic: "AA"},
+		{Optimizer: "stpga", Statistic: "AA"},
+	}
+}
+
+// runRaceBench runs the racing phase: the 4-lane portfolio raced over
+// one session, then the same 4 configurations sequentially on fresh
+// sessions, comparing computed backend evaluations. Fails when racing
+// is not strictly cheaper — that regression would mean the lanes
+// stopped sharing the memo cache.
+func runRaceBench() (RaceBench, error) {
+	cfg := engineConfig(21)
+	ctx := context.Background()
+	doc := RaceBench{Lanes: len(raceBenchSpec())}
+
+	d, err := repro.Paper51Dataset(1)
+	if err != nil {
+		return RaceBench{}, err
+	}
+	s, err := repro.NewSession(d)
+	if err != nil {
+		return RaceBench{}, err
+	}
+	t0 := time.Now()
+	job, err := s.Race(ctx, repro.RaceSpec{Lanes: raceBenchSpec(), SubsetSize: 3, Config: &cfg})
+	if err != nil {
+		s.Close()
+		return RaceBench{}, fmt.Errorf("race: %w", err)
+	}
+	res, err := job.Wait()
+	if err != nil {
+		s.Close()
+		return RaceBench{}, fmt.Errorf("race: %w", err)
+	}
+	doc.RacedWallNS = time.Since(t0).Nanoseconds()
+	doc.SharedHits = res.TotalSharedHits
+	doc.Winner = res.Winner.Name
+	if rep := job.Report(); rep.Engine != nil {
+		doc.RacedComputed = rep.Engine.Computed
+	}
+	s.Close()
+
+	t0 = time.Now()
+	for _, lane := range raceBenchSpec() {
+		fresh, err := repro.NewSession(d)
+		if err != nil {
+			return RaceBench{}, err
+		}
+		j, err := fresh.Race(ctx, repro.RaceSpec{Lanes: []repro.RaceLaneSpec{lane}, SubsetSize: 3, Config: &cfg})
+		if err != nil {
+			fresh.Close()
+			return RaceBench{}, fmt.Errorf("sequential %s/%s: %w", lane.Optimizer, lane.Statistic, err)
+		}
+		if _, err := j.Wait(); err != nil {
+			fresh.Close()
+			return RaceBench{}, fmt.Errorf("sequential %s/%s: %w", lane.Optimizer, lane.Statistic, err)
+		}
+		if rep := j.Report(); rep.Engine != nil {
+			doc.SequentialComputed += rep.Engine.Computed
+		}
+		fresh.Close()
+	}
+	doc.SequentialWallNS = time.Since(t0).Nanoseconds()
+	if doc.SequentialComputed > 0 {
+		doc.SavedFraction = 1 - float64(doc.RacedComputed)/float64(doc.SequentialComputed)
+	}
+	if doc.RacedComputed >= doc.SequentialComputed {
+		return RaceBench{}, fmt.Errorf("racing computed %d evaluations, sequential %d — the shared cache paid nothing",
+			doc.RacedComputed, doc.SequentialComputed)
+	}
+	return doc, nil
 }
 
 // EngineRun is one sequential GA run of the benchmark phase.

@@ -70,6 +70,9 @@ func main() {
 		relax      = flag.Float64("relax", 1, "multiplier on the latency SLO bounds (loaded CI boxes need headroom)")
 		engineRuns = flag.Int("engine-runs", 4, "sequential GA runs in the engine benchmark phase")
 		shardSNPs  = flag.Int("shard-snps", 12000, "SNP count of the sharded kill-and-restart scenario's study; 0 skips the scenario")
+		rateRPS    = flag.Float64("rate", 25, "requests/second of the rate-limit scenario's server; 0 skips the scenario")
+		rateBurst  = flag.Int("rate-burst", 30, "burst size of the rate-limit scenario's server")
+		raceBench  = flag.Bool("race-bench", true, "run the racing benchmark phase (4 lanes racing vs the same 4 sequentially)")
 		apiKey     = flag.String("api-key", "loadcheck-secret", "API key to run the server with")
 	)
 	flag.Parse()
@@ -194,14 +197,32 @@ func main() {
 		runShardScenario(binPath, *apiKey, *shardSNPs)
 	}
 
+	// The rate-limit scenario gets its own server too: mixing a
+	// throttled profile into the soak would turn every fleet's error
+	// count into noise.
+	var rateDoc *RateLimitBench
+	if *rateRPS > 0 {
+		rd := runRateScenario(binPath, *apiKey, *rateRPS, *rateBurst)
+		rateDoc = &rd
+	}
+
 	// The engine benchmark runs after the server is gone, so the two
 	// phases never compete for cores.
 	engine, err := runEngineBench(*engineRuns)
 	if err != nil {
 		fatalf("engine bench: %v", err)
 	}
+	if *raceBench {
+		race, err := runRaceBench()
+		if err != nil {
+			fatalf("race bench: %v", err)
+		}
+		engine.Race = &race
+		fmt.Printf("loadcheck: race — 4 lanes computed %d evals raced vs %d sequential (%.1f%% saved), %d shared hits\n",
+			race.RacedComputed, race.SequentialComputed, 100*race.SavedFraction, race.SharedHits)
+	}
 
-	doc := buildServeBench(*clients, *duration, *relax, rec, metrics, sampler, baseline, finalRT, leakedJobs)
+	doc := buildServeBench(*clients, *duration, *relax, rec, metrics, sampler, baseline, finalRT, leakedJobs, rateDoc)
 	fmt.Printf("loadcheck: latency SLO bounds scaled ×%.1f (relax %.1f × cpu scale %.1f on %d CPUs)\n",
 		doc.Profile.Relax*doc.Profile.CPUScale, doc.Profile.Relax, doc.Profile.CPUScale, runtime.NumCPU())
 	writeJSON(filepath.Join(*out, "BENCH_serve.json"), doc)
