@@ -10,6 +10,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -45,12 +46,24 @@ func (e *evalCounter) eval(sites []int) (float64, bool) {
 // Exhaustive enumerates every size-k haplotype. Feasible only for
 // small k (Table 1's search-space growth is the whole point).
 func Exhaustive(ev fitness.Evaluator, numSNPs, k int) (Result, error) {
+	return ExhaustiveContext(context.Background(), ev, numSNPs, k)
+}
+
+// ExhaustiveContext is Exhaustive with cancellation: the enumeration
+// stops at the first subset after ctx is done — unlike the budgeted
+// baselines, it would otherwise walk all C(numSNPs, k) subsets with
+// every evaluation failing. On cancellation it returns the partial
+// best found so far alongside ctx's error.
+func ExhaustiveContext(ctx context.Context, ev fitness.Evaluator, numSNPs, k int) (Result, error) {
 	if k < 1 || k > numSNPs {
 		return Result{}, fmt.Errorf("baseline: k = %d out of range", k)
 	}
 	ec := &evalCounter{ev: ev}
 	res := Result{BestFitness: math.Inf(-1)}
 	combin.ForEachSubset(numSNPs, k, func(sites []int) bool {
+		if ctx.Err() != nil {
+			return false
+		}
 		if v, ok := ec.eval(sites); ok && v > res.BestFitness {
 			res.BestFitness = v
 			res.BestSites = append(res.BestSites[:0], sites...)
@@ -58,6 +71,9 @@ func Exhaustive(ev fitness.Evaluator, numSNPs, k int) (Result, error) {
 		return true
 	})
 	res.Evaluations = ec.n
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	if res.BestSites == nil {
 		return res, fmt.Errorf("baseline: every evaluation failed")
 	}

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -47,6 +49,38 @@ func TestExhaustiveFindsOptimum(t *testing.T) {
 	}
 	if res.Evaluations != combin.Binomial(10, 3).Int64() {
 		t.Fatalf("evaluations = %d", res.Evaluations)
+	}
+}
+
+func TestExhaustiveContextCancellation(t *testing.T) {
+	// Cancellation must abort the enumeration promptly with the partial
+	// best — not walk the remaining C(numSNPs, k) subsets with every
+	// evaluation failing.
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	ev := fitness.Func(func(sites []int) (float64, error) {
+		n++
+		if n == 10 {
+			cancel()
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		s := 0
+		for _, v := range sites {
+			s += v
+		}
+		return float64(s), nil
+	})
+	res, err := ExhaustiveContext(ctx, ev, 30, 4) // C(30,4) = 27405 subsets
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.BestSites == nil {
+		t.Fatal("canceled enumeration lost its partial best")
+	}
+	if res.Evaluations >= 100 {
+		t.Fatalf("enumeration kept running after cancel: %d evaluations", res.Evaluations)
 	}
 }
 

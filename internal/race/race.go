@@ -8,7 +8,7 @@
 // tabu/exhaustive baselines, STPGA greedy exchange — races unchanged.
 // Every lane's evaluations flow through a metering wrapper that
 // maintains the leaderboard, attributes shared-cache reuse (a request
-// whose canonical SNP set was already requested by any lane of the
+// whose canonical SNP set was already evaluated by any lane of the
 // same statistic is served from the shared memo cache), and enforces
 // the cancellation policy inline, deterministically, with no timers.
 //
@@ -142,7 +142,7 @@ type LaneStatus struct {
 	Score       float64 `json:"score"`
 	Evaluations int64   `json:"evaluations"`
 	// SharedHits counts this lane's evaluations whose canonical SNP
-	// set had already been requested by some lane of the same
+	// set had already been evaluated by some lane of the same
 	// statistic — requests the shared memo cache answers without new
 	// backend work.
 	SharedHits int64  `json:"shared_hits"`
@@ -353,14 +353,21 @@ func (r *Race) finishLocked() {
 
 // record books one successful evaluation of lane l and applies the
 // cancellation policy.
-func (r *Race) record(l *lane, sites []int, v float64, shared bool) {
+func (r *Race) record(l *lane, key string, sites []int, v float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	l.evals++
 	r.totalEvals++
-	if shared {
+	// Shared-cache attribution: only successful evaluations enter the
+	// seen set (only they populate the shared memo cache), so a request
+	// whose canonical set is already present was answered — or at least
+	// coalesced — by another evaluation of the same statistic.
+	set := r.seen[l.spec.Statistic]
+	if _, shared := set[key]; shared {
 		l.sharedHits++
 		r.totalShared++
+	} else {
+		set[key] = struct{}{}
 	}
 	if v > l.best {
 		l.best = v
@@ -549,14 +556,6 @@ func (m *meter) Evaluate(sites []int) (float64, error) {
 	if err := m.l.ctx.Err(); err != nil {
 		return 0, err
 	}
-	key := siteKey(sites)
-	m.r.mu.Lock()
-	set := m.r.seen[m.l.spec.Statistic]
-	_, shared := set[key]
-	if !shared {
-		set[key] = struct{}{}
-	}
-	m.r.mu.Unlock()
 	v, err := m.l.spec.Eval.Evaluate(sites)
 	if err != nil {
 		if cerr := m.l.ctx.Err(); cerr != nil {
@@ -564,7 +563,7 @@ func (m *meter) Evaluate(sites []int) (float64, error) {
 		}
 		return 0, err
 	}
-	m.r.record(m.l, sites, v, shared)
+	m.r.record(m.l, siteKey(sites), sites, v)
 	return v, nil
 }
 

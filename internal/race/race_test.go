@@ -407,6 +407,46 @@ func TestRaceValidation(t *testing.T) {
 	}
 }
 
+func TestRaceFailedEvalDoesNotPoisonSharedSet(t *testing.T) {
+	// A failed evaluation never reaches the shared memo cache, so it
+	// must not enter the seen set either: the first successful
+	// evaluation of the same canonical set afterwards is computed, not
+	// a shared-cache hit. A duplicate of the success still is one.
+	var calls atomic.Int64
+	flaky := fitness.Func(func(sites []int) (float64, error) {
+		if calls.Add(1) == 1 {
+			return 0, fmt.Errorf("transient backend failure")
+		}
+		return 1, nil
+	})
+	lane := func(ctx context.Context, ev fitness.Evaluator) (LaneResult, error) {
+		if _, err := ev.Evaluate([]int{1, 2}); err == nil {
+			return LaneResult{}, fmt.Errorf("first evaluation unexpectedly succeeded")
+		}
+		v, err := ev.Evaluate([]int{1, 2}) // retry: first success of this set
+		if err != nil {
+			return LaneResult{}, err
+		}
+		if _, err := ev.Evaluate([]int{2, 1}); err != nil { // true duplicate (canonicalized)
+			return LaneResult{}, err
+		}
+		return LaneResult{BestFitness: v, BestSites: []int{1, 2}}, nil
+	}
+	r, err := Start(context.Background(), []LaneSpec{
+		{Name: "l", Optimizer: "a", Statistic: "T1", Eval: flaky, Run: lane},
+	}, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitRace(t, r)
+	if res.TotalEvaluations != 2 {
+		t.Fatalf("recorded evaluations = %d, want the 2 successes", res.TotalEvaluations)
+	}
+	if res.TotalSharedHits != 1 {
+		t.Fatalf("shared hits = %d, want 1 (the duplicate of the success, not the retry after the failure)", res.TotalSharedHits)
+	}
+}
+
 func TestRaceMeterRejectsAfterCancel(t *testing.T) {
 	// After a lane is cut, its evaluator must reject immediately so
 	// budget-looping optimizers wind down fast without touching the

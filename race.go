@@ -136,7 +136,7 @@ func (s *Session) Race(ctx context.Context, spec RaceSpec) (*RaceJob, error) {
 		subset = defaultRaceSubsetSize
 	}
 	if subset < 1 || subset > s.numSNPs {
-		return nil, fmt.Errorf("%w: race subset size %d out of range (2 SNPs to %d)", ErrBadConfig, subset, s.numSNPs)
+		return nil, fmt.Errorf("%w: race subset size %d out of range (1 to %d SNPs)", ErrBadConfig, subset, s.numSNPs)
 	}
 	if err := s.reserveJob(); err != nil {
 		return nil, err
@@ -224,20 +224,33 @@ func (s *Session) laneRunFunc(optimizer string, cfg GAConfig, subset int) (race.
 	case "stpga":
 		return func(ctx context.Context, ev fitness.Evaluator) (race.LaneResult, error) {
 			res, err := baseline.GreedyExchange(ev, numSNPs, subset, baseline.GreedyExchangeConfig{Seed: cfg.Seed})
-			return race.LaneResult{BestSites: res.BestSites, BestFitness: res.BestFitness}, err
+			return race.LaneResult{BestSites: res.BestSites, BestFitness: res.BestFitness}, laneErr(ctx, err)
 		}, nil
 	case "tabu":
 		return func(ctx context.Context, ev fitness.Evaluator) (race.LaneResult, error) {
 			res, err := baseline.TabuSearch(ev, numSNPs, subset, baseline.TabuConfig{Seed: cfg.Seed})
-			return race.LaneResult{BestSites: res.BestSites, BestFitness: res.BestFitness}, err
+			return race.LaneResult{BestSites: res.BestSites, BestFitness: res.BestFitness}, laneErr(ctx, err)
 		}, nil
 	case "exhaustive":
 		return func(ctx context.Context, ev fitness.Evaluator) (race.LaneResult, error) {
-			res, err := baseline.Exhaustive(ev, numSNPs, subset)
-			return race.LaneResult{BestSites: res.BestSites, BestFitness: res.BestFitness}, err
+			res, err := baseline.ExhaustiveContext(ctx, ev, numSNPs, subset)
+			return race.LaneResult{BestSites: res.BestSites, BestFitness: res.BestFitness}, laneErr(ctx, err)
 		}, nil
 	}
 	return nil, fmt.Errorf("unknown optimizer %q (want %s)", optimizer, raceOptimizerList())
+}
+
+// laneErr surfaces a cancellation the budgeted baselines swallow: they
+// treat the race meter's context errors as skippable failed
+// evaluations, drain their budget, and return a partial best with a
+// nil error — which would classify a cut lane as done. Returning the
+// context error instead lets the coordinator label the lane
+// canceled/canceled_by_race and keep the metered partial best.
+func laneErr(ctx context.Context, err error) error {
+	if err == nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
 }
 
 // bestOfGA reduces a GA result to the single best haplotype across

@@ -257,6 +257,49 @@ func TestRaceStagnationCancelsTrailingLane(t *testing.T) {
 	}
 }
 
+// TestRaceCutBaselineLaneNotDone: the budgeted baselines (stpga, tabu)
+// swallow the race meter's context errors as skippable failed
+// evaluations and return a partial best with a nil error, and
+// exhaustive has no budget at all — a lane of any of them cut by the
+// race policy must still end canceled_by_race (with the metered
+// partial best when it scored anything), never pose as done.
+func TestRaceCutBaselineLaneNotDone(t *testing.T) {
+	testleak.Check(t)
+	d := backendTestDataset(t)
+	s, err := repro.NewSession(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// C(14,2) = 91 pair subsets and internal baseline budgets of 5000
+	// evaluations: a race budget of 30 cuts every lane mid-run.
+	job, err := s.Race(context.Background(), repro.RaceSpec{
+		Lanes: []repro.RaceLaneSpec{
+			{Optimizer: "stpga"},
+			{Optimizer: "tabu"},
+			{Optimizer: "exhaustive"},
+		},
+		SubsetSize: 2,
+		Budget:     30,
+		Grace:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ln := range res.Lanes {
+		if ln.State != repro.RaceLaneCanceledByRace {
+			t.Fatalf("cut lane %q state = %q, want canceled_by_race", ln.Name, ln.State)
+		}
+	}
+	if res.Winner.Name == "" {
+		t.Fatal("budget-cut race named no winner from partial bests")
+	}
+}
+
 // TestRaceClaimsJobSlot: a race occupies one WithJobLimit slot for its
 // whole lifetime and releases it on completion.
 func TestRaceClaimsJobSlot(t *testing.T) {

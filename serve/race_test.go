@@ -92,9 +92,16 @@ func TestServeRaceEndToEnd(t *testing.T) {
 	for _, ln := range res.Lanes {
 		byName[ln.Name] = ln
 	}
+	// The exhaustive lane walks C(51,2) = 1275 subsets; whether it
+	// finishes before the shared 6000-eval budget is spent depends on
+	// scheduling, but a cut must be labeled as one and keep its
+	// partial best.
 	ex, ok := byName["exhaustive/T1"]
-	if !ok || ex.State != repro.RaceLaneDone {
-		t.Fatalf("exhaustive lane = %+v, want done", ex)
+	if !ok || (ex.State != repro.RaceLaneDone && ex.State != repro.RaceLaneCanceledByRace) {
+		t.Fatalf("exhaustive lane = %+v, want done or canceled_by_race", ex)
+	}
+	if len(ex.BestSites) == 0 {
+		t.Fatalf("exhaustive lane lost its best: %+v", ex)
 	}
 	if _, ok := byName["stpga/AA"]; !ok {
 		t.Fatalf("leaderboard misses the stpga/AA lane: %+v", res.Lanes)
