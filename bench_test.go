@@ -14,7 +14,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ehdiall"
 	"repro/internal/exp"
+	"repro/internal/fitness"
 	"repro/internal/genotype"
 	"repro/internal/rng"
 )
@@ -313,6 +315,128 @@ func BenchmarkRace(b *testing.B) {
 			b.ReportMetric(float64(computed)/float64(b.N), "computed/run")
 			b.ReportMetric(float64(computed)/b.Elapsed().Seconds(), "evals/s")
 		})
+	}
+}
+
+// BenchmarkPackedKernel compares the packed 2-bit counting kernel
+// against the byte-per-genotype reference on three study shapes: the
+// paper's 51- and 249-SNP presets and a 12000-SNP synthetic study of
+// the same case/control size.
+//
+// stage=count is the kernel itself — the per-SNP genotype-class
+// counting that feeds allele frequencies and the HWE QC filter, word-
+// parallel masked popcounts (Packed.AlleleFreq / Packed.HWETest)
+// versus the byte row scan (Dataset.AlleleFreq / Dataset.HWETest);
+// both finish through the same shared float arithmetic, so the timing
+// gap is pure counting. This is where the PLINK-style representation
+// pays: the packed sweep must be >= 2x the byte sweep on the 249-SNP
+// preset.
+//
+// stage=pipeline is the honest end-to-end number — full fitness
+// evaluations (EH-DIALL per group, concatenation, CLUMP T1) through
+// the scratch path. Both kernels run the identical shared EM core on
+// identical pattern groups (that is the bit-identity contract), so the
+// end-to-end gap is only the grouping/tally fraction of an evaluation,
+// a few percent at the paper's shapes.
+//
+// tools/loadcheck snapshots the same comparison into
+// BENCH_engine.json's "kernel" block.
+func BenchmarkPackedKernel(b *testing.B) {
+	shapes := []struct {
+		name string
+		mk   func() (*Dataset, error)
+	}{
+		{"snps=51", func() (*Dataset, error) { return Paper51Dataset(42) }},
+		{"snps=249", func() (*Dataset, error) { return Paper249Dataset(42) }},
+		{"snps=12000", func() (*Dataset, error) {
+			return GenerateDataset(GeneratorConfig{
+				NumSNPs: 12000, NumAffected: 88, NumUnaffected: 88,
+				MissingRate:       0.01,
+				RiskHaplotypeFreq: 0.3,
+				Disease: DiseaseModel{
+					CausalSites: []int{4000, 8000}, RiskAlleles: []uint8{1, 1},
+					BaseRisk: 0.15, HaplotypeEffect: 0.6,
+				},
+				Seed: 9,
+			})
+		}},
+	}
+	for _, shape := range shapes {
+		d, err := shape.mk()
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		// stage=count: one iteration = the full QC sweep (allele
+		// frequencies + HWE for every SNP). The packed table is built
+		// once, as every consumer holds it; the byte side gets its row
+		// selection prebuilt so neither arm allocates in the loop.
+		p := genotype.PackDataset(d)
+		mask := p.AllMask()
+		rows := make([]int, d.NumIndividuals())
+		for i := range rows {
+			rows[i] = i
+		}
+		sweep := map[string]func(b *testing.B){
+			"packed": func(b *testing.B) {
+				for j := 0; j < p.NumSNPs(); j++ {
+					p.AlleleFreq(j)
+					if _, err := p.HWETest(j, mask); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+			"byte": func(b *testing.B) {
+				for j := 0; j < d.NumSNPs(); j++ {
+					d.AlleleFreq(j)
+					if _, err := d.HWETest(j, rows); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		}
+		for _, kname := range []string{"packed", "byte"} {
+			one := sweep[kname]
+			b.Run(shape.name+"/stage=count/kernel="+kname, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					one(b)
+				}
+				b.ReportMetric(float64(b.N*d.NumSNPs())/b.Elapsed().Seconds(), "snps/s")
+			})
+		}
+
+		// stage=pipeline: a fixed pool of size-5 site sets (the paper's
+		// typical haplotype width), identical across both kernels.
+		r := rng.New(7)
+		sets := make([][]int, 64)
+		for i := range sets {
+			sets[i] = r.Sample(d.NumSNPs(), 5)
+			genotype.SortSites(sets[i])
+		}
+		for _, kn := range []struct {
+			name   string
+			packed bool
+		}{{"packed", true}, {"byte", false}} {
+			b.Run(shape.name+"/stage=pipeline/kernel="+kn.name, func(b *testing.B) {
+				pipe, err := fitness.NewPipelineKernel(d, T1, ehdiall.Config{}, kn.packed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				scr := fitness.NewScratch()
+				for _, s := range sets { // size every scratch buffer
+					if _, err := pipe.EvaluateScratch(s, scr); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := pipe.EvaluateScratch(sets[i%len(sets)], scr); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "evals/s")
+			})
+		}
 	}
 }
 

@@ -3,10 +3,7 @@ package clump
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
-
-	"repro/internal/stats"
 )
 
 // AA is the canonical allelic-association statistic of Scholz &
@@ -78,44 +75,10 @@ func canonicalAssociation(a, b, c, d float64) float64 {
 }
 
 // lnOdds is the Haldane–Anscombe-corrected log odds ratio of the 2x2
-// table [[a, b], [c, d]].
+// table [[a, b], [c, d]]. The maximal canonical association over 2-way
+// clumpings (the AA statistic) is computed alongside T4 by
+// maxBipartition: both statistics are maximized by a prefix of the
+// same case-proportion column ordering.
 func lnOdds(a, b, c, d float64) float64 {
 	return math.Log((a+0.5)*(d+0.5)) - math.Log((b+0.5)*(c+0.5))
-}
-
-// maxCanonicalAssociation returns AA for a 2 x M table: the maximal
-// canonical association over 2-way clumpings of the columns. As for
-// T4, the optimal bipartition is a prefix of the columns ordered by
-// case proportion, because the corrected log odds ratio of a prefix
-// split is monotone in the same exchange argument that makes the
-// chi-square scan exact: moving a higher-proportion column into the
-// case-heavy side never decreases the odds ratio's numerator share.
-// Empty columns carry no information and are skipped.
-func maxCanonicalAssociation(t *stats.Table) float64 {
-	type colStat struct{ a, c float64 }
-	cols := make([]colStat, 0, t.Cols())
-	for j := 0; j < t.Cols(); j++ {
-		a, c := t.At(0, j), t.At(1, j)
-		if a+c > 0 {
-			cols = append(cols, colStat{a, c})
-		}
-	}
-	if len(cols) < 2 {
-		return 0
-	}
-	sort.Slice(cols, func(i, j int) bool {
-		return cols[i].a*(cols[j].a+cols[j].c) > cols[j].a*(cols[i].a+cols[i].c)
-	})
-	rt := t.RowTotals()
-	best := 0.0
-	accA, accC := 0.0, 0.0
-	for j := 0; j < len(cols)-1; j++ {
-		accA += cols[j].a
-		accC += cols[j].c
-		v := canonicalAssociation(accA, rt[0]-accA, accC, rt[1]-accC)
-		if v > best {
-			best = v
-		}
-	}
-	return best
 }

@@ -99,30 +99,64 @@ func (r Result) Get(s Statistic) float64 {
 // Statistics computes T1..T4 and AA for a 2 x M table of non-negative
 // counts.
 func Statistics(t *stats.Table) (Result, error) {
+	var s Scratch
+	return StatisticsScratch(t, &s)
+}
+
+// Scratch holds the reusable buffers of one statistics computation:
+// table margins, the T2 pooled table, and the column ordering shared
+// by the T4/AA bipartition scan. A zero Scratch is ready to use;
+// buffers grow on demand and are retained across calls, making
+// repeated StatisticsScratch calls allocation-free in steady state. A
+// Scratch must not be shared between concurrent computations.
+type Scratch struct {
+	rt, ct   []float64 // margins of the input table
+	prt, pct []float64 // margins of the pooled table
+	pooled   *stats.Table
+	keep     []int
+	inKeep   []bool
+	cols     colSorter
+}
+
+// StatisticsScratch is Statistics with caller-held scratch buffers —
+// the allocation-free path the packed fitness kernel runs on. Values
+// are identical to Statistics (which delegates here): the margins are
+// computed once and shared, but every float operation happens in the
+// same order.
+func StatisticsScratch(t *stats.Table, s *Scratch) (Result, error) {
 	if t.Rows() != 2 {
 		return Result{}, fmt.Errorf("clump: table has %d rows, want 2", t.Rows())
 	}
+	s.rt = t.RowTotalsInto(s.rt)
+	s.ct = t.ColTotalsInto(s.ct)
 	var res Result
-	res.T1, res.DF1 = t.ChiSquare()
-	res.T2, res.DF2 = clumpRare(t).ChiSquare()
-	res.T3 = maxSingleColumn(t)
-	res.T4 = maxTwoWay(t)
-	res.AA = maxCanonicalAssociation(t)
+	res.T1, res.DF1 = t.ChiSquareFrom(s.rt, s.ct)
+	if pooled := clumpRare(t, s); pooled == t {
+		// No pooling: T2 degrades to T1 over the identical margins.
+		res.T2, res.DF2 = res.T1, res.DF1
+	} else {
+		s.prt = pooled.RowTotalsInto(s.prt)
+		s.pct = pooled.ColTotalsInto(s.pct)
+		res.T2, res.DF2 = pooled.ChiSquareFrom(s.prt, s.pct)
+	}
+	res.T3 = maxSingleColumn(t, s.rt)
+	res.T4, res.AA = maxBipartition(t, s.rt, s)
 	return res, nil
 }
 
 // clumpRare pools all columns whose expected count in either row falls
 // below minExpected into a single column, as CLUMP's T2 does. If
 // pooling leaves a single column, the original table is returned (T2
-// degrades to T1).
-func clumpRare(t *stats.Table) *stats.Table {
-	rt := t.RowTotals()
-	ct := t.ColTotals()
+// degrades to T1). The pooled table and its bookkeeping live in s and
+// are reused across calls; s.rt and s.ct must already hold t's
+// margins.
+func clumpRare(t *stats.Table, s *Scratch) *stats.Table {
+	rt, ct := s.rt, s.ct
 	total := rt[0] + rt[1]
 	if total == 0 {
 		return t
 	}
-	keep := make([]int, 0, t.Cols())
+	s.keep = s.keep[:0]
 	pool := false
 	for j := 0; j < t.Cols(); j++ {
 		e0 := rt[0] * ct[j] / total
@@ -130,26 +164,39 @@ func clumpRare(t *stats.Table) *stats.Table {
 		if e0 < minExpected || e1 < minExpected {
 			pool = true
 		} else {
-			keep = append(keep, j)
+			s.keep = append(s.keep, j)
 		}
 	}
-	if !pool || len(keep) == 0 {
+	if !pool || len(s.keep) == 0 {
 		return t
 	}
-	out := stats.NewTable(2, len(keep)+1)
+	if cap(s.inKeep) < t.Cols() {
+		s.inKeep = make([]bool, t.Cols())
+	}
+	s.inKeep = s.inKeep[:t.Cols()]
+	for j := range s.inKeep {
+		s.inKeep[j] = false
+	}
+	for _, j := range s.keep {
+		s.inKeep[j] = true
+	}
+	if s.pooled == nil {
+		s.pooled = stats.NewTable(2, len(s.keep)+1)
+	} else {
+		s.pooled.Reset(2, len(s.keep)+1)
+	}
+	out := s.pooled
 	for i := 0; i < 2; i++ {
 		poolSum := 0.0
-		used := make(map[int]bool, len(keep))
-		for nj, j := range keep {
+		for nj, j := range s.keep {
 			out.Set(i, nj, t.At(i, j))
-			used[j] = true
 		}
 		for j := 0; j < t.Cols(); j++ {
-			if !used[j] {
+			if !s.inKeep[j] {
 				poolSum += t.At(i, j)
 			}
 		}
-		out.Set(i, len(keep), poolSum)
+		out.Set(i, len(s.keep), poolSum)
 	}
 	return out
 }
@@ -167,9 +214,9 @@ func chi2x2(a, b, c, d float64) float64 {
 }
 
 // maxSingleColumn returns T3: the largest 2x2 chi-square obtained by
-// testing one column against the aggregate of all others.
-func maxSingleColumn(t *stats.Table) float64 {
-	rt := t.RowTotals()
+// testing one column against the aggregate of all others. rt must hold
+// t's row totals.
+func maxSingleColumn(t *stats.Table, rt []float64) float64 {
 	best := 0.0
 	for j := 0; j < t.Cols(); j++ {
 		a := t.At(0, j)
@@ -182,37 +229,58 @@ func maxSingleColumn(t *stats.Table) float64 {
 	return best
 }
 
-// maxTwoWay returns T4: the largest 2x2 chi-square over 2-way
+// colPair is one non-empty table column in the bipartition ordering.
+type colPair struct{ a, c float64 }
+
+// colSorter orders columns by case proportion: a[i]/(a[i]+c[i]) >
+// a[j]/(a[j]+c[j]), cross-multiplied to avoid the division. It
+// implements sort.Interface on a pointer receiver so sort.Sort does
+// not allocate.
+type colSorter []colPair
+
+func (s *colSorter) Len() int { return len(*s) }
+func (s *colSorter) Less(i, j int) bool {
+	c := *s
+	return c[i].a*(c[j].a+c[j].c) > c[j].a*(c[i].a+c[i].c)
+}
+func (s *colSorter) Swap(i, j int) {
+	c := *s
+	c[i], c[j] = c[j], c[i]
+}
+
+// maxBipartition returns T4 and AA in one scan: the largest 2x2
+// chi-square and the largest canonical association over 2-way
 // clumpings of the columns. Columns are ordered by their case
-// proportion; the optimal bipartition for a 2x2 chi-square is a prefix
-// of this ordering, so a linear scan over prefixes is exact.
-func maxTwoWay(t *stats.Table) float64 {
-	type colStat struct{ a, c float64 }
-	cols := make([]colStat, 0, t.Cols())
+// proportion; for both statistics the optimal bipartition is a prefix
+// of this ordering (the same exchange argument applies to the
+// chi-square and to the corrected log odds ratio), so a single linear
+// scan over prefixes is exact for both. Empty columns carry no
+// information and are skipped. rt must hold t's row totals.
+func maxBipartition(t *stats.Table, rt []float64, s *Scratch) (t4, aa float64) {
+	s.cols = s.cols[:0]
 	for j := 0; j < t.Cols(); j++ {
 		a, c := t.At(0, j), t.At(1, j)
 		if a+c > 0 {
-			cols = append(cols, colStat{a, c})
+			s.cols = append(s.cols, colPair{a, c})
 		}
 	}
-	if len(cols) < 2 {
-		return 0
+	if len(s.cols) < 2 {
+		return 0, 0
 	}
-	sort.Slice(cols, func(i, j int) bool {
-		return cols[i].a*(cols[j].a+cols[j].c) > cols[j].a*(cols[i].a+cols[i].c)
-	})
-	rt := t.RowTotals()
-	best := 0.0
+	sort.Sort(&s.cols)
 	accA, accC := 0.0, 0.0
-	for j := 0; j < len(cols)-1; j++ {
-		accA += cols[j].a
-		accC += cols[j].c
-		v := chi2x2(accA, rt[0]-accA, accC, rt[1]-accC)
-		if v > best {
-			best = v
+	for j := 0; j < len(s.cols)-1; j++ {
+		accA += s.cols[j].a
+		accC += s.cols[j].c
+		a, b, c, d := accA, rt[0]-accA, accC, rt[1]-accC
+		if v := chi2x2(a, b, c, d); v > t4 {
+			t4 = v
+		}
+		if v := canonicalAssociation(a, b, c, d); v > aa {
+			aa = v
 		}
 	}
-	return best
+	return t4, aa
 }
 
 // MonteCarlo estimates empirical p-values for all four statistics by

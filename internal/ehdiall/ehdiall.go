@@ -104,11 +104,20 @@ func (r *Result) PValue() float64 {
 // the quantities the paper concatenates into CLUMP's contingency
 // table.
 func (r *Result) ExpectedCounts() []float64 {
-	out := make([]float64, len(r.Freqs))
-	for i, f := range r.Freqs {
-		out[i] = f * 2 * float64(r.N)
+	return r.ExpectedCountsInto(nil)
+}
+
+// ExpectedCountsInto is ExpectedCounts writing into dst (grown as
+// needed), for callers on the allocation-free evaluation path.
+func (r *Result) ExpectedCountsInto(dst []float64) []float64 {
+	if cap(dst) < len(r.Freqs) {
+		dst = make([]float64, len(r.Freqs))
 	}
-	return out
+	dst = dst[:len(r.Freqs)]
+	for i, f := range r.Freqs {
+		dst[i] = f * 2 * float64(r.N)
+	}
+	return dst
 }
 
 // patternGroup is a distinct genotype pattern with its multiplicity.
@@ -141,10 +150,10 @@ func Estimate(patterns [][]genotype.Genotype, k int, cfg Config) (*Result, error
 		return nil, ErrNoData
 	}
 
-	size := 1 << k
-	res := &Result{K: k, N: n}
-
-	// H0: product of single-site allele-2 frequencies.
+	// H0 marginal allele-2 frequencies from the grouped patterns. The
+	// per-site accumulators only ever add whole numbers, so the sums
+	// are exact integers below 2^53 and the division matches the
+	// packed path's integer-tally division bit for bit.
 	p2 := make([]float64, k)
 	for _, g := range groups {
 		for j := 0; j < k; j++ {
@@ -160,7 +169,37 @@ func Estimate(patterns [][]genotype.Genotype, k int, cfg Config) (*Result, error
 	for j := range p2 {
 		p2[j] /= 2 * float64(n)
 	}
-	res.NullFreqs = make([]float64, size)
+	return estimateCore(groups, n, k, p2, cfg, nil), nil
+}
+
+// estimateCore is the single copy of the estimation arithmetic shared
+// by the byte path (Estimate) and the packed path (EstimatePacked):
+// H0 product frequencies, null log-likelihood, the EM ascent and the
+// H1 log-likelihood. Both front-ends produce identical groups in
+// identical order and identical p2 marginals, so sharing this code is
+// what makes their Results bit-identical. With a nil scratch every
+// buffer (and the Result) is freshly allocated; with a scratch the
+// Result and its slices alias scratch storage and stay valid only
+// until the scratch's next use.
+func estimateCore(groups []patternGroup, n, k int, p2 []float64, cfg Config, scr *Scratch) *Result {
+	size := 1 << k
+	var res *Result
+	var nullFreqs, freqs, counts []float64
+	if scr != nil {
+		scr.res = Result{K: k, N: n}
+		res = &scr.res
+		scr.nullFreqs = growFloats(scr.nullFreqs, size)
+		scr.freqs = growFloats(scr.freqs, size)
+		scr.counts = growFloats(scr.counts, size)
+		nullFreqs, freqs, counts = scr.nullFreqs, scr.freqs, scr.counts
+	} else {
+		res = &Result{K: k, N: n}
+		nullFreqs = make([]float64, size)
+		freqs = make([]float64, size)
+		counts = make([]float64, size)
+	}
+
+	// H0: product of single-site allele-2 frequencies.
 	for h := 0; h < size; h++ {
 		f := 1.0
 		for j := 0; j < k; j++ {
@@ -170,14 +209,14 @@ func Estimate(patterns [][]genotype.Genotype, k int, cfg Config) (*Result, error
 				f *= 1 - p2[j]
 			}
 		}
-		res.NullFreqs[h] = f
+		nullFreqs[h] = f
 	}
-	res.NullLogLik = logLik(groups, res.NullFreqs)
+	res.NullFreqs = nullFreqs
+	res.NullLogLik = logLik(groups, nullFreqs)
 
 	// EM from the H0 point: monotone ascent makes LL1 >= LL0, hence
 	// LRT >= 0, the invariant the GA's fitness relies on.
-	freqs := append([]float64(nil), res.NullFreqs...)
-	counts := make([]float64, size)
+	copy(freqs, nullFreqs)
 	for iter := 1; iter <= cfg.MaxIter; iter++ {
 		for i := range counts {
 			counts[i] = 0
@@ -200,7 +239,16 @@ func Estimate(patterns [][]genotype.Genotype, k int, cfg Config) (*Result, error
 	}
 	res.Freqs = freqs
 	res.LogLik = logLik(groups, freqs)
-	return res, nil
+	return res
+}
+
+// growFloats resizes buf to n entries, reusing its storage when it
+// fits. Contents are unspecified; callers overwrite every entry.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // EstimateDataset is a convenience wrapper: it extracts complete-case

@@ -1,0 +1,145 @@
+package ehdiall
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/genotype"
+)
+
+// parityDataset builds a random dataset whose columns exercise the
+// missing-code and tail-masking paths.
+func parityDataset(rng *rand.Rand, rows, snps int, missRate float64) *genotype.Dataset {
+	d := &genotype.Dataset{SNPs: make([]genotype.SNP, snps), Individuals: make([]genotype.Individual, rows)}
+	for j := range d.SNPs {
+		d.SNPs[j].Name = "S" + string(rune('a'+j))
+	}
+	for i := range d.Individuals {
+		gs := make([]genotype.Genotype, snps)
+		for j := range gs {
+			if rng.Float64() < missRate {
+				gs[j] = genotype.Missing
+			} else {
+				gs[j] = genotype.Genotype(rng.Intn(3))
+			}
+		}
+		d.Individuals[i] = genotype.Individual{ID: "I", Status: genotype.Status(rng.Intn(3)), Genotypes: gs}
+	}
+	return d
+}
+
+// requireIdentical fails unless two Results are bit-for-bit equal in
+// every field (float comparisons use ==, i.e. exact bits for non-NaN).
+func requireIdentical(t *testing.T, tag string, packed, byte_ *Result) {
+	t.Helper()
+	if packed.K != byte_.K || packed.N != byte_.N {
+		t.Fatalf("%s: K/N mismatch: packed %d/%d, byte %d/%d", tag, packed.K, packed.N, byte_.K, byte_.N)
+	}
+	if packed.LogLik != byte_.LogLik || packed.NullLogLik != byte_.NullLogLik {
+		t.Fatalf("%s: loglik mismatch: packed (%v,%v), byte (%v,%v)",
+			tag, packed.LogLik, packed.NullLogLik, byte_.LogLik, byte_.NullLogLik)
+	}
+	if packed.Iterations != byte_.Iterations || packed.Converged != byte_.Converged {
+		t.Fatalf("%s: EM trajectory mismatch: packed %d/%v, byte %d/%v",
+			tag, packed.Iterations, packed.Converged, byte_.Iterations, byte_.Converged)
+	}
+	if len(packed.Freqs) != len(byte_.Freqs) || len(packed.NullFreqs) != len(byte_.NullFreqs) {
+		t.Fatalf("%s: table size mismatch", tag)
+	}
+	for h := range packed.Freqs {
+		if packed.Freqs[h] != byte_.Freqs[h] {
+			t.Fatalf("%s: Freqs[%d] = %v (packed) vs %v (byte)", tag, h, packed.Freqs[h], byte_.Freqs[h])
+		}
+		if packed.NullFreqs[h] != byte_.NullFreqs[h] {
+			t.Fatalf("%s: NullFreqs[%d] = %v (packed) vs %v (byte)", tag, h, packed.NullFreqs[h], byte_.NullFreqs[h])
+		}
+	}
+}
+
+// TestEstimatePackedParity runs the packed and byte estimators over
+// random datasets, row groups and site subsets and requires
+// bit-identical Results — including a reused Scratch across calls.
+func TestEstimatePackedParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var scr Scratch
+	for _, rows := range []int{4, 31, 33, 64, 65, 176} {
+		for _, missRate := range []float64{0, 0.3} {
+			d := parityDataset(rng, rows, 9, missRate)
+			packed := genotype.PackDataset(d)
+			groups := map[string][]int{
+				"affected":   d.ByStatus(genotype.Affected),
+				"unaffected": d.ByStatus(genotype.Unaffected),
+				"all":        nil,
+			}
+			for name, g := range groups {
+				mask := genotype.NewPlaneMask(rows, g)
+				groupRows := g
+				if groupRows == nil {
+					groupRows = make([]int, rows)
+					for i := range groupRows {
+						groupRows[i] = i
+					}
+				}
+				for trial := 0; trial < 4; trial++ {
+					k := 1 + rng.Intn(5)
+					sites := rng.Perm(d.NumSNPs())[:k]
+					genotype.SortSites(sites)
+
+					byteRes, byteErr := EstimateDataset(d, groupRows, sites, Config{})
+					cols := make([]genotype.PackedColumn, k)
+					for i, s := range sites {
+						cols[i] = packed.Col(s)
+					}
+					packedRes, packedErr := EstimatePacked(cols, mask, Config{}, &scr)
+					if (byteErr == nil) != (packedErr == nil) {
+						t.Fatalf("rows=%d miss=%v group=%s sites=%v: errors disagree: byte %v, packed %v",
+							rows, missRate, name, sites, byteErr, packedErr)
+					}
+					if byteErr != nil {
+						if !errors.Is(byteErr, ErrNoData) || !errors.Is(packedErr, ErrNoData) {
+							t.Fatalf("unexpected errors: byte %v, packed %v", byteErr, packedErr)
+						}
+						continue
+					}
+					requireIdentical(t, "random", packedRes, byteRes)
+				}
+			}
+		}
+	}
+}
+
+// TestEstimatePackedNoData: a group whose every member is missing at a
+// selected site must fail with ErrNoData on both paths.
+func TestEstimatePackedNoData(t *testing.T) {
+	d := parityDataset(rand.New(rand.NewSource(8)), 40, 3, 0)
+	for i := range d.Individuals {
+		d.Individuals[i].Genotypes[1] = genotype.Missing
+	}
+	packed := genotype.PackDataset(d)
+	cols := []genotype.PackedColumn{packed.Col(0), packed.Col(1)}
+	_, err := EstimatePacked(cols, packed.AllMask(), Config{}, nil)
+	if !errors.Is(err, ErrNoData) {
+		t.Fatalf("EstimatePacked over all-missing column: err = %v, want ErrNoData", err)
+	}
+}
+
+// TestEstimatePackedValidation mirrors Estimate's k bounds.
+func TestEstimatePackedValidation(t *testing.T) {
+	d := parityDataset(rand.New(rand.NewSource(9)), 10, 2, 0)
+	packed := genotype.PackDataset(d)
+	if _, err := EstimatePacked(nil, packed.AllMask(), Config{}, nil); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	big := make([]genotype.PackedColumn, MaxSNPs+1)
+	for i := range big {
+		big[i] = packed.Col(0)
+	}
+	if _, err := EstimatePacked(big, packed.AllMask(), Config{}, nil); err == nil {
+		t.Fatal("k > MaxSNPs accepted")
+	}
+	short := genotype.PackColumn(make([]genotype.Genotype, 5))
+	if _, err := EstimatePacked([]genotype.PackedColumn{short}, packed.AllMask(), Config{}, nil); err == nil {
+		t.Fatal("column/mask row mismatch accepted")
+	}
+}

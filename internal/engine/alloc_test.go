@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/clump"
+	"repro/internal/popgen"
+)
+
+// TestBatchAllocBound pins the engine batch path's per-candidate
+// allocation budget. The kernel work itself is allocation-free (each
+// worker owns a fitness.Scratch for its lifetime); what remains is the
+// batch bookkeeping — canonical copies, dedupe index, cache-key
+// strings, slot/flight tables — which is a handful of allocations per
+// candidate and must not silently regress back to per-evaluation
+// table construction (hundreds of allocations each).
+func TestBatchAllocBound(t *testing.T) {
+	d, err := popgen.Generate(popgen.Config{
+		NumSNPs: 40, NumAffected: 25, NumUnaffected: 25,
+		RiskHaplotypeFreq: 0.3,
+		Disease: popgen.DiseaseModel{
+			CausalSites: []int{2, 7}, RiskAlleles: []uint8{1, 1},
+			BaseRisk: 0.15, HaplotypeEffect: 0.6,
+		},
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One worker: no cross-goroutine allocation attribution noise in
+	// AllocsPerRun (worker allocations on other goroutines would not be
+	// counted anyway; with the scratch path there are none to miss).
+	e, err := NewForDataset(d, clump.T1, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const batchSize = 64
+	batch := make([][]int, batchSize)
+	for i := range batch {
+		batch[i] = []int{i % 37, i%37 + 2, (i+i%3)%37 + 3}
+	}
+	// Warm the memo cache so the measured passes are pure bookkeeping:
+	// the steady state of a converging GA re-scoring known candidates.
+	if _, errs := e.EvaluateBatch(batch); errs[0] != nil {
+		t.Fatalf("warmup: %v", errs[0])
+	}
+	perBatch := testing.AllocsPerRun(20, func() {
+		values, errs := e.EvaluateBatch(batch)
+		for i := range errs {
+			if errs[i] != nil {
+				t.Fatalf("item %d: %v", i, errs[i])
+			}
+		}
+		_ = values
+	})
+	perCandidate := perBatch / batchSize
+	// Measured ~4.4/candidate (canonical site copy, dedupe map entry,
+	// cache-key string, shared slot/key/flight tables). 8 leaves slack
+	// for map-growth variance without letting real regressions through.
+	if perCandidate > 8 {
+		t.Errorf("warm batch path allocates %.1f/candidate (%.0f/batch), want <= 8", perCandidate, perBatch)
+	}
+}

@@ -33,6 +33,12 @@ type Options struct {
 	// genotype Fingerprint. New sets it automatically when the inner
 	// evaluator is a *fitness.Pipeline.
 	Fingerprint uint64
+	// ByteKernel makes NewForDataset build its pipeline on the
+	// byte-per-genotype reference kernel instead of the default packed
+	// 2-bit kernel. The two are bit-identical in value; the byte path
+	// exists for differential testing and A/B performance runs. New
+	// ignores it (the inner evaluator arrives already constructed).
+	ByteKernel bool
 	// KeyFingerprint, when non-nil, replaces the flat Fingerprint in
 	// cache keys with a per-evaluation digest of the given (canonical)
 	// site set — the hook a shard-aware evaluator uses to key the memo
@@ -149,7 +155,7 @@ func New(inner fitness.Evaluator, opts Options) (*Engine, error) {
 // wraps it in an engine — the one-call constructor the facade and the
 // CLIs use.
 func NewForDataset(d *genotype.Dataset, stat clump.Statistic, opts Options) (*Engine, error) {
-	pipe, err := fitness.NewPipeline(d, stat, ehdiall.Config{})
+	pipe, err := fitness.NewPipelineKernel(d, stat, ehdiall.Config{}, !opts.ByteKernel)
 	if err != nil {
 		return nil, err
 	}
@@ -160,8 +166,21 @@ func NewForDataset(d *genotype.Dataset, stat clump.Statistic, opts Options) (*En
 }
 
 // worker scores jobs until the engine closes, tallying its own count.
+// When the inner evaluator supports scratch-backed evaluation (the
+// packed pipeline and the shard evaluator do), the worker owns one
+// Scratch for its whole lifetime and routes every job through it, so
+// the steady-state batch path allocates nothing per candidate.
 func (e *Engine) worker(id int) {
 	defer e.wg.Done()
+	if se, ok := e.inner.(fitness.ScratchEvaluator); ok {
+		scr := fitness.NewScratch()
+		for j := range e.jobs {
+			j.slot.value, j.slot.err = se.EvaluateScratch(j.sites, scr)
+			e.perWorker[id].Add(1)
+			j.wg.Done()
+		}
+		return
+	}
 	for j := range e.jobs {
 		j.slot.value, j.slot.err = e.inner.Evaluate(j.sites)
 		e.perWorker[id].Add(1)

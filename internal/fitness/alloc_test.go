@@ -1,0 +1,44 @@
+package fitness
+
+import (
+	"testing"
+
+	"repro/internal/clump"
+	"repro/internal/ehdiall"
+)
+
+// TestEvaluateScratchAllocFree pins the packed kernel's steady-state
+// batch path at zero allocations per candidate: after one warmup call
+// sizes every scratch buffer, EvaluateScratch must never touch the
+// heap again — the property the engine's per-worker scratch relies on.
+func TestEvaluateScratchAllocFree(t *testing.T) {
+	d := paperDataset(t, 1)
+	for _, stat := range clump.All() {
+		p, err := NewPipelineKernel(d, stat, ehdiall.Config{}, true)
+		if err != nil {
+			t.Fatalf("%v: %v", stat, err)
+		}
+		scr := NewScratch()
+		sites := []int{3, 12, 27, 44}
+		if _, err := p.EvaluateScratch(sites, scr); err != nil { // warmup sizes the buffers
+			t.Fatalf("%v: warmup: %v", stat, err)
+		}
+		// A second, larger warmup so T2's pooled table and the sorter
+		// have seen their maximal shapes too.
+		big := []int{1, 8, 19, 30, 41, 50}
+		if _, err := p.EvaluateScratch(big, scr); err != nil {
+			t.Fatalf("%v: warmup: %v", stat, err)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if _, err := p.EvaluateScratch(sites, scr); err != nil {
+				t.Fatalf("%v: %v", stat, err)
+			}
+			if _, err := p.EvaluateScratch(big, scr); err != nil {
+				t.Fatalf("%v: %v", stat, err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("stat %v: EvaluateScratch allocates %.1f/iteration, want 0", stat, allocs)
+		}
+	}
+}

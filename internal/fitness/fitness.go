@@ -45,20 +45,45 @@ func (f Func) Evaluate(sites []int) (float64, error) { return f(sites) }
 var ErrEmptyGroup = errors.New("fitness: a status group has no usable individuals at the selected sites")
 
 // Pipeline is the EH-DIALL -> CLUMP evaluation of Figure 3. It is
-// immutable after construction and safe for concurrent use.
+// immutable after construction and safe for concurrent use. By default
+// evaluation runs on the packed 2-bit genotype kernel (bit-identical
+// to the byte reference path, which Details always uses and
+// NewPipelineKernel can select for the whole pipeline).
 type Pipeline struct {
 	data       *genotype.Dataset
 	affected   []int
 	unaffected []int
 	stat       clump.Statistic
 	em         ehdiall.Config
+
+	// packed is the 2-bit column view of data; nil when the byte
+	// reference kernel was selected. The masks select the two status
+	// groups in packed row geometry.
+	packed          *genotype.Packed
+	affMask, unMask genotype.PlaneMask
+
+	// scratch pools per-call buffers for Evaluate callers that do not
+	// hold their own Scratch (the engine's workers do, via
+	// EvaluateScratch).
+	scratch sync.Pool
 }
 
 // NewPipeline builds the evaluator for a dataset. Individuals with
 // Unknown status are ignored, as in the paper's study. The statistic
 // selects which CLUMP value is the fitness (the paper uses the raw
-// chi-square T1 by default).
+// chi-square T1 by default). Evaluation runs on the packed 2-bit
+// kernel; use NewPipelineKernel to select the byte reference kernel
+// for A/B comparisons.
 func NewPipeline(d *genotype.Dataset, stat clump.Statistic, em ehdiall.Config) (*Pipeline, error) {
+	return NewPipelineKernel(d, stat, em, true)
+}
+
+// NewPipelineKernel is NewPipeline with an explicit kernel choice:
+// packed selects the 2-bit popcount kernel (the default elsewhere),
+// false the byte-per-genotype reference implementation. The two
+// produce bit-identical fitness values; the byte path exists as the
+// differential-testing reference and for A/B performance runs.
+func NewPipelineKernel(d *genotype.Dataset, stat clump.Statistic, em ehdiall.Config, packed bool) (*Pipeline, error) {
 	if d == nil {
 		return nil, fmt.Errorf("fitness: nil dataset")
 	}
@@ -70,8 +95,18 @@ func NewPipeline(d *genotype.Dataset, stat clump.Statistic, em ehdiall.Config) (
 	if len(aff) == 0 || len(un) == 0 {
 		return nil, fmt.Errorf("fitness: dataset needs both affected and unaffected individuals (have %d/%d)", len(aff), len(un))
 	}
-	return &Pipeline{data: d, affected: aff, unaffected: un, stat: stat, em: em}, nil
+	p := &Pipeline{data: d, affected: aff, unaffected: un, stat: stat, em: em}
+	if packed {
+		p.packed = genotype.PackDataset(d)
+		p.affMask = genotype.NewPlaneMask(d.NumIndividuals(), aff)
+		p.unMask = genotype.NewPlaneMask(d.NumIndividuals(), un)
+	}
+	return p, nil
 }
+
+// PackedKernel reports whether the pipeline evaluates on the packed
+// 2-bit kernel (true) or the byte reference kernel (false).
+func (p *Pipeline) PackedKernel() bool { return p.packed != nil }
 
 // NumSNPs returns the number of SNP columns available to haplotypes.
 func (p *Pipeline) NumSNPs() int { return p.data.NumSNPs() }
@@ -101,11 +136,58 @@ func (p *Pipeline) checkSites(sites []int) error {
 
 // Evaluate runs the full pipeline and returns the CLUMP statistic.
 func (p *Pipeline) Evaluate(sites []int) (float64, error) {
-	det, err := p.Details(sites)
-	if err != nil {
+	if p.packed == nil {
+		det, err := p.Details(sites)
+		if err != nil {
+			return 0, err
+		}
+		return det.Fitness, nil
+	}
+	scr, _ := p.scratch.Get().(*Scratch)
+	if scr == nil {
+		scr = NewScratch()
+	}
+	defer p.scratch.Put(scr)
+	return p.EvaluateScratch(sites, scr)
+}
+
+// EvaluateScratch is Evaluate using caller-held scratch buffers — the
+// engine's per-worker hot path. On the packed kernel the steady state
+// allocates nothing per call; on the byte reference kernel it simply
+// runs the allocating Details path.
+func (p *Pipeline) EvaluateScratch(sites []int, scr *Scratch) (float64, error) {
+	if p.packed == nil {
+		det, err := p.Details(sites)
+		if err != nil {
+			return 0, err
+		}
+		return det.Fitness, nil
+	}
+	if err := p.checkSites(sites); err != nil {
 		return 0, err
 	}
-	return det.Fitness, nil
+	if cap(scr.PackedCols) < len(sites) {
+		scr.PackedCols = make([]genotype.PackedColumn, len(sites))
+	}
+	scr.PackedCols = scr.PackedCols[:len(sites)]
+	for i, s := range sites {
+		scr.PackedCols[i] = p.packed.Col(s)
+	}
+	affRes, err := ehdiall.EstimatePacked(scr.PackedCols, p.affMask, p.em, &scr.Aff)
+	if err != nil {
+		if errors.Is(err, ehdiall.ErrNoData) {
+			return 0, ErrEmptyGroup
+		}
+		return 0, err
+	}
+	unRes, err := ehdiall.EstimatePacked(scr.PackedCols, p.unMask, p.em, &scr.Un)
+	if err != nil {
+		if errors.Is(err, ehdiall.ErrNoData) {
+			return 0, ErrEmptyGroup
+		}
+		return 0, err
+	}
+	return scr.Score(affRes, unRes, p.stat)
 }
 
 // Details carries the intermediate products of one evaluation, used by
@@ -184,15 +266,8 @@ func (p *Pipeline) MonteCarloP(sites []int, replicates int, src *rng.RNG) (clump
 // bit-identical to the monolithic one — both feed the same estimations
 // through the same arithmetic.
 func Score(aff, un *ehdiall.Result, stat clump.Statistic) (float64, error) {
-	table, err := ConcatTable(aff, un)
-	if err != nil {
-		return 0, err
-	}
-	cres, err := clump.Statistics(table)
-	if err != nil {
-		return 0, err
-	}
-	return cres.Get(stat), nil
+	var s Scratch
+	return s.Score(aff, un, stat)
 }
 
 // ConcatTable performs the paper's "Concatenation" step: the expected

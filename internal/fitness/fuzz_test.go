@@ -1,0 +1,107 @@
+package fitness
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/clump"
+	"repro/internal/ehdiall"
+	"repro/internal/genotype"
+)
+
+// fuzzDataset deterministically builds a dataset from the fuzz inputs:
+// dimensions and missing-rate from the clamped parameters, statuses
+// round-robin so both groups are always populated, plus one forced
+// monomorphic column and (when the seed's low bit is set) one forced
+// all-missing column — the shapes where a packed kernel bug would
+// hide.
+func fuzzDataset(seed int64, rows, snps, missPct uint8) *genotype.Dataset {
+	nr := 4 + int(rows)%93 // 4..96: crosses the 32- and 64-row word boundaries
+	ns := 2 + int(snps)%11 // 2..12
+	miss := float64(missPct%60) / 100
+	rng := rand.New(rand.NewSource(seed))
+	d := &genotype.Dataset{
+		SNPs:        make([]genotype.SNP, ns),
+		Individuals: make([]genotype.Individual, nr),
+	}
+	for j := range d.SNPs {
+		d.SNPs[j].Name = "S" + string(rune('0'+j/10)) + string(rune('0'+j%10))
+	}
+	for i := range d.Individuals {
+		gs := make([]genotype.Genotype, ns)
+		for j := range gs {
+			if rng.Float64() < miss {
+				gs[j] = genotype.Missing
+			} else {
+				gs[j] = genotype.Genotype(rng.Intn(3))
+			}
+		}
+		gs[0] = 1 // monomorphic-pattern column, never missing
+		if seed&1 != 0 && ns > 2 {
+			gs[ns-1] = genotype.Missing
+		}
+		d.Individuals[i] = genotype.Individual{
+			ID:        "I",
+			Status:    genotype.Status(i % 3), // Affected, Unaffected, Unknown
+			Genotypes: gs,
+		}
+	}
+	return d
+}
+
+// FuzzPackedVsByte is the differential test of the packed 2-bit kernel
+// against the byte reference implementation: for random datasets
+// (dimensions, missing-rate, monomorphic and all-missing columns),
+// every CLUMP statistic, and random SNP subsets, both kernels must
+// return bit-for-bit identical fitness values and agree on every
+// error.
+func FuzzPackedVsByte(f *testing.F) {
+	f.Add(int64(1), uint8(40), uint8(6), uint8(20), uint8(0), int64(11))
+	f.Add(int64(2), uint8(96), uint8(12), uint8(0), uint8(1), int64(12))
+	f.Add(int64(3), uint8(31), uint8(4), uint8(55), uint8(2), int64(13))
+	f.Add(int64(5), uint8(64), uint8(9), uint8(35), uint8(3), int64(14))
+	f.Add(int64(7), uint8(5), uint8(2), uint8(59), uint8(4), int64(15))
+	f.Fuzz(func(t *testing.T, seed int64, rows, snps, missPct, statByte uint8, subsetSeed int64) {
+		d := fuzzDataset(seed, rows, snps, missPct)
+		stats := clump.All()
+		stat := stats[int(statByte)%len(stats)]
+		packed, err := NewPipelineKernel(d, stat, ehdiall.Config{}, true)
+		if err != nil {
+			t.Fatalf("packed pipeline: %v", err)
+		}
+		byteRef, err := NewPipelineKernel(d, stat, ehdiall.Config{}, false)
+		if err != nil {
+			t.Fatalf("byte pipeline: %v", err)
+		}
+		rng := rand.New(rand.NewSource(subsetSeed))
+		scr := NewScratch()
+		for trial := 0; trial < 6; trial++ {
+			k := 1 + rng.Intn(min(6, d.NumSNPs()))
+			sites := rng.Perm(d.NumSNPs())[:k]
+			genotype.SortSites(sites)
+
+			pv, perr := packed.Evaluate(sites)
+			bv, berr := byteRef.Evaluate(sites)
+			if (perr == nil) != (berr == nil) {
+				t.Fatalf("sites %v stat %v: errors disagree: packed %v, byte %v", sites, stat, perr, berr)
+			}
+			if perr != nil {
+				if errors.Is(perr, ErrEmptyGroup) != errors.Is(berr, ErrEmptyGroup) {
+					t.Fatalf("sites %v stat %v: error kinds disagree: packed %v, byte %v", sites, stat, perr, berr)
+				}
+				continue
+			}
+			if math.Float64bits(pv) != math.Float64bits(bv) {
+				t.Fatalf("sites %v stat %v: packed %v (%#x) != byte %v (%#x)",
+					sites, stat, pv, math.Float64bits(pv), bv, math.Float64bits(bv))
+			}
+			// The scratch path must agree with the pooled path too.
+			sv, serr := packed.EvaluateScratch(sites, scr)
+			if serr != nil || math.Float64bits(sv) != math.Float64bits(pv) {
+				t.Fatalf("sites %v stat %v: EvaluateScratch %v/%v != Evaluate %v", sites, stat, sv, serr, pv)
+			}
+		}
+	})
+}

@@ -51,6 +51,15 @@ func (d *Dataset) HWETest(j int, rows []int) (HWEResult, error) {
 	if res.Typed == 0 {
 		return res, fmt.Errorf("genotype: SNP %d has no typed individuals in the selection", j)
 	}
+	hweFinish(&res)
+	return res, nil
+}
+
+// hweFinish fills Expected, ChiSquare and PValue from the observed
+// counts. It is the single copy of the test arithmetic, shared by the
+// byte path (Dataset.HWETest) and the packed path (Packed.HWETest) so
+// their results are bit-identical. Typed must be positive.
+func hweFinish(res *HWEResult) {
 	n := float64(res.Typed)
 	p2 := (2*float64(res.Obs[2]) + float64(res.Obs[1])) / (2 * n) // allele-2 freq
 	p1 := 1 - p2
@@ -58,7 +67,7 @@ func (d *Dataset) HWETest(j int, rows []int) (HWEResult, error) {
 	if p1 == 0 || p2 == 0 {
 		// Monomorphic: trivially in equilibrium.
 		res.PValue = 1
-		return res, nil
+		return
 	}
 	chi := 0.0
 	for i := 0; i < 3; i++ {
@@ -67,7 +76,6 @@ func (d *Dataset) HWETest(j int, rows []int) (HWEResult, error) {
 	}
 	res.ChiSquare = chi
 	res.PValue = stats.ChiSquareSurvival(chi, 1)
-	return res, nil
 }
 
 // HWEFilter returns the SNP columns whose Hardy-Weinberg p-value (over

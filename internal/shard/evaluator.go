@@ -12,47 +12,59 @@ import (
 )
 
 // Evaluator scores haplotypes over sharded columns: it gathers the few
-// columns a candidate SNP subset touches from its Source, rebuilds the
-// complete-case genotype patterns exactly as
-// genotype.Dataset.ColumnPatterns does, and runs the same EH-DIALL →
-// concatenation → CLUMP arithmetic as fitness.Pipeline — so its values
-// are bit-identical to the monolithic path while its working set is
-// the touched shards, not the table.
+// columns a candidate SNP subset touches from its Source and runs the
+// same EH-DIALL → concatenation → CLUMP arithmetic as
+// fitness.Pipeline — so its values are bit-identical to the monolithic
+// path while its working set is the touched shards, not the table. By
+// default the packed 2-bit kernel gathers each shard's pre-packed
+// words; NewEvaluatorKernel can select the byte reference kernel,
+// which rebuilds complete-case genotype patterns exactly as
+// genotype.Dataset.ColumnPatterns does.
 //
-// Evaluator implements fitness.Evaluator and engine.KeyFingerprinter:
-// wrapped in an engine, its memo-cache keys carry the fingerprints of
-// the touched shards (fingerprint+range) instead of the flat dataset
-// fingerprint, so cache entries are grouped by the shards that produce
-// them. Safe for concurrent use; per-call scratch (gathered columns,
-// pattern buffers) comes from a pool, one set per concurrent worker.
+// Evaluator implements fitness.ScratchEvaluator and
+// engine.KeyFingerprinter: wrapped in an engine, each worker drives it
+// through EvaluateScratch with a worker-owned scratch (the
+// allocation-free batch path), and its memo-cache keys carry the
+// fingerprints of the touched shards (fingerprint+range) instead of
+// the flat dataset fingerprint, so cache entries are grouped by the
+// shards that produce them. Safe for concurrent use; Evaluate callers
+// without their own scratch draw one from a pool.
 type Evaluator struct {
 	src        Source
 	affected   []int
 	unaffected []int
 	stat       clump.Statistic
 	em         ehdiall.Config
-	scratch    sync.Pool // *scratch
-}
 
-// scratch is one worker's reusable evaluation buffers.
-type scratch struct {
-	cols [][]genotype.Genotype // gathered columns, one per site
-	flat []genotype.Genotype   // backing array for pats
-	pats [][]genotype.Genotype // complete-case patterns of one group
+	// packed selects the 2-bit kernel; the masks are the status groups
+	// in packed row geometry.
+	packed          bool
+	affMask, unMask genotype.PlaneMask
+
+	scratch sync.Pool // *fitness.Scratch
 }
 
 // NewEvaluator builds the shard-aware evaluator for the dataset served
-// by src. The row partition (affected/unaffected) comes from the
-// dataset, exactly as fitness.NewPipeline derives it; Unknown-status
-// individuals are ignored.
+// by src, on the packed 2-bit kernel. The row partition
+// (affected/unaffected) comes from the dataset, exactly as
+// fitness.NewPipeline derives it; Unknown-status individuals are
+// ignored.
 func NewEvaluator(src Source, d *genotype.Dataset, stat clump.Statistic, em ehdiall.Config) (*Evaluator, error) {
+	return NewEvaluatorKernel(src, d, stat, em, true)
+}
+
+// NewEvaluatorKernel is NewEvaluator with an explicit kernel choice:
+// packed selects the 2-bit popcount kernel (the default elsewhere),
+// false the byte-per-genotype reference implementation. Both produce
+// bit-identical values.
+func NewEvaluatorKernel(src Source, d *genotype.Dataset, stat clump.Statistic, em ehdiall.Config, packed bool) (*Evaluator, error) {
 	if src == nil {
 		return nil, fmt.Errorf("shard: nil source")
 	}
 	if d == nil {
 		return nil, fmt.Errorf("shard: nil dataset")
 	}
-	if stat < clump.T1 || stat > clump.T4 {
+	if !stat.Valid() {
 		return nil, fmt.Errorf("shard: invalid statistic %v", stat)
 	}
 	plan := src.Plan()
@@ -64,7 +76,12 @@ func NewEvaluator(src Source, d *genotype.Dataset, stat clump.Statistic, em ehdi
 	if len(aff) == 0 || len(un) == 0 {
 		return nil, fmt.Errorf("shard: dataset needs both affected and unaffected individuals (have %d/%d)", len(aff), len(un))
 	}
-	return &Evaluator{src: src, affected: aff, unaffected: un, stat: stat, em: em}, nil
+	e := &Evaluator{src: src, affected: aff, unaffected: un, stat: stat, em: em, packed: packed}
+	if packed {
+		e.affMask = genotype.NewPlaneMask(d.NumIndividuals(), aff)
+		e.unMask = genotype.NewPlaneMask(d.NumIndividuals(), un)
+	}
+	return e, nil
 }
 
 // Source returns the evaluator's shard source.
@@ -72,6 +89,10 @@ func (e *Evaluator) Source() Source { return e.src }
 
 // NumSNPs returns the number of SNP columns available to haplotypes.
 func (e *Evaluator) NumSNPs() int { return e.src.Plan().NumSNPs }
+
+// PackedKernel reports whether the evaluator runs the packed 2-bit
+// kernel (true) or the byte reference kernel (false).
+func (e *Evaluator) PackedKernel() bool { return e.packed }
 
 func (e *Evaluator) checkSites(sites []int) error {
 	if len(sites) == 0 {
@@ -129,38 +150,60 @@ func (e *Evaluator) KeyFingerprint(sites []int) uint64 {
 }
 
 // Evaluate implements fitness.Evaluator: gather, estimate per group,
-// concatenate, score.
+// concatenate, score. Callers without their own scratch (everything
+// but the engine's workers) share a pool.
 func (e *Evaluator) Evaluate(sites []int) (float64, error) {
+	scr, _ := e.scratch.Get().(*fitness.Scratch)
+	if scr == nil {
+		scr = fitness.NewScratch()
+	}
+	defer e.scratch.Put(scr)
+	return e.EvaluateScratch(sites, scr)
+}
+
+// EvaluateScratch is Evaluate using caller-held scratch buffers — the
+// engine's per-worker hot path, allocation-free in steady state on the
+// packed kernel.
+func (e *Evaluator) EvaluateScratch(sites []int, scr *fitness.Scratch) (float64, error) {
 	if err := e.checkSites(sites); err != nil {
 		return 0, err
 	}
-	sc, _ := e.scratch.Get().(*scratch)
-	if sc == nil {
-		sc = &scratch{}
+	if e.packed {
+		if err := e.gatherPacked(sites, scr); err != nil {
+			return 0, err
+		}
+		affRes, err := e.estimatePacked(e.affMask, scr.PackedCols, &scr.Aff)
+		if err != nil {
+			return 0, err
+		}
+		unRes, err := e.estimatePacked(e.unMask, scr.PackedCols, &scr.Un)
+		if err != nil {
+			return 0, err
+		}
+		return scr.Score(affRes, unRes, e.stat)
 	}
-	defer e.scratch.Put(sc)
-	if err := e.gather(sites, sc); err != nil {
+	if err := e.gather(sites, scr); err != nil {
 		return 0, err
 	}
-	affRes, err := e.estimate(e.affected, sites, sc)
+	affRes, err := e.estimate(e.affected, sites, scr)
 	if err != nil {
 		return 0, err
 	}
-	unRes, err := e.estimate(e.unaffected, sites, sc)
+	unRes, err := e.estimate(e.unaffected, sites, scr)
 	if err != nil {
 		return 0, err
 	}
 	return fitness.Score(affRes, unRes, e.stat)
 }
 
-// gather fetches the touched columns into sc.cols. Sites arrive
+// gather fetches the touched byte columns into scr.Cols. Sites arrive
 // strictly increasing, so shard indices are non-decreasing and each
 // distinct shard is requested exactly once per call.
-func (e *Evaluator) gather(sites []int, sc *scratch) error {
-	if cap(sc.cols) < len(sites) {
-		sc.cols = make([][]genotype.Genotype, len(sites))
+func (e *Evaluator) gather(sites []int, scr *fitness.Scratch) error {
+	if cap(scr.Cols) < len(sites) {
+		scr.Cols = make([][]genotype.Genotype, len(sites))
 	}
-	sc.cols = sc.cols[:len(sites)]
+	scr.Cols = scr.Cols[:len(sites)]
 	var cur *Shard
 	for i, s := range sites {
 		si := e.src.Plan().ShardOf(s)
@@ -171,30 +214,66 @@ func (e *Evaluator) gather(sites []int, sc *scratch) error {
 			}
 			cur = sh
 		}
-		sc.cols[i] = cur.Column(s)
+		scr.Cols[i] = cur.Column(s)
 	}
 	return nil
 }
 
+// gatherPacked fetches the touched packed columns into scr.PackedCols,
+// with the same one-request-per-shard walk as gather. The words were
+// packed when the shard was materialized; gathering copies slice
+// headers only.
+func (e *Evaluator) gatherPacked(sites []int, scr *fitness.Scratch) error {
+	if cap(scr.PackedCols) < len(sites) {
+		scr.PackedCols = make([]genotype.PackedColumn, len(sites))
+	}
+	scr.PackedCols = scr.PackedCols[:len(sites)]
+	var cur *Shard
+	for i, s := range sites {
+		si := e.src.Plan().ShardOf(s)
+		if cur == nil || cur.Meta.Index != si {
+			sh, err := e.src.Shard(si)
+			if err != nil {
+				return err
+			}
+			cur = sh
+		}
+		scr.PackedCols[i] = cur.PackedColumn(s)
+	}
+	return nil
+}
+
+// estimatePacked runs the packed EM over one status group's mask.
+func (e *Evaluator) estimatePacked(mask genotype.PlaneMask, cols []genotype.PackedColumn, scr *ehdiall.Scratch) (*ehdiall.Result, error) {
+	res, err := ehdiall.EstimatePacked(cols, mask, e.em, scr)
+	if err != nil {
+		if errors.Is(err, ehdiall.ErrNoData) {
+			return nil, fitness.ErrEmptyGroup
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
 // estimate rebuilds the group's complete-case patterns from the
-// gathered columns — value-identical to
+// gathered byte columns — value-identical to
 // genotype.Dataset.ColumnPatterns over the same rows and sites — and
-// runs the EH-DIALL EM on them. Pattern buffers live in sc and are
+// runs the EH-DIALL EM on them. Pattern buffers live in scr and are
 // reused across calls; ehdiall.Estimate does not retain them.
-func (e *Evaluator) estimate(rows []int, sites []int, sc *scratch) (*ehdiall.Result, error) {
+func (e *Evaluator) estimate(rows []int, sites []int, scr *fitness.Scratch) (*ehdiall.Result, error) {
 	k := len(sites)
-	if need := len(rows) * k; cap(sc.flat) < need {
-		sc.flat = make([]genotype.Genotype, need)
+	if need := len(rows) * k; cap(scr.Flat) < need {
+		scr.Flat = make([]genotype.Genotype, need)
 	}
-	if cap(sc.pats) < len(rows) {
-		sc.pats = make([][]genotype.Genotype, len(rows))
+	if cap(scr.Pats) < len(rows) {
+		scr.Pats = make([][]genotype.Genotype, len(rows))
 	}
-	pats := sc.pats[:0]
-	flat := sc.flat[:0]
+	pats := scr.Pats[:0]
+	flat := scr.Flat[:0]
 	for _, r := range rows {
 		pat := flat[len(flat) : len(flat)+k]
 		ok := true
-		for i, col := range sc.cols {
+		for i, col := range scr.Cols {
 			g := col[r]
 			if g == genotype.Missing {
 				ok = false
@@ -217,4 +296,7 @@ func (e *Evaluator) estimate(rows []int, sites []int, sc *scratch) (*ehdiall.Res
 	return res, nil
 }
 
-var _ fitness.Evaluator = (*Evaluator)(nil)
+var (
+	_ fitness.Evaluator        = (*Evaluator)(nil)
+	_ fitness.ScratchEvaluator = (*Evaluator)(nil)
+)

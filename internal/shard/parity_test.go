@@ -33,39 +33,84 @@ func windowsUpTo(n int) [][]int {
 
 // TestEvaluatorParity proves the headline invariant: the sharded
 // evaluator returns bit-identical values to fitness.Pipeline for every
-// statistic, over both in-memory and spill-backed sources.
+// statistic (including AA), over both in-memory and spill-backed
+// sources and on both counting kernels — the packed 2-bit default and
+// the byte reference — including the boundary-spanning site sets of
+// windowsUpTo.
 func TestEvaluatorParity(t *testing.T) {
 	d := testDataset(t, 51)
 	sources := map[string]func() (Source, error){
 		"mem":   func() (Source, error) { return NewMem(d, 8, 3) },
 		"spill": func() (Source, error) { return NewSpill(d, t.TempDir(), 8, 3) },
 	}
-	for _, stat := range []clump.Statistic{clump.T1, clump.T2, clump.T3, clump.T4} {
+	kernels := map[string]bool{"packed": true, "byte": false}
+	for _, stat := range clump.All() {
 		pipe, err := fitness.NewPipeline(d, stat, ehdiall.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for name, mk := range sources {
-			src, err := mk()
-			if err != nil {
-				t.Fatal(err)
-			}
-			ev, err := NewEvaluator(src, d, stat, ehdiall.Config{})
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, w := range windowsUpTo(51) {
-				want, werr := pipe.Evaluate(w)
-				got, gerr := ev.Evaluate(w)
-				if (werr == nil) != (gerr == nil) {
-					t.Fatalf("%s/%v sites %v: err %v vs %v", name, stat, w, werr, gerr)
+			for kname, packed := range kernels {
+				src, err := mk()
+				if err != nil {
+					t.Fatal(err)
 				}
-				if werr == nil && got != want {
-					t.Fatalf("%s/%v sites %v: sharded %v != monolithic %v", name, stat, w, got, want)
+				ev, err := NewEvaluatorKernel(src, d, stat, ehdiall.Config{}, packed)
+				if err != nil {
+					t.Fatal(err)
 				}
+				if ev.PackedKernel() != packed {
+					t.Fatalf("%s/%s: PackedKernel() = %v", name, kname, ev.PackedKernel())
+				}
+				for _, w := range windowsUpTo(51) {
+					want, werr := pipe.Evaluate(w)
+					got, gerr := ev.Evaluate(w)
+					if (werr == nil) != (gerr == nil) {
+						t.Fatalf("%s/%s/%v sites %v: err %v vs %v", name, kname, stat, w, werr, gerr)
+					}
+					if werr == nil && got != want {
+						t.Fatalf("%s/%s/%v sites %v: sharded %v != monolithic %v", name, kname, stat, w, got, want)
+					}
+				}
+				src.Close()
 			}
-			src.Close()
 		}
+	}
+}
+
+// TestEvaluatorScratchAllocFree pins the sharded packed path at zero
+// allocations per candidate in steady state: once a warmup call has
+// sized the worker's scratch and the touched shards are resident,
+// gathering packed words and estimating must not touch the heap —
+// including site sets spanning a shard boundary.
+func TestEvaluatorScratchAllocFree(t *testing.T) {
+	d := testDataset(t, 51)
+	src, err := NewMem(d, 8, 0) // unbounded hot set: no eviction churn mid-measurement
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	ev, err := NewEvaluator(src, d, clump.T2, ehdiall.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr := fitness.NewScratch()
+	inShard := []int{1, 3, 5, 7}
+	spanning := []int{6, 9, 17, 25, 33, 48}
+	for _, w := range [][]int{inShard, spanning} {
+		if _, err := ev.EvaluateScratch(w, scr); err != nil {
+			t.Fatalf("warmup %v: %v", w, err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, w := range [][]int{inShard, spanning} {
+			if _, err := ev.EvaluateScratch(w, scr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("EvaluateScratch allocates %.1f/iteration, want 0", allocs)
 	}
 }
 

@@ -126,6 +126,11 @@ type Shard struct {
 	// Cols holds the genotype columns: Cols[i] is global column
 	// Meta.Start+i, one genotype per individual in dataset row order.
 	Cols [][]genotype.Genotype
+	// Packed holds the same columns in the 2-bit representation,
+	// packed once when the shard is materialized (built from the table
+	// or read back from a spill file) so the packed kernel gathers
+	// words, never repacks. Packed[i] mirrors Cols[i].
+	Packed []genotype.PackedColumn
 }
 
 // Column returns the genotypes of global column site, which must lie
@@ -134,7 +139,25 @@ func (s *Shard) Column(site int) []genotype.Genotype {
 	return s.Cols[site-s.Meta.Start]
 }
 
-// buildShard extracts shard m of the dataset into one flat allocation.
+// PackedColumn returns the packed form of global column site, which
+// must lie in [Meta.Start, Meta.End).
+func (s *Shard) PackedColumn(site int) genotype.PackedColumn {
+	return s.Packed[site-s.Meta.Start]
+}
+
+// pack fills s.Packed from s.Cols, sharing one flat word allocation
+// across the shard's columns.
+func (s *Shard) pack() {
+	nw := (s.Rows + genotype.WordGenotypes - 1) / genotype.WordGenotypes
+	flat := make([]uint64, nw*len(s.Cols))
+	s.Packed = make([]genotype.PackedColumn, len(s.Cols))
+	for i, col := range s.Cols {
+		s.Packed[i] = genotype.PackColumnInto(col, flat[i*nw:(i+1)*nw])
+	}
+}
+
+// buildShard extracts shard m of the dataset into one flat allocation
+// and packs it.
 func buildShard(d *genotype.Dataset, m Meta) *Shard {
 	rows := d.NumIndividuals()
 	flat := make([]genotype.Genotype, m.Width()*rows)
@@ -144,5 +167,6 @@ func buildShard(d *genotype.Dataset, m Meta) *Shard {
 		d.Column(m.Start+i, col)
 		sh.Cols[i] = col
 	}
+	sh.pack()
 	return sh
 }

@@ -152,6 +152,7 @@ func readSpill(path string, plan Plan, m Meta) (*Shard, error) {
 	for c := 0; c < m.Width(); c++ {
 		sh.Cols[c] = flat[c*plan.Rows : (c+1)*plan.Rows]
 	}
+	sh.pack()
 	return sh, nil
 }
 

@@ -45,6 +45,25 @@ func TableFromRows(rows [][]float64) (*Table, error) {
 	return t, nil
 }
 
+// Reset reshapes t to r x c (both positive), reusing the backing
+// storage when it fits, and zeroes every cell — the allocation-free
+// counterpart of NewTable for scratch-held tables.
+func (t *Table) Reset(r, c int) {
+	if r <= 0 || c <= 0 {
+		panic("stats: Reset requires positive dimensions")
+	}
+	need := r * c
+	if cap(t.data) < need {
+		t.data = make([]float64, need)
+	} else {
+		t.data = t.data[:need]
+		for i := range t.data {
+			t.data[i] = 0
+		}
+	}
+	t.rows, t.cols = r, c
+}
+
 // Rows returns the number of rows.
 func (t *Table) Rows() int { return t.rows }
 
@@ -68,29 +87,43 @@ func (t *Table) Clone() *Table {
 }
 
 // RowTotals returns the marginal row sums.
-func (t *Table) RowTotals() []float64 {
-	out := make([]float64, t.rows)
+func (t *Table) RowTotals() []float64 { return t.RowTotalsInto(nil) }
+
+// RowTotalsInto writes the marginal row sums into dst (grown as
+// needed) and returns it.
+func (t *Table) RowTotalsInto(dst []float64) []float64 {
+	if cap(dst) < t.rows {
+		dst = make([]float64, t.rows)
+	}
+	dst = dst[:t.rows]
 	for i := 0; i < t.rows; i++ {
 		s := 0.0
 		for j := 0; j < t.cols; j++ {
 			s += t.At(i, j)
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // ColTotals returns the marginal column sums.
-func (t *Table) ColTotals() []float64 {
-	out := make([]float64, t.cols)
+func (t *Table) ColTotals() []float64 { return t.ColTotalsInto(nil) }
+
+// ColTotalsInto writes the marginal column sums into dst (grown as
+// needed) and returns it.
+func (t *Table) ColTotalsInto(dst []float64) []float64 {
+	if cap(dst) < t.cols {
+		dst = make([]float64, t.cols)
+	}
+	dst = dst[:t.cols]
 	for j := 0; j < t.cols; j++ {
 		s := 0.0
 		for i := 0; i < t.rows; i++ {
 			s += t.At(i, j)
 		}
-		out[j] = s
+		dst[j] = s
 	}
-	return out
+	return dst
 }
 
 // Total returns the grand total of the table.
@@ -107,8 +140,13 @@ func (t *Table) Total() float64 {
 // contribute nothing and reduce the degrees of freedom, matching the
 // behaviour of the CLUMP program on sparse tables.
 func (t *Table) ChiSquare() (statistic float64, df int) {
-	rt := t.RowTotals()
-	ct := t.ColTotals()
+	return t.ChiSquareFrom(t.RowTotals(), t.ColTotals())
+}
+
+// ChiSquareFrom is ChiSquare with caller-supplied margins (which must
+// be t's row and column totals), for the allocation-free path that
+// computes the margins once and shares them across statistics.
+func (t *Table) ChiSquareFrom(rt, ct []float64) (statistic float64, df int) {
 	total := 0.0
 	for _, v := range rt {
 		total += v

@@ -295,7 +295,7 @@ func (s *Session) evaluatorFor(stat Statistic) (Evaluator, error) {
 	if ev, ok := s.raceEvals[stat]; ok {
 		return ev, nil
 	}
-	eng, err := NewEngine(s.data, stat, workers)
+	eng, err := NewEngineKernel(s.data, stat, workers, s.packed)
 	if err != nil {
 		return nil, err
 	}

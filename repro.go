@@ -177,9 +177,18 @@ func WriteDataset(w io.Writer, d *Dataset) error { return genotype.Write(w, d) }
 
 // NewEvaluator builds the paper's Figure 3 evaluation pipeline
 // (EH-DIALL per status group, concatenation, CLUMP statistic) over the
-// dataset. The evaluator is safe for concurrent use.
+// dataset, on the packed 2-bit counting kernel. The evaluator is safe
+// for concurrent use.
 func NewEvaluator(d *Dataset, stat Statistic) (Evaluator, error) {
 	return fitness.NewPipeline(d, stat, ehdiall.Config{})
+}
+
+// NewEvaluatorKernel is NewEvaluator with an explicit kernel choice:
+// packed selects the 2-bit popcount kernel (the default), false the
+// byte-per-genotype reference implementation. Both produce
+// bit-identical fitness values.
+func NewEvaluatorKernel(d *Dataset, stat Statistic, packed bool) (Evaluator, error) {
+	return fitness.NewPipelineKernel(d, stat, ehdiall.Config{}, packed)
 }
 
 // ParallelEvaluator is a synchronous master/slave evaluator (§4.5).
@@ -219,9 +228,16 @@ type NativeEngine = engine.Engine
 type EngineReport = fitness.Report
 
 // NewEngine builds a native engine over the dataset with the given
-// number of workers (0 = one per CPU). Close it when done.
+// number of workers (0 = one per CPU), on the packed 2-bit counting
+// kernel. Close it when done.
 func NewEngine(d *Dataset, stat Statistic, workers int) (*NativeEngine, error) {
 	return engine.NewForDataset(d, stat, engine.Options{Workers: workers})
+}
+
+// NewEngineKernel is NewEngine with an explicit kernel choice; see
+// WithPackedKernel for the semantics.
+func NewEngineKernel(d *Dataset, stat Statistic, workers int, packed bool) (*NativeEngine, error) {
+	return engine.NewForDataset(d, stat, engine.Options{Workers: workers, ByteKernel: !packed})
 }
 
 // Backend selects the parallel evaluation backend behind Run.
@@ -247,13 +263,26 @@ const (
 // dataset with the given number of workers (0 = one per CPU). Close
 // the returned evaluator when done.
 func NewBackend(d *Dataset, stat Statistic, backend Backend, workers int) (ParallelEvaluator, error) {
+	return NewBackendKernel(d, stat, backend, workers, true)
+}
+
+// NewBackendKernel is NewBackend with an explicit kernel choice: every
+// backend's pipeline runs the packed 2-bit kernel when packed is true
+// (the default elsewhere), the byte reference implementation
+// otherwise. A fixed GA seed produces the identical result under
+// either kernel on every backend.
+func NewBackendKernel(d *Dataset, stat Statistic, backend Backend, workers int, packed bool) (ParallelEvaluator, error) {
 	switch backend {
 	case BackendNative:
-		return NewEngine(d, stat, workers)
+		return NewEngineKernel(d, stat, workers, packed)
 	case BackendPool:
-		return NewParallelEvaluator(d, stat, workers)
+		pipe, err := fitness.NewPipelineKernel(d, stat, ehdiall.Config{}, packed)
+		if err != nil {
+			return nil, err
+		}
+		return master.NewPool(pipe, workers)
 	case BackendPVM:
-		pipe, err := fitness.NewPipeline(d, stat, ehdiall.Config{})
+		pipe, err := fitness.NewPipelineKernel(d, stat, ehdiall.Config{}, packed)
 		if err != nil {
 			return nil, err
 		}

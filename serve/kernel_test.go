@@ -1,0 +1,51 @@
+package serve_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/serve"
+)
+
+// TestServeKernelToggleParity boots two servers — one on the default
+// packed 2-bit kernel, one forced onto the byte reference kernel via
+// RegistryConfig.ByteKernel — runs the same job (same preset dataset,
+// same GA seed) on both, and requires byte-equal results: the kernel
+// switch must be invisible in every served value.
+func TestServeKernelToggleParity(t *testing.T) {
+	ctx := context.Background()
+	run := func(byteKernel bool) serve.JobInfo {
+		client, _ := newTestServer(t, serve.RegistryConfig{ByteKernel: byteKernel})
+		ds, err := client.CreateDataset(ctx, serve.DatasetRequest{
+			Format: serve.FormatPreset, Preset: 51, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := client.CreateSession(ctx, serve.SessionRequest{DatasetID: ds.ID, Statistic: "T4"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		job, err := client.StartJob(ctx, sess.ID, serve.JobRequest{Config: testGAConfig(9)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.StreamEvents(ctx, job.ID, nil); err != nil {
+			t.Fatal(err)
+		}
+		got, err := client.Job(ctx, job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State != serve.JobDone || got.Result == nil {
+			t.Fatalf("byteKernel=%v: job ended %q with result %v", byteKernel, got.State, got.Result)
+		}
+		return got
+	}
+	packed := run(false)
+	byteRef := run(true)
+	if !reflect.DeepEqual(packed.Result, byteRef.Result) {
+		t.Fatalf("kernel toggle changed the served result:\npacked %+v\n  byte %+v", packed.Result, byteRef.Result)
+	}
+}

@@ -233,6 +233,9 @@ type EngineBench struct {
 	// Race pins racing-vs-sequential evaluation cost for a 4-lane
 	// portfolio over one shared memo cache (see RaceBench).
 	Race *RaceBench `json:"race,omitempty"`
+	// Kernel pins packed-vs-byte counting-kernel throughput on the
+	// 249-SNP preset (see KernelBench).
+	Kernel *KernelBench `json:"kernel,omitempty"`
 }
 
 // RaceBench is the racing phase of BENCH_engine.json: the same four
@@ -436,5 +439,11 @@ func runEngineBench(n int) (EngineBench, error) {
 		return EngineBench{}, fmt.Errorf("sharded bench: %w", err)
 	}
 	doc.Sharded = &sharded
+
+	kernel, err := runKernelBench()
+	if err != nil {
+		return EngineBench{}, fmt.Errorf("kernel bench: %w", err)
+	}
+	doc.Kernel = &kernel
 	return doc, nil
 }

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/ehdiall"
+	"repro/internal/fitness"
+	"repro/internal/genotype"
+	"repro/internal/rng"
+)
+
+// KernelBench is the counting-kernel phase of BENCH_engine.json:
+// packed 2-bit popcount kernel versus the byte-per-genotype reference
+// on the paper's 249-SNP preset, committed so the speedup claim is a
+// diffable trajectory rather than an anecdote. Count is the kernel
+// itself — the per-SNP genotype-class sweep feeding allele frequencies
+// and the HWE QC filter, where the word-parallel representation pays;
+// Pipeline is the honest end-to-end fitness evaluation, whose shared
+// EM core is identical on both kernels by the bit-identity contract,
+// so its ratio stays close to 1. BenchmarkPackedKernel in the repo
+// root is the iterated (go test -bench) twin of this snapshot.
+type KernelBench struct {
+	// NumSNPs and Rows describe the study (the 249-SNP preset).
+	NumSNPs int `json:"num_snps"`
+	// Rows is documented with NumSNPs above.
+	Rows int `json:"rows"`
+	// CountPackedNS / CountByteNS time one full QC sweep (allele
+	// frequencies + HWE test for every SNP) per kernel.
+	CountPackedNS int64 `json:"count_packed_ns"`
+	// CountByteNS is documented with CountPackedNS above.
+	CountByteNS int64 `json:"count_byte_ns"`
+	// CountSpeedup is byte over packed sweep time — the acceptance
+	// ratio, gated at >= 2.
+	CountSpeedup float64 `json:"count_speedup"`
+	// PipelinePackedNS / PipelineByteNS time one full fitness
+	// evaluation (EH-DIALL -> CLUMP T1, size-5 site sets) per kernel
+	// through the allocation-free scratch path.
+	PipelinePackedNS int64 `json:"pipeline_packed_ns"`
+	// PipelineByteNS is documented with PipelinePackedNS above.
+	PipelineByteNS int64 `json:"pipeline_byte_ns"`
+	// PipelineSpeedup is byte over packed evaluation time.
+	PipelineSpeedup float64 `json:"pipeline_speedup"`
+}
+
+// runKernelBench measures both stages on both kernels and fails when
+// the packed counting sweep pays less than 2x over the byte reference
+// — that regression would mean the popcount kernel stopped earning the
+// dual-path maintenance cost.
+func runKernelBench() (KernelBench, error) {
+	d, err := repro.Paper249Dataset(42)
+	if err != nil {
+		return KernelBench{}, err
+	}
+	doc := KernelBench{NumSNPs: d.NumSNPs(), Rows: d.NumIndividuals()}
+
+	// Count stage: the packed table is built once (as every consumer
+	// holds it); the byte side gets its row selection prebuilt so
+	// neither arm allocates inside the timed sweeps.
+	p := genotype.PackDataset(d)
+	mask := p.AllMask()
+	rows := make([]int, d.NumIndividuals())
+	for i := range rows {
+		rows[i] = i
+	}
+	const sweeps = 200
+	timeSweeps := func(one func() error) (int64, error) {
+		if err := one(); err != nil { // warmup
+			return 0, err
+		}
+		t0 := time.Now()
+		for it := 0; it < sweeps; it++ {
+			if err := one(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(t0).Nanoseconds() / sweeps, nil
+	}
+	if doc.CountPackedNS, err = timeSweeps(func() error {
+		for j := 0; j < p.NumSNPs(); j++ {
+			p.AlleleFreq(j)
+			if _, err := p.HWETest(j, mask); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return doc, err
+	}
+	if doc.CountByteNS, err = timeSweeps(func() error {
+		for j := 0; j < d.NumSNPs(); j++ {
+			d.AlleleFreq(j)
+			if _, err := d.HWETest(j, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return doc, err
+	}
+	if doc.CountPackedNS > 0 {
+		doc.CountSpeedup = float64(doc.CountByteNS) / float64(doc.CountPackedNS)
+	}
+
+	// Pipeline stage: the same fixed pool of size-5 site sets through
+	// both kernels' scratch paths.
+	r := rng.New(7)
+	sets := make([][]int, 64)
+	for i := range sets {
+		sets[i] = r.Sample(d.NumSNPs(), 5)
+		genotype.SortSites(sets[i])
+	}
+	const rounds = 8
+	timeEvals := func(packed bool) (int64, error) {
+		pipe, err := fitness.NewPipelineKernel(d, repro.T1, ehdiall.Config{}, packed)
+		if err != nil {
+			return 0, err
+		}
+		scr := fitness.NewScratch()
+		for _, s := range sets { // warmup sizes every scratch buffer
+			if _, err := pipe.EvaluateScratch(s, scr); err != nil {
+				return 0, err
+			}
+		}
+		t0 := time.Now()
+		for it := 0; it < rounds; it++ {
+			for _, s := range sets {
+				if _, err := pipe.EvaluateScratch(s, scr); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return time.Since(t0).Nanoseconds() / int64(rounds*len(sets)), nil
+	}
+	if doc.PipelinePackedNS, err = timeEvals(true); err != nil {
+		return doc, err
+	}
+	if doc.PipelineByteNS, err = timeEvals(false); err != nil {
+		return doc, err
+	}
+	if doc.PipelinePackedNS > 0 {
+		doc.PipelineSpeedup = float64(doc.PipelineByteNS) / float64(doc.PipelinePackedNS)
+	}
+
+	if doc.CountSpeedup < 2 {
+		return doc, fmt.Errorf("packed counting sweep is only %.2fx the byte reference (packed %dns, byte %dns), want >= 2x",
+			doc.CountSpeedup, doc.CountPackedNS, doc.CountByteNS)
+	}
+	return doc, nil
+}

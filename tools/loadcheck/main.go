@@ -212,6 +212,10 @@ func main() {
 	if err != nil {
 		fatalf("engine bench: %v", err)
 	}
+	if k := engine.Kernel; k != nil {
+		fmt.Printf("loadcheck: kernel — 249-SNP count sweep %.2fx packed over byte (%dns vs %dns), pipeline %.2fx\n",
+			k.CountSpeedup, k.CountPackedNS, k.CountByteNS, k.PipelineSpeedup)
+	}
 	if *raceBench {
 		race, err := runRaceBench()
 		if err != nil {
