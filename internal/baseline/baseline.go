@@ -46,7 +46,7 @@ func (e *evalCounter) eval(sites []int) (float64, bool) {
 // Exhaustive enumerates every size-k haplotype. Feasible only for
 // small k (Table 1's search-space growth is the whole point).
 func Exhaustive(ev fitness.Evaluator, numSNPs, k int) (Result, error) {
-	return ExhaustiveContext(context.Background(), ev, numSNPs, k)
+	return ExhaustiveContext(context.Background(), ev, numSNPs, k) //ldvet:allow ctxflow: context-free compat wrapper; callers who can cancel use ExhaustiveContext
 }
 
 // ExhaustiveContext is Exhaustive with cancellation: the enumeration

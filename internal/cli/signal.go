@@ -14,7 +14,7 @@ import (
 // instead of being swallowed while the tool winds down gracefully.
 // Call stop to release the signal registration.
 func SignalContext() (ctx context.Context, stop context.CancelFunc) {
-	ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM) //ldvet:allow ctxflow: this IS the entry-point root context every cmd/ binary starts from
 	go func() { <-ctx.Done(); stop() }()
 	return ctx, stop
 }

@@ -133,7 +133,7 @@ func New(eval fitness.Evaluator, numSNPs int, cfg Config) (*GA, error) {
 // Run executes the GA to termination and returns its result. It is
 // RunContext with a background context.
 func (g *GA) Run() (*Result, error) {
-	return g.RunContext(context.Background())
+	return g.RunContext(context.Background()) //ldvet:allow ctxflow: context-free compat wrapper; cancellable callers use RunContext
 }
 
 // RunContext executes the GA to termination, honoring ctx. The context

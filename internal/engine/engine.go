@@ -204,7 +204,7 @@ func (e *Engine) Evaluate(sites []int) (float64, error) {
 // EvaluateBatch scores a whole generation in one pass; it is
 // EvaluateBatchContext with a background context.
 func (e *Engine) EvaluateBatch(batch [][]int) ([]float64, []error) {
-	return e.EvaluateBatchContext(context.Background(), batch)
+	return e.EvaluateBatchContext(context.Background(), batch) //ldvet:allow ctxflow: fitness.BatchEvaluator compat seam; cancellable callers use EvaluateBatchContext
 }
 
 // EvaluateBatchContext scores a whole generation in one pass:

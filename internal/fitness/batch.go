@@ -37,7 +37,7 @@ type ContextBatchEvaluator interface {
 // Per-item failures are reported in errs without aborting the rest of
 // the batch. It is EvaluateAllContext with a background context.
 func EvaluateAll(ev Evaluator, batch [][]int) (values []float64, errs []error) {
-	return EvaluateAllContext(context.Background(), ev, batch)
+	return EvaluateAllContext(context.Background(), ev, batch) //ldvet:allow ctxflow: context-free compat wrapper; cancellable callers use EvaluateAllContext
 }
 
 // EvaluateAllContext is the cancellable form of EvaluateAll. It uses
@@ -105,7 +105,7 @@ func Dedupe(batch [][]int) (unique [][]int, index []int) {
 // EvaluateBatch counts every item, then delegates with the inner
 // evaluator's own batching if present.
 func (c *Counting) EvaluateBatch(batch [][]int) ([]float64, []error) {
-	return c.EvaluateBatchContext(context.Background(), batch)
+	return c.EvaluateBatchContext(context.Background(), batch) //ldvet:allow ctxflow: BatchEvaluator compat seam; cancellable callers use EvaluateBatchContext
 }
 
 // EvaluateBatchContext counts every item, then delegates with the
@@ -119,7 +119,7 @@ func (c *Counting) EvaluateBatchContext(ctx context.Context, batch [][]int) ([]f
 // EvaluateBatch serves hits from the cache and forwards only the
 // misses to the inner evaluator (as one inner batch).
 func (c *Cache) EvaluateBatch(batch [][]int) ([]float64, []error) {
-	return c.EvaluateBatchContext(context.Background(), batch)
+	return c.EvaluateBatchContext(context.Background(), batch) //ldvet:allow ctxflow: BatchEvaluator compat seam; cancellable callers use EvaluateBatchContext
 }
 
 // EvaluateBatchContext serves hits from the cache and forwards only

@@ -80,7 +80,7 @@ func (c Config) withDefaults() Config {
 // [MinSize, MaxSize] and returns one summary per size, in size order.
 // It is EnumerateContext with a background context.
 func Enumerate(ev fitness.Evaluator, numSNPs int, cfg Config) ([]SizeSummary, error) {
-	return EnumerateContext(context.Background(), ev, numSNPs, cfg)
+	return EnumerateContext(context.Background(), ev, numSNPs, cfg) //ldvet:allow ctxflow: context-free compat wrapper; cancellable callers use EnumerateContext
 }
 
 // EnumerateContext is the cancellable enumeration: the workers check

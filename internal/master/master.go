@@ -100,7 +100,7 @@ func (p *Pool) Slaves() int { return p.slaves }
 // every result (the synchronous generation barrier). It is
 // EvaluateBatchContext with a background context.
 func (p *Pool) EvaluateBatch(batch [][]int) ([]float64, []error) {
-	return p.EvaluateBatchContext(context.Background(), batch)
+	return p.EvaluateBatchContext(context.Background(), batch) //ldvet:allow ctxflow: BatchEvaluator compat seam; cancellable callers use EvaluateBatchContext
 }
 
 // EvaluateBatchContext distributes the batch over the slaves and waits
@@ -273,7 +273,7 @@ func (pe *PVMEvaluator) Slaves() int { return len(pe.slaves) }
 // send, until the batch is drained and all results are home. It is
 // EvaluateBatchContext with a background context.
 func (pe *PVMEvaluator) EvaluateBatch(batch [][]int) ([]float64, []error) {
-	return pe.EvaluateBatchContext(context.Background(), batch)
+	return pe.EvaluateBatchContext(context.Background(), batch) //ldvet:allow ctxflow: BatchEvaluator compat seam; cancellable callers use EvaluateBatchContext
 }
 
 // EvaluateBatchContext runs the paper's dispatch under ctx. On

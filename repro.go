@@ -335,7 +335,7 @@ func Run(d *Dataset, cfg GAConfig, opts RunOptions) (*GAResult, error) {
 		return nil, err
 	}
 	defer s.Close()
-	return s.Run(context.Background(), WithGAConfig(cfg))
+	return s.Run(context.Background(), WithGAConfig(cfg)) //ldvet:allow ctxflow: deprecated pre-Session shim, kept bit-identical; use Session.Run(ctx)
 }
 
 // RunWith executes the GA over a caller-supplied evaluator — for
@@ -352,5 +352,5 @@ func RunWith(ev Evaluator, numSNPs int, cfg GAConfig) (*GAResult, error) {
 		return nil, fmt.Errorf("%w: nil evaluator", ErrBadConfig)
 	}
 	s := &Session{numSNPs: numSNPs, stat: DefaultStatistic, eval: ev}
-	return s.Run(context.Background(), WithGAConfig(cfg))
+	return s.Run(context.Background(), WithGAConfig(cfg)) //ldvet:allow ctxflow: deprecated pre-Session shim, kept bit-identical; use Session.Run(ctx)
 }

@@ -218,7 +218,7 @@ func (r *Registry) UseStore(st Store) error {
 		return fmt.Errorf("%w: UseStore requires a fresh registry", repro.ErrBadConfig)
 	}
 	r.store = st
-	return r.restoreLocked()
+	return r.restoreLocked() //ldvet:allow mutexio: restore runs before the registry serves any traffic; nothing contends yet
 }
 
 // restoreLocked rebuilds the in-memory state from the store, in
@@ -340,7 +340,7 @@ func (r *Registry) resumeSweepLocked(id string, ver int64, se *sessionEntry, req
 	if !r.storeDiscards() {
 		sink = newStoreSink(r.store, id)
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //ldvet:allow ctxflow: a resumed sweep outlives any request; the registry cancels it via drain
 	h := startSweep(ctx, cancel, se.sharded, cfg, sink)
 	je := &jobEntry{
 		id:        id,
@@ -500,7 +500,7 @@ func (r *Registry) AddDataset(req DatasetRequest) (DatasetInfo, error) {
 	// expensive part for large uploads, runs outside.
 	var ver int64 = 1
 	if !r.storeDiscards() {
-		rec, err := r.store.Put(KindDataset, Record{ID: id, Data: recJSON})
+		rec, err := r.store.Put(KindDataset, Record{ID: id, Data: recJSON}) //ldvet:allow mutexio: see above — rare path, and the lock is the dedup atomicity
 		if err != nil {
 			return DatasetInfo{}, fmt.Errorf("serve: persist dataset: %w", err)
 		}
@@ -550,7 +550,10 @@ func (r *Registry) CreateSession(req SessionRequest) (SessionInfo, error) {
 	if err != nil {
 		return SessionInfo{}, err
 	}
-	ver, err := r.putRecord(KindSession, id, 0, sessionRecord{Info: r.sessionInfoLocked(se), Request: req})
+	// Like AddDataset, the fsync'd Put stays under the lock: session
+	// creation is rare (once per client setup), and the lock is what
+	// makes the s-N id allocation and the session's visibility atomic.
+	ver, err := r.putRecord(KindSession, id, 0, sessionRecord{Info: r.sessionInfoLocked(se), Request: req}) //ldvet:allow mutexio: rare path; id allocation + visibility must be atomic
 	if err != nil {
 		r.removeSessionLocked(se)
 		return SessionInfo{}, fmt.Errorf("serve: persist session: %w", err)
@@ -738,7 +741,7 @@ func (r *Registry) StartJob(sessionID string, req JobRequest) (JobInfo, error) {
 		return r.launchRace(se, id, req)
 	}
 	if req.Sweep != nil {
-		info, err := r.startSweepLocked(se, req)
+		info, err := r.startSweepLocked(se, req) //ldvet:allow mutexio: sweep starts are rare; the lock makes the job-limit check and visibility atomic (see startSweepLocked)
 		r.mu.Unlock()
 		return info, err
 	}
@@ -758,7 +761,7 @@ func (r *Registry) StartJob(sessionID string, req JobRequest) (JobInfo, error) {
 	if req.MigrationInterval != 0 || req.MigrationCount != 0 {
 		opts = append(opts, repro.WithMigration(req.MigrationInterval, req.MigrationCount))
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //ldvet:allow ctxflow: a background job outlives the creating request; DELETE and drain cancel it
 	job, err := se.sess.Start(ctx, opts...)
 	if err != nil {
 		cancel()
@@ -814,7 +817,7 @@ func (r *Registry) launchRace(se *sessionEntry, id string, req JobRequest) (JobI
 		cfg := req.Config
 		spec.Config = &cfg
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //ldvet:allow ctxflow: a background race outlives the creating request; DELETE and drain cancel it
 	rj, err := se.sess.Race(ctx, spec)
 	if err != nil {
 		cancel()
@@ -911,7 +914,7 @@ func (r *Registry) startSweepLocked(se *sessionEntry, req JobRequest) (JobInfo, 
 	if !r.storeDiscards() {
 		sink = newStoreSink(r.store, id)
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //ldvet:allow ctxflow: a background sweep outlives the creating request; DELETE and drain cancel it
 	h := startSweep(ctx, cancel, se.sharded, cfg, sink)
 	je := &jobEntry{
 		id:        id,
@@ -1259,7 +1262,7 @@ func (r *Registry) Sweep(now time.Time) (evictedSessions, evictedDatasets int) {
 			ev.Close()
 		}
 		delete(r.datasets, id)
-		r.deleteRecord(KindDataset, id)
+		r.deleteRecord(KindDataset, id) //ldvet:allow mutexio: dataset ids are content fingerprints; a concurrent re-upload may recreate the id the moment the lock drops (see the Sweep doc)
 		evictedDatasets++
 	}
 	r.mu.Unlock()

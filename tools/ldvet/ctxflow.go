@@ -1,0 +1,200 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runCtxflow enforces end-to-end context threading, the invariant
+// behind PR 8's canceled-exhaustive-lane hang: cancellation only
+// works if every layer passes the caller's context down.
+//
+// Two rules:
+//
+//  1. Library code does not mint root contexts: context.Background()
+//     and context.TODO() are flagged outside the entry-point package
+//     trees (cmd/, tools/, examples/) — _test.go files are never
+//     loaded. The defensive nil-guard `if ctx == nil { ctx =
+//     context.Background() }` is recognized and exempt: it only fires
+//     for callers of the deprecated context-free API.
+//
+//  2. Everywhere (entry points included), a function that receives a
+//     context parameter must not pass a fresh Background()/TODO() to
+//     a context-taking callee — that silently detaches the callee
+//     from cancellation.
+func runCtxflow(u *unit, cfg *config) []finding {
+	exemptPkg := pathHasSegment(u.path, cfg.ctxExempt)
+	guarded := nilGuardCalls(u)
+	var out []finding
+	reported := map[token.Pos]bool{}
+	report := func(p token.Pos, msg string) {
+		if reported[p] || u.allowedAt("ctxflow", p) {
+			return
+		}
+		reported[p] = true
+		out = append(out, finding{Analyzer: "ctxflow", Pos: u.posOf(p), Msg: msg})
+	}
+
+	for _, file := range u.files {
+		// Rule 2 first, so its more specific message wins when both
+		// rules hit the same call.
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			ctxParam := contextParamName(u, fd.Type)
+			if ctxParam == "" {
+				return true
+			}
+			ast.Inspect(fd.Body, func(nd ast.Node) bool {
+				if _, isLit := nd.(*ast.FuncLit); isLit {
+					return false // a closure may legitimately detach
+				}
+				call, ok := nd.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sig, _ := u.info.TypeOf(call.Fun).(*types.Signature)
+				if sig == nil {
+					return true
+				}
+				for i, arg := range call.Args {
+					name, ok := rootCtxCall(u, arg)
+					if !ok || i >= sig.Params().Len() || !isContextType(sig.Params().At(i).Type()) {
+						continue
+					}
+					report(arg.Pos(), fmt.Sprintf(
+						"function receives %s but passes a fresh context.%s() to %s — thread the caller's context",
+						ctxParam, name, types.ExprString(call.Fun)))
+				}
+				return true
+			})
+			return true
+		})
+
+		if exemptPkg {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, isRoot := rootCtxCall(u, call)
+			if !isRoot || guarded[call.Pos()] {
+				return true
+			}
+			report(call.Pos(), fmt.Sprintf(
+				"context.%s() in library code — accept a ctx from the caller (entry points live in cmd/, tools/, examples/)",
+				name))
+			return true
+		})
+	}
+	return out
+}
+
+// rootCtxCall reports whether the expression is a direct
+// context.Background() or context.TODO() call.
+func rootCtxCall(u *unit, e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn := calleeFunc(u, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		return name, true
+	}
+	return "", false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// contextParamName returns the name of the function's context
+// parameter ("" when it has none, or only an unnamed/blank one).
+func contextParamName(u *unit, ft *ast.FuncType) string {
+	if ft.Params == nil {
+		return ""
+	}
+	for _, f := range ft.Params.List {
+		t := u.info.TypeOf(f.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range f.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+// nilGuardCalls collects the positions of Background()/TODO() calls
+// that are the body of a `if ctx == nil { ctx = context.Background() }`
+// guard over an existing context variable.
+func nilGuardCalls(u *unit) map[token.Pos]bool {
+	out := map[token.Pos]bool{}
+	for _, file := range u.files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			cond, ok := ifs.Cond.(*ast.BinaryExpr)
+			if !ok || cond.Op != token.EQL {
+				return true
+			}
+			ident := nilComparedIdent(u, cond)
+			if ident == "" {
+				return true
+			}
+			for _, st := range ifs.Body.List {
+				as, ok := st.(*ast.AssignStmt)
+				if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+					continue
+				}
+				lhs, ok := as.Lhs[0].(*ast.Ident)
+				if !ok || lhs.Name != ident {
+					continue
+				}
+				if _, isRoot := rootCtxCall(u, as.Rhs[0]); isRoot {
+					out[as.Rhs[0].Pos()] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// nilComparedIdent returns the name of the context-typed identifier
+// compared against nil ("" when the condition has another shape).
+func nilComparedIdent(u *unit, cond *ast.BinaryExpr) string {
+	for _, pair := range [2][2]ast.Expr{{cond.X, cond.Y}, {cond.Y, cond.X}} {
+		id, ok := pair[0].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if nilIdent, ok := pair[1].(*ast.Ident); !ok || nilIdent.Name != "nil" {
+			continue
+		}
+		if t := u.info.TypeOf(id); t != nil && isContextType(t) {
+			return id.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runFloatdet polices the bit-identity kernel packages — the code
+// whose packed-vs-byte contract (PR 9) is "same floats, bit for bit".
+// Three constructs can break that contract silently and are banned
+// here:
+//
+//   - float accumulation inside a map range statement: map iteration
+//     order is randomized, and float addition is not associative, so
+//     the same inputs can produce different low bits per run;
+//   - package-level math/rand calls: the global source cannot be
+//     injected or replayed (rand.New with an explicit source is the
+//     fix and is allowed);
+//   - time.Now: a clock read inside a kernel means the result depends
+//     on when it ran.
+func runFloatdet(u *unit, cfg *config) []finding {
+	if !pathInScope(u.path, cfg.floatScope) {
+		return nil
+	}
+	var out []finding
+	report := func(p token.Pos, msg string) {
+		if u.allowedAt("floatdet", p) {
+			return
+		}
+		out = append(out, finding{Analyzer: "floatdet", Pos: u.posOf(p), Msg: msg})
+	}
+	for _, file := range u.files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch nd := n.(type) {
+			case *ast.RangeStmt:
+				if t := u.info.TypeOf(nd.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						checkMapRangeBody(u, nd.Body, report)
+					}
+				}
+			case *ast.CallExpr:
+				checkKernelCall(u, nd, report)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkMapRangeBody flags float accumulator writes inside a map range
+// body: compound assignments, increments, and `x = x ⊕ ...` shapes on
+// float-typed lvalues. Nested function literals are skipped.
+func checkMapRangeBody(u *unit, body *ast.BlockStmt, report func(token.Pos, string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.IncDecStmt:
+			if isFloat(u.info.TypeOf(st.X)) {
+				report(st.Pos(), fmt.Sprintf("float accumulator %s written under map iteration order — iterate a sorted or first-appearance key list instead", types.ExprString(st.X)))
+			}
+		case *ast.AssignStmt:
+			checkFloatAssign(u, st, report)
+		}
+		return true
+	})
+}
+
+// checkFloatAssign flags the accumulator shapes of an assignment.
+func checkFloatAssign(u *unit, st *ast.AssignStmt, report func(token.Pos, string)) {
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(st.Lhs) == 1 && isFloat(u.info.TypeOf(st.Lhs[0])) {
+			report(st.Pos(), fmt.Sprintf("float accumulator %s written under map iteration order — iterate a sorted or first-appearance key list instead", types.ExprString(st.Lhs[0])))
+		}
+	case token.ASSIGN:
+		for i, lhs := range st.Lhs {
+			if i >= len(st.Rhs) || !isFloat(u.info.TypeOf(lhs)) {
+				continue
+			}
+			// `x = x + v` is an accumulator when the lvalue appears
+			// in its own right-hand side.
+			lstr := types.ExprString(lhs)
+			found := false
+			ast.Inspect(st.Rhs[i], func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok && types.ExprString(e) == lstr {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				report(st.Pos(), fmt.Sprintf("float accumulator %s written under map iteration order — iterate a sorted or first-appearance key list instead", lstr))
+			}
+		}
+	}
+}
+
+// checkKernelCall flags package-level math/rand and time.Now calls.
+func checkKernelCall(u *unit, call *ast.CallExpr, report func(token.Pos, string)) {
+	fn := calleeFunc(u, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		if fn.Signature().Recv() != nil {
+			return // methods on *rand.Rand carry an injected source
+		}
+		switch fn.Name() {
+		case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+			return // constructing an injectable source is the fix
+		}
+		report(call.Pos(), fmt.Sprintf("package-level %s.%s uses the global source — inject a *rand.Rand (see internal/rng)", fn.Pkg().Path(), fn.Name()))
+	case "time":
+		if fn.Name() == "Now" {
+			report(call.Pos(), "time.Now inside a bit-identity kernel package — results must not depend on the clock")
+		}
+	}
+}
+
+// isFloat reports whether t is a floating-point type.
+func isFloat(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	if !ok {
+		if n, isNamed := t.(*types.Named); isNamed {
+			b, ok = n.Underlying().(*types.Basic)
+		}
+	}
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,361 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runMutexIO flags I/O-ish calls made lexically between a
+// sync.Mutex/RWMutex Lock (or RLock) and its Unlock — the static
+// encoding of the PR 7 janitor-stall bug, where fsync'd store
+// deletions under the registry mutex stalled every concurrent
+// request.
+//
+// The walk is lexical with two refinements that match this codebase's
+// locking idioms: a deferred Unlock keeps the region open to the end
+// of the function, and an Unlock inside a nested block (the
+// early-return `if cond { mu.Unlock(); return }` shape) ends the
+// region only on that path, not for the statements that follow the
+// block. I/O-ishness propagates through same-package helpers
+// (putRecord → Store.Put), so wrapping the write does not hide it.
+// Suppress with //ldvet:allow mutexio on the call line or the line
+// taking the lock (which covers the whole region).
+func runMutexIO(u *unit, cfg *config) []finding {
+	w := &mioWalker{u: u, io: ioishFuncs(u)}
+	for _, file := range u.files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					w.walk(fn.Body.List, map[string]lockSite{})
+				}
+				return false // FuncLits inside are found by the continued Inspect below
+			}
+			return true
+		})
+		// Function literals get their own fresh region state: a
+		// goroutine or callback body holds only the locks it takes
+		// itself.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				w.walk(lit.Body.List, map[string]lockSite{})
+			}
+			return true
+		})
+	}
+	return w.out
+}
+
+// lockSite remembers where a lock was taken so findings can point at
+// the region start (and annotations there can cover the region).
+type lockSite struct {
+	pos      token.Pos
+	deferred bool
+}
+
+type mioWalker struct {
+	u   *unit
+	io  map[*types.Func]string
+	out []finding
+}
+
+// walk processes one statement list with the set of locks held on
+// entry. Nested blocks receive a copy of the state, so an early-exit
+// Unlock inside a branch does not end the region for the statements
+// after the branch.
+func (w *mioWalker) walk(stmts []ast.Stmt, held map[string]lockSite) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if key, op, ok := w.lockOp(call); ok {
+					switch op {
+					case "Lock", "RLock":
+						held[key] = lockSite{pos: call.Pos()}
+					case "Unlock", "RUnlock":
+						delete(held, key)
+					}
+					continue
+				}
+			}
+			w.scan(s, held)
+		case *ast.DeferStmt:
+			if key, op, ok := w.lockOp(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				if ls, ok := held[key]; ok {
+					ls.deferred = true
+					held[key] = ls
+				}
+			}
+			// A deferred call body runs at function exit, possibly
+			// after the unlock; out of lexical scope either way.
+		case *ast.IfStmt:
+			w.scan(s.Init, held)
+			w.scan(s.Cond, held)
+			w.walk([]ast.Stmt{s.Body}, cloneLocks(held))
+			if s.Else != nil {
+				w.walk([]ast.Stmt{s.Else}, cloneLocks(held))
+			}
+		case *ast.ForStmt:
+			w.scan(s.Init, held)
+			w.scan(s.Cond, held)
+			w.scan(s.Post, held)
+			w.walk(s.Body.List, cloneLocks(held))
+		case *ast.RangeStmt:
+			w.scan(s.X, held)
+			w.walk(s.Body.List, cloneLocks(held))
+		case *ast.SwitchStmt:
+			w.scan(s.Init, held)
+			w.scan(s.Tag, held)
+			w.walkCases(s.Body, held)
+		case *ast.TypeSwitchStmt:
+			w.scan(s.Init, held)
+			w.walkCases(s.Body, held)
+		case *ast.SelectStmt:
+			w.walkCases(s.Body, held)
+		case *ast.BlockStmt:
+			w.walk(s.List, cloneLocks(held))
+		case *ast.LabeledStmt:
+			w.walk([]ast.Stmt{s.Stmt}, held)
+		case *ast.GoStmt:
+			// The goroutine body runs concurrently, not under the
+			// caller's lock; its own locks are covered by the FuncLit
+			// pass.
+		default:
+			w.scan(st, held)
+		}
+	}
+}
+
+// walkCases handles the clause bodies of switch/select statements.
+func (w *mioWalker) walkCases(body *ast.BlockStmt, held map[string]lockSite) {
+	for _, clause := range body.List {
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.scan(e, held)
+			}
+			w.walk(c.Body, cloneLocks(held))
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.scan(c.Comm, held)
+			}
+			w.walk(c.Body, cloneLocks(held))
+		}
+	}
+}
+
+// scan inspects one statement or expression for I/O-ish calls while
+// any lock is held. Function literal subtrees are skipped (they run
+// elsewhere).
+func (w *mioWalker) scan(n ast.Node, held map[string]lockSite) {
+	if n == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(nd ast.Node) bool {
+		switch c := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.checkCall(c, held)
+		}
+		return true
+	})
+}
+
+// checkCall emits a finding when the callee is I/O-ish.
+func (w *mioWalker) checkCall(call *ast.CallExpr, held map[string]lockSite) {
+	callee := calleeFunc(w.u, call)
+	if callee == nil {
+		return
+	}
+	desc, ok := directIOish(callee)
+	if !ok {
+		desc, ok = w.io[callee]
+	}
+	if !ok {
+		return
+	}
+	for key, site := range held {
+		if w.u.allowedAt("mutexio", call.Pos(), site.pos) {
+			return
+		}
+		region := "locked"
+		if site.deferred {
+			region = "deferred-unlock region started"
+		}
+		w.out = append(w.out, finding{
+			Analyzer: "mutexio",
+			Pos:      w.u.posOf(call.Pos()),
+			Msg: fmt.Sprintf("%s while holding %s (%s at %s)",
+				desc, key, region, w.u.posOf(site.pos)),
+		})
+		return // one finding per call is enough, whatever is held
+	}
+}
+
+// lockOp classifies a call as a mutex operation, returning the lock's
+// receiver expression ("r.mu") as the region key. Promoted methods of
+// embedded mutexes resolve the same way.
+func (w *mioWalker) lockOp(call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, _ := w.u.info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return "", "", false
+	}
+	switch namedName(recv.Type()) {
+	case "Mutex", "RWMutex":
+		return types.ExprString(sel.X), name, true
+	}
+	return "", "", false
+}
+
+func cloneLocks(m map[string]lockSite) map[string]lockSite {
+	c := make(map[string]lockSite, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// calleeFunc resolves the *types.Func a call invokes, nil for
+// builtins, conversions and calls through plain function values.
+func calleeFunc(u *unit, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := u.info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := u.info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// directIOish classifies calls that are blocking I/O (or sleeps) by
+// themselves: the os package (minus its pure helpers), net/http,
+// time.Sleep, and store-shaped methods — Put/Get/Delete/List on a
+// type whose name ends in "Store" (the serve.Store seam and every
+// implementation).
+func directIOish(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	name := fn.Name()
+	switch pkg.Path() {
+	case "os":
+		switch name {
+		case "Getenv", "LookupEnv", "Environ", "Expand", "ExpandEnv",
+			"IsNotExist", "IsExist", "IsPermission", "IsTimeout", "IsPathSeparator",
+			"Getpid", "Getppid", "Getuid", "Geteuid", "Getgid", "Getegid", "NewError":
+			return "", false // pure or in-memory helpers
+		}
+		return "os." + name, true
+	case "net/http":
+		return "net/http " + name, true
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep", true
+		}
+	}
+	if recv := fn.Signature().Recv(); recv != nil {
+		tname := namedName(recv.Type())
+		if len(tname) >= 5 && tname[len(tname)-5:] == "Store" {
+			switch name {
+			case "Put", "Get", "Delete", "List":
+				return tname + "." + name + " (store I/O)", true
+			}
+		}
+	}
+	return "", false
+}
+
+// namedName unwraps pointers and returns the named type's name ("" if
+// unnamed).
+func namedName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch n := t.(type) {
+	case *types.Named:
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// ioishFuncs computes, by fixed point, the package-local functions
+// that transitively reach a directly I/O-ish call, so a locked region
+// calling a same-package wrapper (putRecord, restoreLocked) is still
+// flagged. Goroutine bodies do not count: work launched under a lock
+// runs beside it, not under it.
+func ioishFuncs(u *unit) map[*types.Func]string {
+	bodies := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range u.files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := u.info.Defs[fd.Name].(*types.Func); ok {
+				bodies[fn] = fd
+			}
+		}
+	}
+	io := map[*types.Func]string{}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range bodies {
+			if _, done := io[fn]; done {
+				continue
+			}
+			if reason, ok := bodyReachesIO(u, fd, io); ok {
+				io[fn] = fmt.Sprintf("call to %s (reaches %s)", fn.Name(), reason)
+				changed = true
+			}
+		}
+	}
+	return io
+}
+
+// bodyReachesIO reports whether fd's body makes a directly I/O-ish
+// call or calls an already-marked package-local function.
+func bodyReachesIO(u *unit, fd *ast.FuncDecl, io map[*types.Func]string) (string, bool) {
+	var reason string
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch c := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			callee := calleeFunc(u, c)
+			if callee == nil {
+				return true
+			}
+			if desc, ok := directIOish(callee); ok {
+				reason = desc
+			} else if desc, ok := io[callee]; ok {
+				_ = desc
+				reason = callee.Name()
+			}
+		}
+		return true
+	})
+	return reason, reason != ""
+}

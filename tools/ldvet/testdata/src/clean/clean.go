@@ -1,0 +1,35 @@
+// Package clean is the known-good ldvet fixture: locks, wire structs
+// and contexts used the way the analyzers want them. The driver test
+// asserts the whole suite is silent here.
+package clean
+
+import (
+	"context"
+	"os"
+	"sync"
+)
+
+// Wire is fully tagged.
+type Wire struct {
+	ID    string `json:"id"`
+	Count int    `json:"count"`
+}
+
+type store struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+// Put holds the lock only for the in-memory mutation and does its
+// file I/O outside the region.
+func (s *store) Put(path, id, v string) error {
+	s.mu.Lock()
+	s.m[id] = v
+	s.mu.Unlock()
+	return os.WriteFile(path, []byte(v), 0o644)
+}
+
+// Run threads its context down.
+func Run(ctx context.Context, f func(context.Context) error) error {
+	return f(ctx)
+}

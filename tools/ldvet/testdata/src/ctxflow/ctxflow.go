@@ -1,0 +1,43 @@
+// Package ctxflow is an ldvet fixture for the context-threading
+// analyzer: fresh root contexts in library code, the recognized
+// nil-guard, and the receives-ctx-but-passes-Background class.
+package ctxflow
+
+import "context"
+
+func fresh() context.Context {
+	return context.Background() // want "context.Background() in library code"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "context.TODO() in library code"
+}
+
+// the defensive nil-guard over an existing context variable is
+// exempt: it only fires for context-free compat callers.
+func guarded(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background() // no finding
+	}
+	return ctx
+}
+
+func callee(ctx context.Context, n int) {}
+
+// a function that receives a ctx must thread it, not mint a new one.
+func drops(ctx context.Context) {
+	callee(context.Background(), 1) // want "receives ctx but passes a fresh context.Background() to callee"
+}
+
+func threads(ctx context.Context) {
+	callee(ctx, 1) // no finding
+}
+
+// non-context arguments are not confused with context ones.
+func values(ctx context.Context) {
+	callee(ctx, len("x")) // no finding
+}
+
+func allowed() context.Context {
+	return context.Background() //ldvet:allow ctxflow: fixture — a written-down exception
+}

@@ -1,0 +1,70 @@
+// Package genotype is an ldvet fixture for the kernel-determinism
+// analyzer. Its import path ends in internal/genotype, so the
+// floatdet scope rules apply to it exactly as they do to the real
+// kernel package.
+package genotype
+
+import (
+	"math/rand"
+	"time"
+)
+
+func mapAccum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulator sum written under map iteration order"
+	}
+	return sum
+}
+
+func mapAccumPlain(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want "float accumulator sum written under map iteration order"
+	}
+	return sum
+}
+
+func sliceAccum(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v // no finding: slice order is deterministic
+	}
+	return sum
+}
+
+func mapIntCount(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++ // no finding: integer counting is order-free
+	}
+	return n
+}
+
+func mapCollect(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // no finding: collect then sort is the fix
+	}
+	return keys
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want "package-level math/rand.Float64 uses the global source"
+}
+
+func injectedRand(r *rand.Rand) float64 {
+	return r.Float64() // no finding: the source is injected
+}
+
+func buildRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // no finding: constructing a source is the fix
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now inside a bit-identity kernel package"
+}
+
+func allowed() int64 {
+	return time.Now().UnixNano() //ldvet:allow floatdet: fixture — wall time never reaches a fitness value here
+}

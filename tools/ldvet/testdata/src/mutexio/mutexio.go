@@ -1,0 +1,106 @@
+// Package mutexio is an ldvet fixture: every construct the mutexio
+// analyzer must flag (or deliberately not flag), with // want
+// comments naming the expected findings.
+package mutexio
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type fakeStore struct{}
+
+func (s *fakeStore) Put(id string) error    { return nil }
+func (s *fakeStore) Delete(id string) error { return nil }
+
+type registry struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	st  *fakeStore
+	n   int
+	out []string
+}
+
+// deferred-unlock region: everything to the end of the function is
+// under the lock.
+func (r *registry) deferredRegion() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding r.mu"
+	_ = os.Remove("x")           // want "os.Remove while holding r.mu"
+	_ = r.st.Put("k")            // want "fakeStore.Put (store I/O) while holding r.mu"
+	r.n++
+}
+
+// explicit unlock: the region ends at the Unlock, and an early-exit
+// unlock inside a branch only ends it on that path.
+func (r *registry) earlyExit(cond bool) {
+	r.mu.Lock()
+	if cond {
+		r.mu.Unlock()
+		_ = os.Remove("x") // unlocked on this path: no finding
+		return
+	}
+	_ = os.Remove("y") // want "os.Remove while holding r.mu"
+	r.mu.Unlock()
+	_ = os.Remove("z") // after the unlock: no finding
+}
+
+// helper reaches store I/O, so calling it under the lock is flagged
+// through the package-local propagation.
+func (r *registry) forget(id string) { _ = r.st.Delete(id) }
+
+func (r *registry) viaHelper() {
+	r.mu.Lock()
+	r.forget("k") // want "call to forget"
+	r.mu.Unlock()
+}
+
+// read locks are lock regions too.
+func (r *registry) readLocked() {
+	r.rw.RLock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding r.rw"
+	r.rw.RUnlock()
+}
+
+// an annotation on the Lock line covers the whole region.
+func (r *registry) allowedRegion() {
+	r.mu.Lock() //ldvet:allow mutexio: fixture — the whole region is exempt
+	defer r.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	_ = r.st.Put("k")
+}
+
+// an annotation on the call line covers just that call (and, by the
+// line-above rule, would cover the next line — hence the ordering).
+func (r *registry) allowedCall() {
+	r.mu.Lock()
+	_ = r.st.Put("j") // want "fakeStore.Put (store I/O) while holding r.mu"
+	_ = r.st.Put("k") //ldvet:allow mutexio: fixture — this one write is deliberate
+	r.mu.Unlock()
+}
+
+// a goroutine launched under the lock runs beside it, not under it;
+// its own locks are analyzed separately.
+func (r *registry) launches() {
+	r.mu.Lock()
+	go func() {
+		_ = os.Remove("x") // no finding: not under the caller's lock
+	}()
+	go func() {
+		var mu sync.Mutex
+		mu.Lock()
+		time.Sleep(time.Millisecond) // want "time.Sleep while holding mu"
+		mu.Unlock()
+	}()
+	r.mu.Unlock()
+}
+
+// pure os helpers are not I/O.
+func (r *registry) pureHelpers() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, _ = os.LookupEnv("HOME") // no finding
+	r.out = append(r.out, os.Getenv("USER"))
+}

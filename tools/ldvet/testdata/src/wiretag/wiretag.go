@@ -1,0 +1,31 @@
+// Package wiretag is an ldvet fixture: a struct with any json tag is
+// a wire struct, and every exported non-embedded field of one must
+// carry an explicit tag.
+package wiretag
+
+// Info is a wire struct with one drifting field.
+type Info struct {
+	ID     string `json:"id"`
+	Count  int    // want "exported field Info.Count of wire struct lacks an explicit json tag"
+	note   string // unexported: not part of the wire
+	Hidden bool   `json:"-"` // explicitly excluded is still explicit
+}
+
+// Report embeds Info; the embedded field marshals inline by design
+// and needs no tag.
+type Report struct {
+	Info
+	Took int64 `json:"took_ns"`
+}
+
+// plain carries no json tags at all, so it is not a wire struct and
+// its bare exported field is fine.
+type plain struct {
+	A int
+}
+
+// Allowed documents a justified exception on the field itself.
+type Allowed struct {
+	ID   string   `json:"id"`
+	Next *Allowed //ldvet:allow wiretag: fixture — recursion handled elsewhere
+}

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// runWiretag enforces the per-struct rule: any struct carrying at
+// least one json tag is a wire struct, and every exported,
+// non-embedded field of a wire struct must carry an explicit json tag
+// — an untagged field silently changes the wire the moment it is
+// added, which is exactly how the hand-written field-name pinning
+// tests used to find out after the fact. Embedded fields are exempt:
+// inlining an embedded document (jobRecord embedding JobInfo) is the
+// intended idiom.
+func runWiretag(u *unit, cfg *config) []finding {
+	var out []finding
+	for structName, st := range wireStructs(u) {
+		for _, f := range st.Fields.List {
+			if len(f.Names) == 0 {
+				continue // embedded: marshals inline by design
+			}
+			if tag, ok := jsonTag(f); ok && tag != "" {
+				continue
+			}
+			for _, name := range f.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if u.allowedAt("wiretag", name.Pos()) {
+					continue
+				}
+				out = append(out, finding{
+					Analyzer: "wiretag",
+					Pos:      u.posOf(name.Pos()),
+					Msg: fmt.Sprintf("exported field %s.%s of wire struct lacks an explicit json tag",
+						structName, name.Name),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// wireStructs returns the unit's struct declarations that carry at
+// least one json tag, keyed by type name.
+func wireStructs(u *unit) map[string]*ast.StructType {
+	out := map[string]*ast.StructType{}
+	for _, file := range u.files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				if _, ok := jsonTag(f); ok {
+					out[ts.Name.Name] = st
+					break
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// jsonTag extracts a field's json struct tag; ok reports whether one
+// is present at all.
+func jsonTag(f *ast.Field) (string, bool) {
+	if f.Tag == nil {
+		return "", false
+	}
+	raw, err := strconv.Unquote(f.Tag.Value)
+	if err != nil {
+		return "", false
+	}
+	tag, ok := reflect.StructTag(raw).Lookup("json")
+	return tag, ok
+}
+
+// checkManifest is the cross-unit half of wiretag: the computed
+// pkg.Struct.Field → tag set of the wire-surface packages must match
+// the checked-in golden manifest, so any drift — a renamed tag, a
+// removed field, a new field — is a reviewable diff before it is a
+// broken client. Only the loaded packages are compared, so a partial
+// run (`ldvet ./serve`) does not report the others as missing.
+// -update rewrites the loaded packages' entries in place.
+func checkManifest(units []*unit, cfg *config) ([]finding, error) {
+	computed := map[string]string{} // "pkg.Struct.Field" -> tag
+	loaded := map[string]bool{}     // pkg paths contributing to the manifest
+	for _, u := range units {
+		if !pathInScope(u.path, cfg.wireScope) {
+			continue
+		}
+		loaded[u.path] = true
+		for structName, st := range wireStructs(u) {
+			for _, f := range st.Fields.List {
+				tag, ok := jsonTag(f)
+				if !ok {
+					continue
+				}
+				for _, name := range f.Names {
+					computed[u.path+"."+structName+"."+name.Name] = tag
+				}
+			}
+		}
+	}
+	if len(loaded) == 0 {
+		return nil, nil // nothing in scope was scanned: nothing to pin
+	}
+
+	golden, err := readManifest(cfg.goldenPath)
+	if os.IsNotExist(err) {
+		golden = map[string]string{}
+	} else if err != nil {
+		return nil, err
+	}
+
+	if cfg.update {
+		merged := map[string]string{}
+		for k, v := range golden {
+			if !loaded[manifestPkg(k)] {
+				merged[k] = v // keep entries of packages not scanned this run
+			}
+		}
+		for k, v := range computed {
+			merged[k] = v
+		}
+		return nil, writeManifest(cfg.goldenPath, merged)
+	}
+
+	var out []finding
+	report := func(msg string) {
+		out = append(out, finding{Analyzer: "wiretag", Pos: cfg.goldenPath, Msg: msg})
+	}
+	for k, want := range golden {
+		if !loaded[manifestPkg(k)] {
+			continue
+		}
+		got, ok := computed[k]
+		if !ok {
+			report(fmt.Sprintf("manifest drift: %s pinned as %q but no longer exists (run with -update if intended)", k, want))
+			continue
+		}
+		if got != want {
+			report(fmt.Sprintf("manifest drift: %s is tagged %q, golden pins %q (run with -update if intended)", k, got, want))
+		}
+	}
+	for k, got := range computed {
+		if _, ok := golden[k]; !ok {
+			report(fmt.Sprintf("manifest drift: %s (tagged %q) is not pinned in the golden manifest (run with -update)", k, got))
+		}
+	}
+	return out, nil
+}
+
+// manifestPkg extracts the package path from a manifest key
+// ("repro/serve.JobInfo.ID" → "repro/serve").
+func manifestPkg(key string) string {
+	// The key ends in ".Struct.Field"; both are identifiers without
+	// dots, so cut the last two dot-separated parts.
+	i := strings.LastIndexByte(key, '.')
+	if i < 0 {
+		return key
+	}
+	j := strings.LastIndexByte(key[:i], '.')
+	if j < 0 {
+		return key[:i]
+	}
+	return key[:j]
+}
+
+// readManifest parses a golden file: one "key tag" pair per line,
+// "#" comments and blank lines ignored. A tag may contain anything
+// but a newline; the key never contains spaces.
+func readManifest(path string) (map[string]string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for i, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, tag, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: malformed manifest line %q (want \"pkg.Struct.Field tag\")", path, i+1, line)
+		}
+		out[key] = tag
+	}
+	return out, nil
+}
+
+// writeManifest renders the manifest sorted by key, with a header
+// explaining how it regenerates.
+func writeManifest(path string, m map[string]string) error {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# ldvet wiretag manifest: the computed json tag of every tagged\n")
+	b.WriteString("# struct field in the wire-surface packages. Regenerate with\n")
+	b.WriteString("#   go run ./tools/ldvet -enable wiretag -update ./...\n")
+	b.WriteString("# A diff here IS a wire change; review it as one.\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %s\n", k, m[k])
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

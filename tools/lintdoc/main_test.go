@@ -1,0 +1,162 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lint writes src as a one-file package into a temp dir and returns
+// lintDir's findings with the temp path stripped.
+func lint(t *testing.T, src string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lintDir(dir)
+	if err != nil {
+		t.Fatalf("lintDir: %v", err)
+	}
+	for i, f := range findings {
+		findings[i] = f[strings.Index(f, "x.go"):]
+	}
+	return findings
+}
+
+func expect(t *testing.T, findings []string, substrs ...string) {
+	t.Helper()
+	matched := make([]bool, len(findings))
+	for _, substr := range substrs {
+		found := false
+		for i, f := range findings {
+			if !matched[i] && strings.Contains(f, substr) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding matches %q in %v", substr, findings)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("unexpected finding %q", f)
+		}
+	}
+}
+
+func TestFuncsAndMethods(t *testing.T) {
+	findings := lint(t, `package p
+
+func Exported() {}
+
+// Documented does things.
+func Documented() {}
+
+func unexported() {}
+
+// T is a type.
+type T struct{}
+
+func (t *T) Method() {}
+
+// Fine is documented.
+func (t T) Fine() {}
+
+type hidden struct{}
+
+func (h *hidden) Method() {} // unexported receiver: not public surface
+`)
+	expect(t, findings,
+		"func Exported lacks a doc comment",
+		"func T.Method lacks a doc comment",
+	)
+}
+
+func TestGroupedDecls(t *testing.T) {
+	findings := lint(t, `package p
+
+// Limits for the queue.
+const (
+	MaxJobs  = 8
+	MaxRaces = 2
+)
+
+const Bare = 1
+
+var (
+	// Registry holds state.
+	Registry int
+	Loose    int
+	Inline   int // trailing comments count
+)
+
+type (
+	// Pair is documented.
+	Pair struct{}
+	Odd  struct{}
+)
+`)
+	expect(t, findings,
+		"const Bare lacks a doc comment",
+		"var Loose lacks a doc comment",
+		"type Odd lacks a doc comment",
+	)
+}
+
+func TestTypeBodies(t *testing.T) {
+	findings := lint(t, `package p
+
+// Info is a wire document.
+type Info struct {
+	// ID is the identifier.
+	ID    string
+	Count int
+	Note  string // trailing comment suffices
+	inner int
+}
+
+// Store is the persistence seam.
+type Store interface {
+	// Put writes a record.
+	Put(id string) error
+	Delete(id string) error
+}
+
+type internal struct {
+	Field int // fields of unexported types are not checked
+}
+`)
+	expect(t, findings,
+		"field Info.Count lacks a doc comment",
+		"method Store.Delete lacks a doc comment",
+	)
+}
+
+func TestGenericReceiver(t *testing.T) {
+	findings := lint(t, `package p
+
+// Cache is generic.
+type Cache[K comparable, V any] struct{}
+
+func (c *Cache[K, V]) Get(k K) (V, bool) { var v V; return v, false }
+`)
+	expect(t, findings, "func Cache.Get lacks a doc comment")
+}
+
+func TestCleanPackage(t *testing.T) {
+	findings := lint(t, `package p
+
+// Documented is fine.
+func Documented() {}
+
+// V is fine.
+var V int
+`)
+	if len(findings) != 0 {
+		t.Errorf("want no findings, got %v", findings)
+	}
+}
